@@ -1,0 +1,49 @@
+// Command flashr-bench regenerates the paper's evaluation tables and
+// figures (§4) at configurable scale.
+//
+// Usage:
+//
+//	flashr-bench -experiment fig7a -n 200000
+//	flashr-bench -experiment all -n 100000 -read-mbps 400
+//
+// Experiments: fig7a, fig7b, fig8, fig9, fig10, table4, table6, all.
+// See DESIGN.md for the paper-to-experiment index and EXPERIMENTS.md for
+// recorded results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/benchmark"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment to run (fig7a|fig7b|fig8|fig9|fig10|table4|table6|all)")
+		n          = flag.Int64("n", 200_000, "base dataset rows (Criteo-sub in the paper is 325M)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines per engine")
+		ssdRoot    = flag.String("ssd-root", "", "directory for the simulated SSD array (default: temp dir)")
+		drives     = flag.Int("drives", 4, "simulated SSD count")
+		readMBps   = flag.Float64("read-mbps", 1200, "aggregate SSD read bandwidth (MiB/s, 0=unthrottled)")
+		writeMBps  = flag.Float64("write-mbps", 1000, "aggregate SSD write bandwidth (MiB/s, 0=unthrottled)")
+		iters      = flag.Int("iters", 5, "fixed iteration count for iterative algorithms")
+		seed       = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	cfg := benchmark.Config{
+		N: *n, Workers: *workers, SSDRoot: *ssdRoot, Drives: *drives,
+		ReadMBps: *readMBps, WriteMBps: *writeMBps, Iters: *iters, Seed: *seed,
+	}
+	fmt.Printf("flashr-bench: experiment=%s n=%d workers=%d drives=%d read=%.0fMiB/s write=%.0fMiB/s iters=%d\n\n",
+		*experiment, *n, *workers, *drives, *readMBps, *writeMBps, *iters)
+	rows, err := benchmark.Run(*experiment, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashr-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(benchmark.Format(rows))
+}

@@ -1,0 +1,100 @@
+// Command flashr-info inspects a simulated SSD array: the files stored on
+// it, their striping across drives, and summary statistics of named
+// matrices stored with SaveNamed / flashr-gen.
+//
+// Usage:
+//
+//	flashr-info -ssd-root /data/flashr
+//	flashr-info -ssd-root /data/flashr -matrix criteo-x
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	flashr "repro"
+)
+
+func main() {
+	var (
+		ssdRoot = flag.String("ssd-root", "", "simulated SSD array root (required)")
+		drives  = flag.Int("drives", 4, "simulated SSD count")
+		name    = flag.String("matrix", "", "named matrix to summarize")
+	)
+	flag.Parse()
+	if *ssdRoot == "" {
+		fatal(fmt.Errorf("-ssd-root is required"))
+	}
+	dirs := make([]string, *drives)
+	for i := range dirs {
+		dirs[i] = filepath.Join(*ssdRoot, fmt.Sprintf("ssd-%02d", i))
+	}
+	s, err := flashr.NewSession(flashr.Options{EM: true, SSDDirs: dirs})
+	if err != nil {
+		fatal(err)
+	}
+	defer s.Close()
+	fs := s.FS()
+
+	if *name == "" {
+		fmt.Printf("SSD array at %s: %d drives, stripe %d KiB\n", *ssdRoot, fs.NumDrives(), fs.StripeBytes()/1024)
+		for i, d := range dirs {
+			matches, _ := filepath.Glob(filepath.Join(d, "*.seg"))
+			var total int64
+			for _, m := range matches {
+				if st, err := os.Stat(m); err == nil {
+					total += st.Size()
+				}
+			}
+			fmt.Printf("  drive %02d: %4d segments, %10.1f MiB\n", i, len(matches), float64(total)/(1<<20))
+		}
+		if names := s.ListNamed(); len(names) > 0 {
+			fmt.Println("named matrices:")
+			for _, n := range names {
+				if m, err := s.OpenNamed(n); err == nil {
+					r, c := m.Dim()
+					fmt.Printf("  %-20s %10d x %-6d %10.1f MiB\n", n, r, c, float64(r*c*8)/(1<<20))
+				}
+			}
+		}
+		return
+	}
+
+	x, err := s.OpenNamed(*name)
+	if err != nil {
+		fatal(err)
+	}
+	r, c := x.Dim()
+	fmt.Printf("%s: %d x %d\n", *name, r, c)
+	// Summary statistics stream through the engine in one fused pass, so
+	// even huge matrices summarize in constant memory.
+	mnS, mxS := flashr.Min(x), flashr.Max(x)
+	meanS := flashr.Mean(x)
+	mn, err := mnS.Float()
+	if err != nil {
+		fatal(err)
+	}
+	mx, _ := mxS.Float()
+	mean, _ := meanS.Float()
+	fmt.Printf("  min=%.6g max=%.6g mean=%.6g\n", mn, mx, mean)
+	cs, err := flashr.ColMeans(x).AsVector()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  column means: ")
+	for j, v := range cs {
+		if j == 8 {
+			fmt.Printf("…")
+			break
+		}
+		fmt.Printf("%.4g ", v)
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "flashr-info: %v\n", err)
+	os.Exit(1)
+}

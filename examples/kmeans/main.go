@@ -1,0 +1,59 @@
+// K-means on a synthetic spectral embedding — the paper's Figure 3 workload
+// (PageGraph-32ev). The iteration is built from GenOps exactly as the paper
+// writes it: a Euclidean generalized inner product for distances,
+// agg.row("which.min") for assignment, groupby.row for the new centers, and
+// set.cache on the assignment vector for the convergence test.
+//
+//	go run ./examples/kmeans
+package main
+
+import (
+	"fmt"
+	"log"
+
+	flashr "repro"
+	"repro/internal/workload"
+	"repro/ml"
+)
+
+func main() {
+	s := flashr.NewMemSession()
+
+	fmt.Println("generating PageGraph-like spectral embedding (500k x 32)…")
+	x, err := workload.PageGraph(s, 500_000, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const k = 10 // the paper's default cluster count
+	res, err := ml.KMeans(s, x, k, ml.KMeansOptions{MaxIter: 50, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("k-means: %d iterations, converged=%v\n", res.Iters, res.Converged)
+	fmt.Printf("within-cluster sum of squares: %.1f\n", res.Objective)
+	fmt.Println("cluster sizes:")
+	for g, size := range res.Sizes {
+		fmt.Printf("  cluster %d: %8.0f points\n", g, size)
+	}
+	fmt.Println("moves per iteration:", res.Moves)
+
+	// The cached assignment vector is an ordinary tall matrix; use it with
+	// other GenOps, e.g. a histogram via table().
+	keys, counts, err := flashr.TableOf(res.Assign)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("table(assignments): %d distinct clusters, largest %d\n", len(keys), maxOf(counts))
+	res.Assign.Free()
+}
+
+func maxOf(v []int64) int64 {
+	var m int64
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

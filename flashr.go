@@ -1,0 +1,7 @@
+package flashr
+
+// Version identifies this reproduction build of FlashR.
+const Version = "1.0.0"
+
+// Paper is the citation for the reproduced system.
+const Paper = "Zheng et al., FlashR: Parallelize and Scale R for Machine Learning using SSDs, PPoPP 2018"

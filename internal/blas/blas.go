@@ -1,0 +1,219 @@
+// Package blas provides the dense floating-point kernels FlashR delegates
+// floating-point matrix multiplication to (Table 2 of the paper routes f64
+// `%*%` to BLAS and integer `%*%` to the generalized inner-product GenOp).
+// The paper links ATLAS; under the stdlib-only constraint this package
+// implements the needed subset from scratch: cache-blocked, goroutine-
+// parallel GEMM and SYRK plus the level-1 routines used around them.
+//
+// All matrices are row-major. Kernels block over 64×64 tiles with an inner
+// k-panel, which keeps the working set inside L1/L2 — the same design point
+// as the engine's Pcache partitions.
+package blas
+
+import (
+	"runtime"
+	"sync"
+)
+
+// tile is the blocking factor for the level-3 kernels. 64×64 float64 tiles
+// are 32 KiB, matching a typical L1 data cache.
+const tile = 64
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	var s float64
+	n := len(x)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s += x[i]*y[i] + x[i+1]*y[i+1] + x[i+2]*y[i+2] + x[i+3]*y[i+3]
+	}
+	for ; i < n; i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x.
+func Axpy(alpha float64, x, y []float64) {
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scal scales x by alpha in place.
+func Scal(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Nrm2 returns the Euclidean norm of x.
+func Nrm2(x []float64) float64 {
+	return sqrt(Dot(x, x))
+}
+
+func sqrt(v float64) float64 {
+	// Newton iterations seeded by a float bit trick are avoided; math.Sqrt
+	// compiles to a single instruction and math is stdlib.
+	return mathSqrt(v)
+}
+
+// Gemm computes C += A * B where A is m×k, B is k×n, C is m×n, all
+// row-major. It runs serially; use ParallelGemm to split across workers.
+func Gemm(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	if n == 1 && ldb == 1 {
+		// GEMV fast path: B is a contiguous column vector.
+		col := b[:k]
+		for i := 0; i < m; i++ {
+			c[i*ldc] += Dot(a[i*lda:i*lda+k], col)
+		}
+		return
+	}
+	gemmRange(0, m, n, k, a, lda, b, ldb, c, ldc)
+}
+
+// gemmRange computes rows [r0,r1) of C += A*B with tiling over all three
+// dimensions.
+func gemmRange(r0, r1, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for i0 := r0; i0 < r1; i0 += tile {
+		iMax := min(i0+tile, r1)
+		for k0 := 0; k0 < k; k0 += tile {
+			kMax := min(k0+tile, k)
+			for j0 := 0; j0 < n; j0 += tile {
+				jMax := min(j0+tile, n)
+				microKernel(i0, iMax, j0, jMax, k0, kMax, a, lda, b, ldb, c, ldc)
+			}
+		}
+	}
+}
+
+// microKernel is the innermost tile product, written so the compiler keeps
+// the accumulator rows in registers: for each (i,kk) it streams a row of B.
+func microKernel(i0, iMax, j0, jMax, k0, kMax int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for i := i0; i < iMax; i++ {
+		arow := a[i*lda : i*lda+kMax]
+		crow := c[i*ldc+j0 : i*ldc+jMax]
+		for kk := k0; kk < kMax; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b[kk*ldb+j0 : kk*ldb+jMax]
+			for j := range brow {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// ParallelGemm computes C += A*B splitting rows of A/C across workers
+// goroutines (workers<=0 selects GOMAXPROCS).
+func ParallelGemm(workers, m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 || m < 2*tile {
+		Gemm(m, n, k, a, lda, b, ldb, c, ldc)
+		return
+	}
+	var wg sync.WaitGroup
+	step := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		r0 := w * step
+		r1 := min(r0+step, m)
+		if r0 >= r1 {
+			break
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			gemmRange(r0, r1, n, k, a, lda, b, ldb, c, ldc)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+// GemmTA computes C += Aᵀ * B where A is m×k, B is m×n and C is k×n; this is
+// the crossprod kernel (t(X) %*% Y) the engine accumulates per partition.
+func GemmTA(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	if n == 1 && ldc == 1 {
+		// Gradient-shaped crossprod t(X) %*% r: one AXPY per row.
+		col := c[:k]
+		for i := 0; i < m; i++ {
+			bv := b[i*ldb]
+			if bv == 0 {
+				continue
+			}
+			Axpy(bv, a[i*lda:i*lda+k], col)
+		}
+		return
+	}
+	for i0 := 0; i0 < m; i0 += tile {
+		iMax := min(i0+tile, m)
+		for i := i0; i < iMax; i++ {
+			arow := a[i*lda : i*lda+k]
+			brow := b[i*ldb : i*ldb+n]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				crow := c[p*ldc : p*ldc+n]
+				for j := 0; j < n; j++ {
+					crow[j] += av * brow[j]
+				}
+			}
+		}
+	}
+}
+
+// GemmTB computes C += A * Bᵀ where A is m×k, B is n×k and C is m×n. This is
+// the kernel for X %*% t(C) with a small right operand (e.g. distances to
+// cluster centers in k-means before generalization).
+func GemmTB(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*lda : i*lda+k]
+		crow := c[i*ldc : i*ldc+n]
+		for j := 0; j < n; j++ {
+			crow[j] += Dot(arow, b[j*ldb:j*ldb+k])
+		}
+	}
+}
+
+// Syrk computes C += Aᵀ*A for row-major m×k A into k×k C, using symmetry to
+// halve the flops and mirroring the result.
+func Syrk(m, k int, a []float64, lda int, c []float64, ldc int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*lda : i*lda+k]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			crow := c[p*ldc : p*ldc+k]
+			for j := p; j < k; j++ {
+				crow[j] += av * arow[j]
+			}
+		}
+	}
+}
+
+// SymmetrizeLower copies the upper triangle of a k×k matrix into the lower
+// triangle (completing a Syrk result).
+func SymmetrizeLower(k int, c []float64, ldc int) {
+	for i := 1; i < k; i++ {
+		for j := 0; j < i; j++ {
+			c[i*ldc+j] = c[j*ldc+i]
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

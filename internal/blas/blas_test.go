@@ -1,0 +1,149 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func naiveGemm(m, n, k int, a, b, c []float64) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				s += a[i*k+p] * b[p*n+j]
+			}
+			c[i*n+j] += s
+		}
+	}
+}
+
+func randSlice(rng *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+	}
+	return s
+}
+
+func maxDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TestGemmMatchesNaive property-tests the blocked kernel against the triple
+// loop over random shapes, including non-multiples of the tile size.
+func TestGemmMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n, k := 1+rng.Intn(150), 1+rng.Intn(150), 1+rng.Intn(150)
+		a := randSlice(rng, m*k)
+		b := randSlice(rng, k*n)
+		got := make([]float64, m*n)
+		want := make([]float64, m*n)
+		Gemm(m, n, k, a, k, b, n, got, n)
+		naiveGemm(m, n, k, a, b, want)
+		return maxDiff(got, want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelGemmMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m, n, k := 300, 90, 110
+	a := randSlice(rng, m*k)
+	b := randSlice(rng, k*n)
+	serial := make([]float64, m*n)
+	par := make([]float64, m*n)
+	Gemm(m, n, k, a, k, b, n, serial, n)
+	ParallelGemm(4, m, n, k, a, k, b, n, par, n)
+	if d := maxDiff(serial, par); d > 1e-9 {
+		t.Fatalf("parallel differs by %g", d)
+	}
+}
+
+func TestGemmTA(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m, n, k := 120, 7, 9 // A is m×k, B is m×n, C is k×n
+	a := randSlice(rng, m*k)
+	b := randSlice(rng, m*n)
+	got := make([]float64, k*n)
+	GemmTA(m, n, k, a, k, b, n, got, n)
+	want := make([]float64, k*n)
+	for i := 0; i < m; i++ {
+		for p := 0; p < k; p++ {
+			for j := 0; j < n; j++ {
+				want[p*n+j] += a[i*k+p] * b[i*n+j]
+			}
+		}
+	}
+	if d := maxDiff(got, want); d > 1e-9 {
+		t.Fatalf("GemmTA differs by %g", d)
+	}
+}
+
+func TestGemmTB(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m, n, k := 80, 11, 6 // A m×k, B n×k, C m×n
+	a := randSlice(rng, m*k)
+	b := randSlice(rng, n*k)
+	got := make([]float64, m*n)
+	GemmTB(m, n, k, a, k, b, k, got, n)
+	want := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			for p := 0; p < k; p++ {
+				want[i*n+j] += a[i*k+p] * b[j*k+p]
+			}
+		}
+	}
+	if d := maxDiff(got, want); d > 1e-9 {
+		t.Fatalf("GemmTB differs by %g", d)
+	}
+}
+
+func TestSyrk(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m, k := 100, 13
+	a := randSlice(rng, m*k)
+	got := make([]float64, k*k)
+	Syrk(m, k, a, k, got, k)
+	SymmetrizeLower(k, got, k)
+	want := make([]float64, k*k)
+	GemmTA(m, k, k, a, k, a, k, want, k)
+	if d := maxDiff(got, want); d > 1e-9 {
+		t.Fatalf("Syrk differs from GemmTA by %g", d)
+	}
+}
+
+func TestLevel1(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if got := Dot(x, y); got != 32 {
+		t.Fatalf("Dot=%g", got)
+	}
+	if got := Nrm2([]float64{3, 4}); got != 5 {
+		t.Fatalf("Nrm2=%g", got)
+	}
+	Axpy(2, x, y)
+	if y[0] != 6 || y[1] != 9 || y[2] != 12 {
+		t.Fatalf("Axpy=%v", y)
+	}
+	Scal(0.5, y)
+	if y[0] != 3 || y[1] != 4.5 || y[2] != 6 {
+		t.Fatalf("Scal=%v", y)
+	}
+	// Unrolled Dot tail handling.
+	a := []float64{1, 1, 1, 1, 1, 1, 1}
+	if got := Dot(a, a); got != 7 {
+		t.Fatalf("Dot tail=%g", got)
+	}
+}

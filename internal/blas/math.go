@@ -1,0 +1,6 @@
+package blas
+
+import "math"
+
+// mathSqrt indirects math.Sqrt so the hot path in Nrm2 stays inlinable.
+func mathSqrt(v float64) float64 { return math.Sqrt(v) }

@@ -1,0 +1,104 @@
+// Package cluster simulates distributed execution of the eager baselines
+// for the paper's cloud experiment (Fig. 7b): Spark MLlib and H2O running on
+// a cluster of four m4.16xlarge instances (256 vCPUs total, 20 Gbps
+// network) against FlashR on a single i3.16xlarge.
+//
+// Real multi-node hardware is unavailable, so this package implements a
+// documented cost model on top of real measured execution:
+//
+//	T_cluster = T_compute / (1 + (Nodes−1)·Efficiency)
+//	          + ReduceOps × RoundTripLatency
+//	          + ShuffleBytes × 2·Nodes / Bandwidth
+//
+// The compute term scales with a documented parallel efficiency; the
+// network terms charge what distributed dataflow engines actually pay — a
+// stage barrier per aggregation boundary (tens of milliseconds in Spark,
+// per the COST critique [McSherry et al., HotOS'15] the paper cites) plus
+// the partial-aggregate traffic. This reproduces Fig. 7b's point: the
+// per-operation materialization engines pay a coordination cost per op that
+// a single fat SSD node does not.
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/eager"
+)
+
+// Config describes the simulated cluster.
+type Config struct {
+	// Nodes in the cluster (the paper uses 4 m4.16xlarge).
+	Nodes int
+	// BandwidthGbps is the inter-node network bandwidth (20 Gbps in the
+	// paper's cluster).
+	BandwidthGbps float64
+	// RoundTripLatency is the per-synchronization-round cost: scheduler
+	// dispatch, task serialization, and the stage barrier. Measured Spark
+	// stage overheads are tens of milliseconds (the "COST" critique the
+	// paper cites [McSherry et al., HotOS'15] documents exactly these
+	// constants); 50 ms is mid-range.
+	RoundTripLatency time.Duration
+	// Efficiency is the parallel efficiency per added node (data-parallel
+	// engines scale sublinearly due to stragglers, skew and coordination;
+	// 0.6–0.8 is typical for Spark ML workloads). Effective speedup =
+	// 1 + (Nodes-1)·Efficiency.
+	Efficiency float64
+}
+
+// DefaultConfig matches the paper's cloud setup with documented engine
+// constants.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:            4,
+		BandwidthGbps:    20,
+		RoundTripLatency: 50 * time.Millisecond,
+		Efficiency:       0.7,
+	}
+}
+
+// Result reports a simulated distributed run.
+type Result struct {
+	MeasuredCompute time.Duration // single-machine wall time of the algorithm
+	ComputeTime     time.Duration // compute term after perfect node scaling
+	NetworkTime     time.Duration // synchronization + shuffle traffic
+	Total           time.Duration
+	ReduceRounds    int64
+	ShuffleBytes    int64
+}
+
+// Run executes body (an algorithm on the given eager engine), measures its
+// single-machine wall time and its shuffle/reduce counters, and applies the
+// cluster cost model.
+func Run(cfg Config, eng *eager.Engine, body func()) Result {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	startReduce := eng.Stats.ReduceOps.Load()
+	startShuffle := eng.Stats.ShuffleBytes.Load()
+	t0 := time.Now()
+	body()
+	elapsed := time.Since(t0)
+	rounds := eng.Stats.ReduceOps.Load() - startReduce
+	shuffle := eng.Stats.ShuffleBytes.Load() - startShuffle
+
+	eff := cfg.Efficiency
+	if eff <= 0 || eff > 1 {
+		eff = 1
+	}
+	speedup := 1 + float64(cfg.Nodes-1)*eff
+	res := Result{
+		MeasuredCompute: elapsed,
+		ComputeTime:     time.Duration(float64(elapsed) / speedup),
+		ReduceRounds:    rounds,
+		ShuffleBytes:    shuffle,
+	}
+	// Each reduce boundary costs one synchronization round; every node
+	// ships its partial to the driver (all-to-one), and broadcast back.
+	bytesPerSec := cfg.BandwidthGbps * 1e9 / 8
+	perRoundBytes := float64(shuffle) * float64(cfg.Nodes) * 2
+	net := time.Duration(float64(rounds))*cfg.RoundTripLatency +
+		time.Duration(perRoundBytes/bytesPerSec*float64(time.Second))
+	res.NetworkTime = net
+	res.Total = res.ComputeTime + res.NetworkTime
+	return res
+}

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/dense"
+	"repro/internal/eager"
+)
+
+func TestCostModelAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := dense.New(2000, 8)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	e := eager.New(eager.StyleMLlib, 2)
+	cfg := DefaultConfig()
+	res := Run(cfg, e, func() {
+		e.Correlation(x) // crossprod + colsums: 2 reduce boundaries
+	})
+	if res.ReduceRounds != 2 {
+		t.Fatalf("reduce rounds %d, want 2", res.ReduceRounds)
+	}
+	if res.ShuffleBytes == 0 {
+		t.Fatal("no shuffle bytes recorded")
+	}
+	if res.ComputeTime >= res.MeasuredCompute {
+		t.Fatal("node scaling did not reduce compute term")
+	}
+	wantNet := time.Duration(res.ReduceRounds) * cfg.RoundTripLatency
+	if res.NetworkTime < wantNet {
+		t.Fatalf("network time %v below latency floor %v", res.NetworkTime, wantNet)
+	}
+	if res.Total != res.ComputeTime+res.NetworkTime {
+		t.Fatal("total mismatch")
+	}
+}
+
+func TestMoreRoundsCostMore(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := dense.New(500, 4)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	cfg := DefaultConfig()
+	e1 := eager.New(eager.StyleMLlib, 2)
+	one := Run(cfg, e1, func() { e1.ColSums(x) })
+	e2 := eager.New(eager.StyleMLlib, 2)
+	many := Run(cfg, e2, func() {
+		for i := 0; i < 10; i++ {
+			e2.ColSums(x)
+		}
+	})
+	if many.NetworkTime <= one.NetworkTime {
+		t.Fatalf("10 reduces (%v) not costlier than 1 (%v)", many.NetworkTime, one.NetworkTime)
+	}
+	if many.ReduceRounds != 10 {
+		t.Fatalf("rounds %d", many.ReduceRounds)
+	}
+}
+
+func TestSingleNodeNoScaling(t *testing.T) {
+	e := eager.New(eager.StyleH2O, 2)
+	res := Run(Config{Nodes: 1, BandwidthGbps: 20, RoundTripLatency: time.Millisecond}, e, func() {
+		time.Sleep(5 * time.Millisecond)
+	})
+	if res.ComputeTime != res.MeasuredCompute {
+		t.Fatal("single node should not scale compute")
+	}
+}

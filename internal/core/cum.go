@@ -1,0 +1,88 @@
+package core
+
+import (
+	"errors"
+	"sync"
+)
+
+// cumCoord coordinates cumulative GenOps down the partition dimension
+// (cum.col on a tall matrix, Figure 5 (j)): partition i's output depends on
+// the column accumulator ("carry") left by partition i-1. The paper
+// evaluates this with a single scan by exploiting sequential task dispatch:
+// a thread whose carry is not yet available waits; because partitions are
+// dispatched in order, some thread always holds the preceding partition and
+// progress is guaranteed. errAborted wakes waiters when the pass fails.
+type cumCoord struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	nodes []*Mat
+	// carries[id][p] is the accumulator entering partition p for cum node
+	// id; ready[p] is set once every node's carry for p is published.
+	carries map[uint64][][]float64
+	ready   []bool
+	aborted bool
+}
+
+var errAborted = errors.New("core: materialization aborted")
+
+func newCumCoord(nodes []*Mat, nparts int) *cumCoord {
+	c := &cumCoord{
+		nodes:   nodes,
+		carries: make(map[uint64][][]float64, len(nodes)),
+		ready:   make([]bool, nparts+1),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	for _, m := range nodes {
+		cs := make([][]float64, nparts+1)
+		init := make([]float64, m.ncol)
+		for j := range init {
+			init[j] = m.agg.Init
+		}
+		cs[0] = init
+		c.carries[m.id] = cs
+	}
+	c.ready[0] = true
+	return c
+}
+
+// wait blocks until partition p's carries are available and returns a
+// private copy per cum node (the worker mutates its copy while scanning the
+// partition).
+func (c *cumCoord) wait(p int) (map[uint64][]float64, error) {
+	c.mu.Lock()
+	for !c.ready[p] && !c.aborted {
+		c.cond.Wait()
+	}
+	if c.aborted {
+		c.mu.Unlock()
+		return nil, errAborted
+	}
+	out := make(map[uint64][]float64, len(c.nodes))
+	for _, m := range c.nodes {
+		out[m.id] = append([]float64(nil), c.carries[m.id][p]...)
+	}
+	c.mu.Unlock()
+	return out, nil
+}
+
+// publish records the accumulators leaving partition p-1 (= entering p) and
+// wakes waiters.
+func (c *cumCoord) publish(p int, runs map[uint64][]float64) {
+	c.mu.Lock()
+	if p < len(c.ready) {
+		for _, m := range c.nodes {
+			c.carries[m.id][p] = append([]float64(nil), runs[m.id]...)
+		}
+		c.ready[p] = true
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// abort wakes all waiters with failure.
+func (c *cumCoord) abort() {
+	c.mu.Lock()
+	c.aborted = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}

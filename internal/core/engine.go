@@ -1,0 +1,464 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dense"
+	"repro/internal/matrix"
+	"repro/internal/numa"
+	"repro/internal/safs"
+)
+
+// FuseLevel selects how aggressively the engine fuses the operations of a
+// DAG — the knob behind the Figure 10 ablation.
+type FuseLevel int8
+
+const (
+	// FuseCache is the default and the paper's full optimization: one
+	// fused pass per DAG with I/O partitions split into processor-cache
+	// (Pcache) partitions, the DAG evaluated depth-first per Pcache chunk,
+	// and chunk buffers recycled the moment their last consumer finishes.
+	FuseCache FuseLevel = iota
+	// FuseMem fuses all operations of a DAG into a single pass over the
+	// I/O partitions but materializes intermediates one whole I/O
+	// partition at a time in memory ("mem-fuse" minus "cache-fuse" in
+	// Figure 10).
+	FuseMem
+	// FuseNone materializes every matrix operation separately (one full
+	// parallel pass and one intermediate matrix per op) — the "base"
+	// configuration of Figure 10, and how Spark-style engines execute.
+	FuseNone
+)
+
+func (f FuseLevel) String() string {
+	switch f {
+	case FuseNone:
+		return "none"
+	case FuseMem:
+		return "mem-fuse"
+	case FuseCache:
+		return "cache-fuse"
+	default:
+		return fmt.Sprintf("FuseLevel(%d)", int(f))
+	}
+}
+
+// DefaultPartRows is the engine-wide I/O partition height. The paper fixes
+// the number of rows per I/O partition across all matrices ("All
+// I/O-partitions have the same number of rows regardless of the number of
+// columns", §3.2.1) so that partition i of every matrix in a DAG lines up.
+const DefaultPartRows = 1 << 14
+
+// DefaultPcacheBytes sizes Pcache partitions to fit comfortably in L1/L2.
+const DefaultPcacheBytes = 64 << 10
+
+// Config configures an execution engine.
+type Config struct {
+	// Workers is the number of parallel evaluation goroutines
+	// (0 = GOMAXPROCS).
+	Workers int
+	// Fuse selects the fusion level (default FuseCache).
+	Fuse FuseLevel
+	// Topo is the simulated NUMA topology (nil = process default).
+	Topo *numa.Topology
+	// FS is the SSD array for external-memory matrices. Required when EM
+	// is set or when leaves live on SAFS.
+	FS *safs.FS
+	// EM directs materialized tall outputs to the SSD array instead of
+	// memory (FlashR-EM vs FlashR-IM in the evaluation).
+	EM bool
+	// PartRows is the I/O partition height, a power of two
+	// (0 = DefaultPartRows).
+	PartRows int
+	// PcacheBytes bounds a Pcache partition (0 = DefaultPcacheBytes).
+	PcacheBytes int
+	// SuperParts is how many contiguous I/O partitions form one scheduler
+	// super-task at the start of a pass (0 = derived from the SAFS stripe
+	// size; the scheduler shrinks to single partitions near the end,
+	// §3.3).
+	SuperParts int
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	DAGs      atomic.Int64 // fused passes executed
+	Parts     atomic.Int64 // I/O partitions processed
+	Chunks    atomic.Int64 // Pcache chunks evaluated
+	NodesEval atomic.Int64 // virtual-matrix nodes evaluated (×chunks)
+	Passes    atomic.Int64 // total parallel passes (per-op under FuseNone)
+}
+
+// Engine materializes FlashR DAGs.
+type Engine struct {
+	cfg      Config
+	stats    Stats
+	fileSeq  atomic.Int64
+	matSeqMu sync.Mutex
+}
+
+// NewEngine validates the configuration and returns an engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Topo == nil {
+		cfg.Topo = numa.Default()
+	}
+	if cfg.PartRows == 0 {
+		cfg.PartRows = DefaultPartRows
+	}
+	if cfg.PartRows <= 0 || cfg.PartRows&(cfg.PartRows-1) != 0 {
+		return nil, fmt.Errorf("core: partition rows %d is not a power of two", cfg.PartRows)
+	}
+	if cfg.PcacheBytes == 0 {
+		cfg.PcacheBytes = DefaultPcacheBytes
+	}
+	if cfg.EM && cfg.FS == nil {
+		return nil, fmt.Errorf("core: EM engine requires an SSD array (Config.FS)")
+	}
+	if cfg.SuperParts == 0 {
+		cfg.SuperParts = 4
+		if cfg.FS != nil {
+			sp := cfg.FS.StripeBytes() / (cfg.PartRows * 8)
+			if sp > cfg.SuperParts {
+				cfg.SuperParts = sp
+			}
+			if cfg.SuperParts > 64 {
+				cfg.SuperParts = 64
+			}
+		}
+	}
+	return &Engine{cfg: cfg}, nil
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats exposes the engine counters.
+func (e *Engine) Stats() *Stats { return &e.stats }
+
+// PartRows returns the engine-wide I/O partition height.
+func (e *Engine) PartRows() int { return e.cfg.PartRows }
+
+// NewStore allocates a tall-matrix store on the engine's preferred backend
+// (SAFS when EM, memory otherwise), using a blocked layout for matrices
+// wider than matrix.BlockCols.
+func (e *Engine) NewStore(nrow int64, ncol int) (matrix.Store, error) {
+	return e.newStoreOn(nrow, ncol, e.cfg.EM)
+}
+
+// NewMemStoreFor allocates an in-memory store with the engine partitioning.
+func (e *Engine) NewMemStoreFor(nrow int64, ncol int) (matrix.Store, error) {
+	return e.newStoreOn(nrow, ncol, false)
+}
+
+func (e *Engine) newStoreOn(nrow int64, ncol int, em bool) (matrix.Store, error) {
+	if em {
+		name := fmt.Sprintf("mat-%06d", e.fileSeq.Add(1))
+		if ncol > matrix.BlockCols {
+			nb := matrix.NumBlockCols(ncol)
+			blocks := make([]matrix.Store, nb)
+			for b := 0; b < nb; b++ {
+				st, err := matrix.NewSAFSStore(e.cfg.FS, fmt.Sprintf("%s.b%02d", name, b),
+					nrow, matrix.BlockWidth(ncol, b), e.cfg.PartRows)
+				if err != nil {
+					return nil, err
+				}
+				blocks[b] = st
+			}
+			return matrix.NewBlockedStore(blocks)
+		}
+		return matrix.NewSAFSStore(e.cfg.FS, name, nrow, ncol, e.cfg.PartRows)
+	}
+	// In-memory matrices stay flat row-major regardless of width: the
+	// 32-column block format exists for 2-D partitioning of SSD-resident
+	// matrices (column-subset I/O); in memory the zero-copy flat layout
+	// wins and the Pcache chunking already provides the cache blocking.
+	return matrix.NewMemStore(e.cfg.Topo, nrow, ncol, e.cfg.PartRows, matrix.RowMajor)
+}
+
+// Generate creates a materialized tall matrix by filling partitions in
+// parallel: fill receives the partition index, its starting row, and a
+// row-major rows×ncol buffer to populate. Used by runif.matrix/rnorm.matrix
+// and the workload generators.
+func (e *Engine) Generate(nrow int64, ncol int, dt matrix.DType, fill func(part int, startRow int64, rows int, buf []float64)) (*Mat, error) {
+	st, err := e.NewStore(nrow, ncol)
+	if err != nil {
+		return nil, err
+	}
+	nparts := st.NumParts()
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	errs := make([]error, e.cfg.Workers)
+	for w := 0; w < e.cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]float64, e.cfg.PartRows*ncol)
+			for {
+				p := int(next.Add(1) - 1)
+				if p >= nparts {
+					return
+				}
+				rows := matrix.PartRowsOf(nrow, e.cfg.PartRows, p)
+				start := int64(p) * int64(e.cfg.PartRows)
+				fill(p, start, rows, buf[:rows*ncol])
+				if err := st.WritePart(p, buf[:rows*ncol]); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			st.Free()
+			return nil, err
+		}
+	}
+	return NewLeaf(st, dt), nil
+}
+
+// FromDense materializes an in-memory dense matrix as a tall leaf.
+func (e *Engine) FromDense(d *dense.Dense) (*Mat, error) {
+	return e.Generate(int64(d.R), d.C, matrix.F64, func(part int, start int64, rows int, buf []float64) {
+		copy(buf, d.Data[int(start)*d.C:(int(start)+rows)*d.C])
+	})
+}
+
+// ToDense materializes m if needed and gathers it into memory. Intended for
+// small results and tests; it is the engine half of R's as.matrix.
+func (e *Engine) ToDense(m *Mat) (*dense.Dense, error) {
+	if !m.Materialized() {
+		if err := e.Materialize([]*Mat{m}, nil); err != nil {
+			return nil, err
+		}
+	}
+	st := m.Store()
+	out := dense.New(int(m.nrow), m.ncol)
+	buf := make([]float64, st.PartRows()*m.ncol)
+	for p := 0; p < st.NumParts(); p++ {
+		rows := matrix.PartRowsOf(m.nrow, st.PartRows(), p)
+		if err := st.ReadPart(p, buf[:rows*m.ncol]); err != nil {
+			return nil, err
+		}
+		copy(out.Data[p*st.PartRows()*m.ncol:], buf[:rows*m.ncol])
+	}
+	return out, nil
+}
+
+// Materialize computes the given tall targets and sinks. All targets must
+// share one partition dimension; nodes flagged with SetCache inside the DAG
+// are materialized alongside. Under FuseMem/FuseCache the whole DAG runs as
+// a single parallel pass over the I/O partitions; under FuseNone every
+// operation is materialized separately (§3.5 / Figure 10 "base").
+func (e *Engine) Materialize(talls []*Mat, sinks []*Sink) error {
+	// Drop already-materialized targets.
+	var mt []*Mat
+	for _, m := range talls {
+		if m != nil && !m.Materialized() {
+			mt = append(mt, m)
+		}
+	}
+	var ms []*Sink
+	for _, s := range sinks {
+		if s != nil && !s.Done() {
+			ms = append(ms, s)
+		}
+	}
+	if len(mt) == 0 && len(ms) == 0 {
+		return nil
+	}
+	d, err := buildDAG(mt, ms)
+	if err != nil {
+		return err
+	}
+	if err := e.validateDAG(d); err != nil {
+		return err
+	}
+	e.stats.DAGs.Add(1)
+	if e.cfg.Fuse == FuseNone {
+		return e.runUnfused(d)
+	}
+	return e.runFused(d, e.cfg.Fuse)
+}
+
+// dag is the collected graph for one materialization, flattened into an
+// execution plan: every node gets a dense slot index so the per-chunk hot
+// path runs on arrays instead of hash maps.
+type dag struct {
+	talls []*Mat  // tall materialization targets (incl. cache-flagged nodes)
+	sinks []*Sink // sink targets
+	nodes []*Mat  // every reachable Mat, leaves included, in topo order (inputs first)
+	nrow  int64
+	cums  []*Mat // opCumCol nodes in the DAG
+
+	slotOf    map[uint64]int // node id → slot (== index into nodes)
+	aSlot     []int          // slot of input a per node (-1 if none)
+	bSlot     []int          // slot of input b per node (-1 if none)
+	refs      []int32        // consumer count per node
+	tallSlots []int          // slot per tall target
+	sinkASlot []int          // slot of each sink's a input
+	sinkBSlot []int          // slot of each sink's b input (-1 if none)
+}
+
+// buildDAG walks the graph from the targets, collecting nodes in topological
+// order, assigning slot indices, and counting consumers per node.
+func buildDAG(talls []*Mat, sinks []*Sink) (*dag, error) {
+	d := &dag{slotOf: make(map[uint64]int)}
+	var visit func(m *Mat) error
+	visit = func(m *Mat) error {
+		if m == nil {
+			return nil
+		}
+		if _, ok := d.slotOf[m.id]; ok {
+			return nil
+		}
+		// Mark before recursion; inputs carry distinct ids so the
+		// placeholder value is fixed up right after.
+		d.slotOf[m.id] = -1
+		if !m.Materialized() {
+			if err := visit(m.a); err != nil {
+				return err
+			}
+			if err := visit(m.b); err != nil {
+				return err
+			}
+			if m.kind == opCumCol {
+				d.cums = append(d.cums, m)
+			}
+			m.mu.Lock()
+			cached := m.cache
+			m.mu.Unlock()
+			if cached {
+				d.talls = append(d.talls, m)
+			}
+		}
+		d.slotOf[m.id] = len(d.nodes)
+		d.nodes = append(d.nodes, m)
+		return nil
+	}
+	for _, m := range talls {
+		if err := visit(m); err != nil {
+			return nil, err
+		}
+		d.talls = append(d.talls, m)
+	}
+	for _, s := range sinks {
+		if err := visit(s.a); err != nil {
+			return nil, err
+		}
+		if err := visit(s.b); err != nil {
+			return nil, err
+		}
+		d.sinks = append(d.sinks, s)
+	}
+	// Dedup talls (a node may be both explicit target and cache-flagged).
+	dedup := d.talls[:0]
+	seenT := map[uint64]bool{}
+	for _, m := range d.talls {
+		if !seenT[m.id] && !m.Materialized() {
+			seenT[m.id] = true
+			dedup = append(dedup, m)
+		}
+	}
+	d.talls = dedup
+	// Flatten to the execution plan.
+	n := len(d.nodes)
+	d.aSlot = make([]int, n)
+	d.bSlot = make([]int, n)
+	d.refs = make([]int32, n)
+	for i, m := range d.nodes {
+		d.aSlot[i], d.bSlot[i] = -1, -1
+		if m.Materialized() {
+			continue
+		}
+		if m.a != nil {
+			s := d.slotOf[m.a.id]
+			d.aSlot[i] = s
+			d.refs[s]++
+		}
+		if m.b != nil {
+			s := d.slotOf[m.b.id]
+			d.bSlot[i] = s
+			d.refs[s]++
+		}
+	}
+	for _, s := range d.sinks {
+		sa := d.slotOf[s.a.id]
+		d.refs[sa]++
+		d.sinkASlot = append(d.sinkASlot, sa)
+		if s.b != nil {
+			sb := d.slotOf[s.b.id]
+			d.refs[sb]++
+			d.sinkBSlot = append(d.sinkBSlot, sb)
+		} else {
+			d.sinkBSlot = append(d.sinkBSlot, -1)
+		}
+	}
+	for _, m := range d.talls {
+		slot := d.slotOf[m.id]
+		d.refs[slot]++
+		d.tallSlots = append(d.tallSlots, slot)
+	}
+	return d, nil
+}
+
+// validateDAG checks the single-partition-dimension invariant (§3.5: "all
+// matrices in a DAG except sink matrices share the same partition dimension
+// and the same I/O partition size").
+func (e *Engine) validateDAG(d *dag) error {
+	d.nrow = -1
+	for _, m := range d.nodes {
+		if d.nrow == -1 {
+			d.nrow = m.nrow
+		}
+		if m.nrow != d.nrow {
+			return fmt.Errorf("core: DAG mixes partition dimensions %d and %d", d.nrow, m.nrow)
+		}
+		if st := m.Store(); st != nil && st.PartRows() != e.cfg.PartRows {
+			return fmt.Errorf("core: leaf %d has partition height %d, engine uses %d",
+				m.id, st.PartRows(), e.cfg.PartRows)
+		}
+	}
+	if d.nrow < 0 {
+		return fmt.Errorf("core: empty DAG")
+	}
+	return nil
+}
+
+// runUnfused materializes every non-leaf node separately in topological
+// order, then evaluates sinks over materialized inputs — one parallel pass
+// and one intermediate matrix per operation.
+func (e *Engine) runUnfused(d *dag) error {
+	for _, m := range d.nodes {
+		if m.Materialized() || m.kind == opConst {
+			continue
+		}
+		sd, err := buildDAG([]*Mat{m}, nil)
+		if err != nil {
+			return err
+		}
+		sd.nrow = d.nrow
+		if err := e.runFused(sd, FuseMem); err != nil {
+			return err
+		}
+	}
+	// Every aggregation materializes in its own pass too ("Spark
+	// materializes operations such as aggregation separately", §4.3).
+	for _, s := range d.sinks {
+		sd, err := buildDAG(nil, []*Sink{s})
+		if err != nil {
+			return err
+		}
+		sd.nrow = d.nrow
+		if err := e.runFused(sd, FuseMem); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,789 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/blas"
+	"repro/internal/matrix"
+	"repro/internal/safs"
+)
+
+// partInfo describes one I/O partition of the DAG's partition dimension.
+type partInfo struct {
+	idx      int
+	rows     int
+	startRow int64
+}
+
+// taskRange is one scheduler dispatch unit: a contiguous run of I/O
+// partitions. The scheduler hands out multi-partition ranges first (matched
+// to the SAFS stripe so one range is one large sequential I/O) and single
+// partitions near the end of the pass for load balance (§3.3).
+type taskRange struct{ lo, hi int }
+
+// runState carries everything shared by the workers of one fused pass.
+type runState struct {
+	e         *Engine
+	d         *dag
+	fuse      FuseLevel
+	nparts    int
+	chunkRows int
+	outStores []matrix.Store // per tall target
+	leafSlots []int          // slots of store-backed nodes
+	tasks     []taskRange
+	taskNext  atomic.Int64
+	cum       *cumCoord
+
+	errMu  sync.Mutex
+	err    error
+	failed atomic.Bool
+}
+
+func (rs *runState) fail(err error) {
+	rs.errMu.Lock()
+	if rs.err == nil {
+		rs.err = err
+	}
+	rs.errMu.Unlock()
+	rs.failed.Store(true)
+	if rs.cum != nil {
+		rs.cum.abort()
+	}
+}
+
+// runFused executes the whole DAG in a single parallel pass at the given
+// fusion level.
+func (e *Engine) runFused(d *dag, fuse FuseLevel) error {
+	e.stats.Passes.Add(1)
+	rs := &runState{e: e, d: d, fuse: fuse}
+	rs.nparts = matrix.NumParts(d.nrow, e.cfg.PartRows)
+	rs.chunkRows = e.chunkRowsFor(d, fuse)
+	rs.outStores = make([]matrix.Store, len(d.talls))
+	for i, m := range d.talls {
+		em := e.cfg.EM
+		m.mu.Lock()
+		// set.cache(..., em=TRUE) caches on SSDs when an array is
+		// attached; without one the cache falls back to memory.
+		if m.cache && m.cacheEM && e.cfg.FS != nil {
+			em = true
+		}
+		m.mu.Unlock()
+		st, err := e.newStoreOn(m.nrow, m.ncol, em)
+		if err != nil {
+			return err
+		}
+		rs.outStores[i] = st
+	}
+	for slot, m := range d.nodes {
+		if m.Materialized() {
+			rs.leafSlots = append(rs.leafSlots, slot)
+		}
+	}
+	if len(d.cums) > 0 {
+		rs.cum = newCumCoord(d.cums, rs.nparts)
+	}
+	rs.tasks = buildTasks(rs.nparts, e.cfg.SuperParts, e.cfg.Workers)
+
+	nw := e.cfg.Workers
+	if nw > rs.nparts {
+		nw = rs.nparts
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	var wg sync.WaitGroup
+	workers := make([]*worker, nw)
+	for i := 0; i < nw; i++ {
+		workers[i] = newWorker(rs, i, nw)
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.run()
+		}(workers[i])
+	}
+	wg.Wait()
+	if rs.err != nil {
+		for _, st := range rs.outStores {
+			st.Free()
+		}
+		return rs.err
+	}
+	// Merge per-worker sink partials and publish results.
+	for si, s := range d.sinks {
+		global := newSinkAcc(s)
+		for _, w := range workers {
+			global.merge(w.sinks[si])
+		}
+		global.finish(s)
+	}
+	// Publish tall-target stores.
+	for i, m := range d.talls {
+		m.mu.Lock()
+		m.store = rs.outStores[i]
+		m.mu.Unlock()
+	}
+	return nil
+}
+
+// chunkRowsFor sizes a Pcache partition: small enough that one chunk of the
+// widest matrix in the DAG fits the Pcache budget; FuseMem evaluates whole
+// I/O partitions.
+func (e *Engine) chunkRowsFor(d *dag, fuse FuseLevel) int {
+	if fuse != FuseCache {
+		return e.cfg.PartRows
+	}
+	maxNcol := 1
+	for _, m := range d.nodes {
+		if m.ncol > maxNcol {
+			maxNcol = m.ncol
+		}
+	}
+	rows := e.cfg.PcacheBytes / 8 / maxNcol
+	if rows < 4 {
+		rows = 4
+	}
+	if rows > e.cfg.PartRows {
+		rows = e.cfg.PartRows
+	}
+	return rows
+}
+
+// buildTasks precomputes scheduler dispatch units: super-task ranges first,
+// then single partitions for the tail so threads finish together.
+func buildTasks(nparts, super, workers int) []taskRange {
+	if super < 1 {
+		super = 1
+	}
+	tail := workers * super
+	if tail > nparts {
+		tail = nparts
+	}
+	var tasks []taskRange
+	p := 0
+	for ; p+super <= nparts-tail; p += super {
+		tasks = append(tasks, taskRange{p, p + super})
+	}
+	for ; p < nparts; p++ {
+		tasks = append(tasks, taskRange{p, p + 1})
+	}
+	return tasks
+}
+
+// entry is one node's chunk buffer during depth-first evaluation.
+type entry struct {
+	buf   []float64
+	refs  int32
+	live  bool
+	owned bool
+}
+
+// worker evaluates partitions; it owns a buffer pool keyed by exact length
+// (chunk shapes repeat, so recycling hits nearly always — the paper's
+// fixed-chunk recycling at Pcache granularity) and a slot-indexed memo so
+// the per-chunk hot path is array arithmetic, not hashing.
+type worker struct {
+	rs    *runState
+	id    int
+	node  int // simulated NUMA node this worker is bound to
+	pool  map[int][][]float64
+	memo  []entry // indexed by slot
+	used  []int   // slots touched in the current chunk
+	sinks []*sinkAcc
+	// cumRun holds, per opCumCol node id, the running column accumulator
+	// for the partition currently being processed.
+	cumRun map[uint64][]float64
+	// leafBufs holds the full current I/O partition per leaf slot;
+	// leafOwned marks which came from the pool (vs zero-copy MemStore
+	// references that must not be recycled).
+	leafBufs  []([]float64)
+	leafOwned []bool
+	// pending holds prefetched partitions: partition → in-flight reads.
+	pending map[int]*prefetched
+}
+
+type prefetched struct {
+	bufs map[int][]float64 // slot → buffer
+	ch   chan safs.Request
+	want int
+}
+
+func newWorker(rs *runState, id, total int) *worker {
+	w := &worker{
+		rs:        rs,
+		id:        id,
+		node:      rs.e.cfg.Topo.NodeOfWorker(id, total),
+		pool:      make(map[int][][]float64),
+		memo:      make([]entry, len(rs.d.nodes)),
+		cumRun:    make(map[uint64][]float64),
+		leafBufs:  make([][]float64, len(rs.d.nodes)),
+		leafOwned: make([]bool, len(rs.d.nodes)),
+		pending:   make(map[int]*prefetched),
+	}
+	w.sinks = make([]*sinkAcc, len(rs.d.sinks))
+	for i, s := range rs.d.sinks {
+		w.sinks[i] = newSinkAcc(s)
+	}
+	return w
+}
+
+func (w *worker) get(n int) []float64 {
+	if bs := w.pool[n]; len(bs) > 0 {
+		b := bs[len(bs)-1]
+		w.pool[n] = bs[:len(bs)-1]
+		return b
+	}
+	return make([]float64, n)
+}
+
+func (w *worker) put(b []float64) {
+	w.pool[len(b)] = append(w.pool[len(b)], b)
+}
+
+func (w *worker) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			w.rs.fail(fmt.Errorf("core: worker %d panic: %v", w.id, r))
+		}
+	}()
+	for {
+		if w.rs.failed.Load() {
+			return
+		}
+		t := int(w.rs.taskNext.Add(1) - 1)
+		if t >= len(w.rs.tasks) {
+			return
+		}
+		tr := w.rs.tasks[t]
+		// Issue read-ahead for the first partition of the range; each
+		// partition then prefetches its successor before computing.
+		w.prefetch(tr.lo)
+		for p := tr.lo; p < tr.hi; p++ {
+			if w.rs.failed.Load() {
+				return
+			}
+			if p+1 < tr.hi {
+				w.prefetch(p + 1)
+			}
+			if err := w.processPartition(p); err != nil {
+				w.rs.fail(err)
+				return
+			}
+		}
+	}
+}
+
+// prefetch issues asynchronous SAFS reads for every flat-SAFS leaf of
+// partition p. Blocked and in-memory leaves are read synchronously at use
+// time.
+func (w *worker) prefetch(p int) {
+	if _, ok := w.pending[p]; ok {
+		return
+	}
+	pf := &prefetched{bufs: make(map[int][]float64)}
+	for _, slot := range w.rs.leafSlots {
+		m := w.rs.d.nodes[slot]
+		st, ok := m.Store().(*matrix.SAFSStore)
+		if !ok {
+			continue
+		}
+		rows := matrix.PartRowsOf(m.nrow, w.rs.e.cfg.PartRows, p)
+		buf := w.get(rows * m.ncol)
+		if pf.ch == nil {
+			pf.ch = make(chan safs.Request, len(w.rs.leafSlots))
+		}
+		if err := st.ReadPartAsync(p, buf, slot, pf.ch); err != nil {
+			// Fall back to a synchronous read at use time.
+			w.put(buf)
+			continue
+		}
+		pf.bufs[slot] = buf
+		pf.want++
+	}
+	if pf.want > 0 {
+		w.pending[p] = pf
+	}
+}
+
+// takePrefetched waits for partition p's async reads, returning the buffer
+// map (nil when nothing was prefetched).
+func (w *worker) takePrefetched(p int) (map[int][]float64, error) {
+	pf, ok := w.pending[p]
+	if !ok {
+		return nil, nil
+	}
+	delete(w.pending, p)
+	var firstErr error
+	for i := 0; i < pf.want; i++ {
+		req := <-pf.ch
+		if req.Err != nil && firstErr == nil {
+			firstErr = req.Err
+		}
+	}
+	if firstErr != nil {
+		for _, b := range pf.bufs {
+			w.put(b)
+		}
+		return nil, firstErr
+	}
+	return pf.bufs, nil
+}
+
+func (w *worker) processPartition(p int) error {
+	rs := w.rs
+	e := rs.e
+	rows := matrix.PartRowsOf(rs.d.nrow, e.cfg.PartRows, p)
+	if rows == 0 {
+		return nil
+	}
+	pi := partInfo{idx: p, rows: rows, startRow: int64(p) * int64(e.cfg.PartRows)}
+	partNode := e.cfg.Topo.NodeOfPart(p)
+
+	// 1. Leaf partitions into memory (prefetched where possible).
+	pfBufs, err := w.takePrefetched(p)
+	if err != nil {
+		return err
+	}
+	for _, slot := range rs.leafSlots {
+		m := rs.d.nodes[slot]
+		e.cfg.Topo.RecordAccess(w.node, partNode)
+		if buf, ok := pfBufs[slot]; ok {
+			w.leafBufs[slot] = buf
+			w.leafOwned[slot] = true
+			continue
+		}
+		st := m.Store()
+		// Zero-copy fast path for row-major in-memory partitions.
+		if ms, ok := st.(*matrix.MemStore); ok {
+			if ref, ok := ms.PartRef(p); ok {
+				w.leafBufs[slot] = ref
+				w.leafOwned[slot] = false
+				continue
+			}
+		}
+		buf := w.get(rows * m.ncol)
+		if err := st.ReadPart(p, buf); err != nil {
+			w.put(buf)
+			return fmt.Errorf("core: reading leaf %d partition %d: %w", m.id, p, err)
+		}
+		w.leafBufs[slot] = buf
+		w.leafOwned[slot] = true
+	}
+
+	// 2. Cumulative carries: wait for partition p's carry vectors (§3.3(j)).
+	if rs.cum != nil {
+		carries, err := rs.cum.wait(p)
+		if err != nil {
+			return err
+		}
+		for id, c := range carries {
+			w.cumRun[id] = c
+		}
+	}
+
+	// 3. Output partition buffers for tall targets.
+	outBufs := make([][]float64, len(rs.d.talls))
+	for i, m := range rs.d.talls {
+		outBufs[i] = w.get(rows * m.ncol)
+	}
+
+	// 4. Pcache chunk loop: depth-first DAG evaluation per chunk.
+	for r0 := 0; r0 < rows; r0 += rs.chunkRows {
+		cr := rs.chunkRows
+		if r0+cr > rows {
+			cr = rows - r0
+		}
+		for i, slot := range rs.d.tallSlots {
+			m := rs.d.talls[i]
+			buf := w.use(slot, pi, r0, cr)
+			copy(outBufs[i][r0*m.ncol:(r0+cr)*m.ncol], buf[:cr*m.ncol])
+			w.done(slot)
+		}
+		for si, acc := range w.sinks {
+			acc.accumulate(w, rs.d.sinkASlot[si], rs.d.sinkBSlot[si], pi, r0, cr)
+		}
+		if len(w.used) != 0 {
+			return fmt.Errorf("core: %d chunk buffers leaked after chunk eval", len(w.used))
+		}
+		e.stats.Chunks.Add(1)
+	}
+
+	// 5. Publish cumulative carries for partition p+1.
+	if rs.cum != nil {
+		rs.cum.publish(p+1, w.cumRun)
+	}
+
+	// 6. Write tall-target partitions and recycle buffers.
+	for i, m := range rs.d.talls {
+		buf := outBufs[i]
+		if err := rs.outStores[i].WritePart(p, buf[:rows*m.ncol]); err != nil {
+			return fmt.Errorf("core: writing target %d partition %d: %w", m.id, p, err)
+		}
+		w.put(buf)
+	}
+	for _, slot := range rs.leafSlots {
+		if w.leafOwned[slot] {
+			w.put(w.leafBufs[slot])
+		}
+		w.leafBufs[slot] = nil
+		w.leafOwned[slot] = false
+	}
+	e.stats.Parts.Add(1)
+	return nil
+}
+
+// use returns node slot's chunk [r0, r0+cr) of partition pi, evaluating it
+// (and transitively its inputs) if this is the first consumer in the current
+// chunk. Every use must be paired with done.
+func (w *worker) use(slot int, pi partInfo, r0, cr int) []float64 {
+	ent := &w.memo[slot]
+	if ent.live {
+		return ent.buf
+	}
+	buf, owned := w.eval(slot, pi, r0, cr)
+	ent.buf = buf
+	ent.owned = owned
+	ent.live = true
+	ent.refs = w.rs.d.refs[slot]
+	if ent.refs == 0 {
+		// A root evaluated directly (no registered consumers).
+		ent.refs = 1
+	}
+	w.used = append(w.used, slot)
+	w.rs.e.stats.NodesEval.Add(1)
+	return ent.buf
+}
+
+// done releases one reference on a slot's chunk buffer; the buffer returns
+// to the pool (and becomes the next op's output, already cache-hot) when its
+// last consumer finishes.
+func (w *worker) done(slot int) {
+	ent := &w.memo[slot]
+	if !ent.live {
+		panic(fmt.Sprintf("core: done(%d) without use", slot))
+	}
+	ent.refs--
+	if ent.refs <= 0 {
+		if ent.owned {
+			w.put(ent.buf)
+		}
+		ent.live = false
+		ent.buf = nil
+		for i, s := range w.used {
+			if s == slot {
+				w.used = append(w.used[:i], w.used[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// eval computes one Pcache chunk of the node at slot, returning the buffer
+// and whether the worker owns it (pool-recyclable).
+func (w *worker) eval(slot int, pi partInfo, r0, cr int) ([]float64, bool) {
+	m := w.rs.d.nodes[slot]
+	if lb := w.leafBufs[slot]; lb != nil {
+		return lb[r0*m.ncol : (r0+cr)*m.ncol], false
+	}
+	if m.Materialized() {
+		panic(fmt.Sprintf("core: leaf %d partition not loaded", m.id))
+	}
+	aSlot, bSlot := w.rs.d.aSlot[slot], w.rs.d.bSlot[slot]
+	switch m.kind {
+	case opConst:
+		out := w.get(cr * m.ncol)
+		v := m.vec[0]
+		for i := range out {
+			out[i] = v
+		}
+		return out, true
+
+	case opSapply:
+		in := w.use(aSlot, pi, r0, cr)
+		out := w.get(cr * m.ncol)
+		m.un.ApplyV(out, in[:cr*m.ncol])
+		w.done(aSlot)
+		return out, true
+
+	case opMapplyMM:
+		a := w.use(aSlot, pi, r0, cr)
+		b := w.use(bSlot, pi, r0, cr)
+		out := w.get(cr * m.ncol)
+		m.bin.ApplyVV(out, a[:cr*m.ncol], b[:cr*m.ncol])
+		w.done(aSlot)
+		w.done(bSlot)
+		return out, true
+
+	case opMapplyScalar:
+		a := w.use(aSlot, pi, r0, cr)
+		out := w.get(cr * m.ncol)
+		if m.scalarLeft {
+			m.bin.ApplySV(out, m.scalar, a[:cr*m.ncol])
+		} else {
+			m.bin.ApplyVS(out, a[:cr*m.ncol], m.scalar)
+		}
+		w.done(aSlot)
+		return out, true
+
+	case opMapplyRowVec:
+		a := w.use(aSlot, pi, r0, cr)
+		out := w.get(cr * m.ncol)
+		nc := m.ncol
+		for r := 0; r < cr; r++ {
+			arow := a[r*nc : (r+1)*nc]
+			orow := out[r*nc : (r+1)*nc]
+			if m.vecLeft {
+				m.bin.ApplyVV(orow, m.vec, arow)
+			} else {
+				m.bin.ApplyVV(orow, arow, m.vec)
+			}
+		}
+		w.done(aSlot)
+		return out, true
+
+	case opMapplyColVec:
+		a := w.use(aSlot, pi, r0, cr)
+		v := w.use(bSlot, pi, r0, cr) // cr×1
+		out := w.get(cr * m.ncol)
+		nc := m.ncol
+		for r := 0; r < cr; r++ {
+			arow := a[r*nc : (r+1)*nc]
+			orow := out[r*nc : (r+1)*nc]
+			if m.vecLeft {
+				m.bin.ApplySV(orow, v[r], arow)
+			} else {
+				m.bin.ApplyVS(orow, arow, v[r])
+			}
+		}
+		w.done(aSlot)
+		w.done(bSlot)
+		return out, true
+
+	case opInnerProd:
+		a := w.use(aSlot, pi, r0, cr)
+		out := w.get(cr * m.ncol)
+		p, mm := m.small.R, m.small.C
+		switch {
+		case m.f1 == nil:
+			for i := range out[:cr*mm] {
+				out[i] = 0
+			}
+			blas.Gemm(cr, mm, p, a, p, m.small.Data, mm, out, mm)
+		case m.f1 == BinEuclid && m.f2 == BinAdd:
+			evalInnerProdEuclid(out[:cr*mm], a[:cr*p], m.smallT.Data, p, mm, cr)
+		default:
+			evalInnerProdGen(out[:cr*mm], a[:cr*p], m.small.Data, p, mm, m.f1, m.f2, cr)
+		}
+		w.done(aSlot)
+		return out, true
+
+	case opAggRow:
+		a := w.use(aSlot, pi, r0, cr)
+		out := w.get(cr)
+		nc := m.a.ncol
+		switch {
+		case m.arg == argMin:
+			for r := 0; r < cr; r++ {
+				out[r] = float64(argExtreme(a[r*nc:(r+1)*nc], true))
+			}
+		case m.arg == argMax:
+			for r := 0; r < cr; r++ {
+				out[r] = float64(argExtreme(a[r*nc:(r+1)*nc], false))
+			}
+		case m.agg == AggSum:
+			for r := 0; r < cr; r++ {
+				var s float64
+				for _, v := range a[r*nc : (r+1)*nc] {
+					s += v
+				}
+				out[r] = s
+			}
+		default:
+			f := m.agg
+			for r := 0; r < cr; r++ {
+				out[r] = f.StepV(f.Init, a[r*nc:(r+1)*nc])
+			}
+		}
+		w.done(aSlot)
+		return out, true
+
+	case opGroupByCol:
+		a := w.use(aSlot, pi, r0, cr)
+		out := w.get(cr * m.groupK)
+		nc := m.a.ncol
+		k := m.groupK
+		f := m.agg
+		for i := range out[:cr*k] {
+			out[i] = f.Init
+		}
+		if f == AggSum {
+			for r := 0; r < cr; r++ {
+				arow := a[r*nc : (r+1)*nc]
+				orow := out[r*k : (r+1)*k]
+				for j, x := range arow {
+					orow[m.colLabels[j]] += x
+				}
+			}
+		} else {
+			for r := 0; r < cr; r++ {
+				arow := a[r*nc : (r+1)*nc]
+				orow := out[r*k : (r+1)*k]
+				for j, x := range arow {
+					g := m.colLabels[j]
+					orow[g] = f.Step(orow[g], x)
+				}
+			}
+		}
+		w.done(aSlot)
+		return out, true
+
+	case opCumRow:
+		a := w.use(aSlot, pi, r0, cr)
+		out := w.get(cr * m.ncol)
+		nc := m.ncol
+		f := m.agg
+		for r := 0; r < cr; r++ {
+			run := f.Init
+			arow := a[r*nc : (r+1)*nc]
+			orow := out[r*nc : (r+1)*nc]
+			for j, x := range arow {
+				run = f.Step(run, x)
+				orow[j] = run
+			}
+		}
+		w.done(aSlot)
+		return out, true
+
+	case opCumCol:
+		a := w.use(aSlot, pi, r0, cr)
+		out := w.get(cr * m.ncol)
+		nc := m.ncol
+		f := m.agg
+		run := w.cumRun[m.id]
+		if run == nil {
+			run = make([]float64, nc)
+			for j := range run {
+				run[j] = f.Init
+			}
+			w.cumRun[m.id] = run
+		}
+		for r := 0; r < cr; r++ {
+			arow := a[r*nc : (r+1)*nc]
+			orow := out[r*nc : (r+1)*nc]
+			for j, x := range arow {
+				run[j] = f.Step(run[j], x)
+				orow[j] = run[j]
+			}
+		}
+		w.done(aSlot)
+		return out, true
+
+	case opCols:
+		a := w.use(aSlot, pi, r0, cr)
+		out := w.get(cr * m.ncol)
+		matrix.GatherCols(out, a, cr, m.a.ncol, m.cols)
+		w.done(aSlot)
+		return out, true
+
+	case opCbind:
+		a := w.use(aSlot, pi, r0, cr)
+		b := w.use(bSlot, pi, r0, cr)
+		out := w.get(cr * m.ncol)
+		nca, ncb, nc := m.a.ncol, m.b.ncol, m.ncol
+		for r := 0; r < cr; r++ {
+			copy(out[r*nc:r*nc+nca], a[r*nca:(r+1)*nca])
+			copy(out[r*nc+nca:(r+1)*nc], b[r*ncb:(r+1)*ncb])
+		}
+		w.done(aSlot)
+		w.done(bSlot)
+		return out, true
+
+	case opSetCols:
+		a := w.use(aSlot, pi, r0, cr)
+		b := w.use(bSlot, pi, r0, cr)
+		out := w.get(cr * m.ncol)
+		nc, ncb := m.ncol, m.b.ncol
+		copy(out[:cr*nc], a[:cr*nc])
+		for r := 0; r < cr; r++ {
+			brow := b[r*ncb : (r+1)*ncb]
+			orow := out[r*nc : (r+1)*nc]
+			for j, c := range m.cols {
+				orow[c] = brow[j]
+			}
+		}
+		w.done(aSlot)
+		w.done(bSlot)
+		return out, true
+
+	default:
+		panic(fmt.Sprintf("core: eval of unexpected op %v", m.kind))
+	}
+}
+
+// evalInnerProdEuclid is the specialized kernel for the k-means distance
+// computation (f1 = "euclidean", f2 = "+"): D[i,j] = Σ_k (A[i,k]-B[k,j])².
+// btData is the small operand TRANSPOSED (mm×p row-major) so each output
+// cell is one direct subtract-square pass over two contiguous p-vectors.
+func evalInnerProdEuclid(out, a, btData []float64, p, mm, cr int) {
+	for i := 0; i < cr; i++ {
+		arow := a[i*p : (i+1)*p]
+		orow := out[i*mm : (i+1)*mm]
+		for j := 0; j < mm; j++ {
+			brow := btData[j*p : (j+1)*p]
+			var s float64
+			for k, av := range arow {
+				d := av - brow[k]
+				s += d * d
+			}
+			orow[j] = s
+		}
+	}
+}
+
+// evalInnerProdGen is the generalized inner-product kernel (Table 1): for
+// each output cell C[i,j], fold f2 over t = f1(A[i,k], B[k,j]) for all k.
+// bData is the small operand, row-major p×mm. The fold identity comes from
+// the aggregation function registered under f2's name (e.g. 0 for "+").
+func evalInnerProdGen(out, a, bData []float64, p, mm int, f1, f2 *Binary, cr int) {
+	init := aggInitFor(f2)
+	for i := 0; i < cr; i++ {
+		arow := a[i*p : (i+1)*p]
+		orow := out[i*mm : (i+1)*mm]
+		for j := 0; j < mm; j++ {
+			acc := init
+			for k := 0; k < p; k++ {
+				acc = f2.F(f1.F(arow[k], bData[k*mm+j]), acc)
+			}
+			orow[j] = acc
+		}
+	}
+}
+
+// aggInitFor returns the fold identity matching a binary combiner by its R
+// name (0 for "+", 1 for "*", ±Inf for pmin/pmax), defaulting to 0.
+func aggInitFor(f *Binary) float64 {
+	switch f.Name {
+	case "*":
+		return 1
+	case "pmin", "min":
+		return AggMin.Init
+	case "pmax", "max":
+		return AggMax.Init
+	default:
+		return 0
+	}
+}
+
+// argExtreme returns the 0-based index of the min (or max) of xs.
+func argExtreme(xs []float64, wantMin bool) int {
+	best := 0
+	bv := xs[0]
+	for i, v := range xs[1:] {
+		if (wantMin && v < bv) || (!wantMin && v > bv) {
+			bv = v
+			best = i + 1
+		}
+	}
+	return best
+}

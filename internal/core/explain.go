@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the DAG rooted at a virtual matrix as an indented tree:
+// one line per node with its GenOp, shape, and materialization state. This
+// is the textual form of the paper's Figure 6(a).
+func Explain(roots ...*Mat) string {
+	var b strings.Builder
+	seen := map[uint64]bool{}
+	for _, m := range roots {
+		explainMat(&b, m, 0, seen)
+	}
+	return b.String()
+}
+
+// ExplainSink renders a sink GenOp and the DAG feeding it.
+func ExplainSink(s *Sink) string {
+	var b strings.Builder
+	state := "virtual"
+	if s.Done() {
+		state = "materialized"
+	}
+	fmt.Fprintf(&b, "%s → %dx%d sink [%s]\n", s.kind, s.rows, s.cols, state)
+	seen := map[uint64]bool{}
+	explainMat(&b, s.a, 1, seen)
+	if s.b != nil {
+		explainMat(&b, s.b, 1, seen)
+	}
+	return b.String()
+}
+
+func explainMat(b *strings.Builder, m *Mat, depth int, seen map[uint64]bool) {
+	indent := strings.Repeat("  ", depth)
+	if m == nil {
+		return
+	}
+	if seen[m.id] {
+		fmt.Fprintf(b, "%s#%d (shared, see above)\n", indent, m.id)
+		return
+	}
+	seen[m.id] = true
+	if m.Materialized() {
+		fmt.Fprintf(b, "%s#%d leaf %dx%d [%s]\n", indent, m.id, m.nrow, m.ncol, m.Store().Kind())
+		return
+	}
+	detail := ""
+	switch m.kind {
+	case opConst:
+		detail = fmt.Sprintf(" value=%g", m.vec[0])
+	case opSapply:
+		detail = " f=" + m.un.Name
+	case opMapplyMM, opMapplyColVec:
+		detail = " f=" + m.bin.Name
+	case opMapplyScalar:
+		detail = fmt.Sprintf(" f=%s s=%g", m.bin.Name, m.scalar)
+	case opMapplyRowVec:
+		detail = fmt.Sprintf(" f=%s vec[%d]", m.bin.Name, len(m.vec))
+	case opInnerProd:
+		if m.f1 == nil {
+			detail = " kernel=BLAS"
+		} else {
+			detail = fmt.Sprintf(" f1=%s f2=%s", m.f1.Name, m.f2.Name)
+		}
+	case opAggRow:
+		switch m.arg {
+		case argMin:
+			detail = " f=which.min"
+		case argMax:
+			detail = " f=which.max"
+		default:
+			detail = " f=" + m.agg.Name
+		}
+	case opGroupByCol:
+		detail = fmt.Sprintf(" f=%s k=%d", m.agg.Name, m.groupK)
+	case opCumRow, opCumCol:
+		detail = " f=" + m.agg.Name
+	case opCols, opSetCols:
+		detail = fmt.Sprintf(" cols=%v", m.cols)
+	}
+	fmt.Fprintf(b, "%s#%d %s %dx%d [virtual]%s\n", indent, m.id, m.kind, m.nrow, m.ncol, detail)
+	explainMat(b, m.a, depth+1, seen)
+	explainMat(b, m.b, depth+1, seen)
+}

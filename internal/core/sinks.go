@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/blas"
+	"repro/internal/dense"
+)
+
+// sinkAcc is one worker's partial state for a sink GenOp. Per §3.3 (g,h,i),
+// each thread folds into a local buffer and the engine combines the partials
+// once the pass completes.
+type sinkAcc struct {
+	s     *Sink
+	used  bool
+	acc   float64             // SinkAgg
+	vec   []float64           // SinkAggCol (p) / SinkGroupByRow (k*p) / SinkCrossProd (pa*pb)
+	table map[float64]int64   // SinkTable
+	byVal map[float64]float64 // SinkGroupByVal
+}
+
+func newSinkAcc(s *Sink) *sinkAcc {
+	a := &sinkAcc{s: s}
+	switch s.kind {
+	case SinkAgg:
+		a.acc = s.agg.Init
+	case SinkAggCol:
+		a.vec = make([]float64, s.cols)
+		for i := range a.vec {
+			a.vec[i] = s.agg.Init
+		}
+	case SinkGroupByRow:
+		a.vec = make([]float64, s.k*s.cols)
+		for i := range a.vec {
+			a.vec[i] = s.agg.Init
+		}
+	case SinkCrossProd:
+		a.vec = make([]float64, s.rows*s.cols)
+		if s.f1 != nil {
+			init := aggInitFor(s.f2)
+			for i := range a.vec {
+				a.vec[i] = init
+			}
+		}
+	case SinkTable:
+		a.table = make(map[float64]int64)
+	case SinkGroupByVal:
+		a.byVal = make(map[float64]float64)
+	}
+	return a
+}
+
+// accumulate folds one Pcache chunk into the worker-local partial. aSlot and
+// bSlot index the sink's inputs in the DAG plan.
+func (a *sinkAcc) accumulate(w *worker, aSlot, bSlot int, pi partInfo, r0, cr int) {
+	s := a.s
+	a.used = true
+	switch s.kind {
+	case SinkAgg:
+		in := w.use(aSlot, pi, r0, cr)
+		a.acc = s.agg.StepV(a.acc, in[:cr*s.a.ncol])
+		w.done(aSlot)
+
+	case SinkAggCol:
+		in := w.use(aSlot, pi, r0, cr)
+		nc := s.a.ncol
+		if s.agg == AggSum {
+			for r := 0; r < cr; r++ {
+				row := in[r*nc : (r+1)*nc]
+				for j, x := range row {
+					a.vec[j] += x
+				}
+			}
+		} else {
+			f := s.agg
+			for r := 0; r < cr; r++ {
+				row := in[r*nc : (r+1)*nc]
+				for j, x := range row {
+					a.vec[j] = f.Step(a.vec[j], x)
+				}
+			}
+		}
+		w.done(aSlot)
+
+	case SinkGroupByRow:
+		in := w.use(aSlot, pi, r0, cr)
+		lab := w.use(bSlot, pi, r0, cr)
+		nc := s.a.ncol
+		if s.agg == AggSum {
+			for r := 0; r < cr; r++ {
+				g := int(lab[r])
+				if g < 0 || g >= s.k {
+					panic(fmt.Sprintf("core: groupby.row label %d out of range [0,%d)", g, s.k))
+				}
+				row := in[r*nc : (r+1)*nc]
+				grow := a.vec[g*nc : (g+1)*nc]
+				for j, x := range row {
+					grow[j] += x
+				}
+			}
+		} else {
+			f := s.agg
+			for r := 0; r < cr; r++ {
+				g := int(lab[r])
+				if g < 0 || g >= s.k {
+					panic(fmt.Sprintf("core: groupby.row label %d out of range [0,%d)", g, s.k))
+				}
+				row := in[r*nc : (r+1)*nc]
+				grow := a.vec[g*nc : (g+1)*nc]
+				for j, x := range row {
+					grow[j] = f.Step(grow[j], x)
+				}
+			}
+		}
+		w.done(aSlot)
+		w.done(bSlot)
+
+	case SinkCrossProd:
+		ain := w.use(aSlot, pi, r0, cr)
+		bin := w.use(bSlot, pi, r0, cr)
+		pa, pb := s.rows, s.cols
+		if s.f1 == nil {
+			if s.a == s.b {
+				// Symmetric Gramian t(A)%*%A: rank-k update on the upper
+				// triangle only (BLAS dsyrk — what R's crossprod calls);
+				// mirrored once in finish.
+				blas.Syrk(cr, pa, ain, pa, a.vec, pa)
+			} else {
+				blas.GemmTA(cr, pb, pa, ain, pa, bin, pb, a.vec, pb)
+			}
+		} else {
+			f1, f2 := s.f1.F, s.f2.F
+			for r := 0; r < cr; r++ {
+				arow := ain[r*pa : (r+1)*pa]
+				brow := bin[r*pb : (r+1)*pb]
+				for i, av := range arow {
+					crow := a.vec[i*pb : (i+1)*pb]
+					for j, bv := range brow {
+						crow[j] = f2(f1(av, bv), crow[j])
+					}
+				}
+			}
+		}
+		w.done(aSlot)
+		w.done(bSlot)
+
+	case SinkTable:
+		in := w.use(aSlot, pi, r0, cr)
+		for _, v := range in[:cr*s.a.ncol] {
+			a.table[v]++
+		}
+		w.done(aSlot)
+
+	case SinkGroupByVal:
+		in := w.use(aSlot, pi, r0, cr)
+		f := s.agg
+		for _, v := range in[:cr*s.a.ncol] {
+			acc, ok := a.byVal[v]
+			if !ok {
+				acc = f.Init
+			}
+			a.byVal[v] = f.Step(acc, v)
+		}
+		w.done(aSlot)
+	}
+}
+
+// merge combines another worker's partial into this one.
+func (a *sinkAcc) merge(o *sinkAcc) {
+	if !o.used {
+		return
+	}
+	s := a.s
+	switch s.kind {
+	case SinkAgg:
+		if a.used {
+			a.acc = s.agg.Combine(a.acc, o.acc)
+		} else {
+			a.acc = o.acc
+		}
+	case SinkAggCol, SinkGroupByRow:
+		if a.used {
+			for i := range a.vec {
+				a.vec[i] = s.agg.Combine(a.vec[i], o.vec[i])
+			}
+		} else {
+			copy(a.vec, o.vec)
+		}
+	case SinkCrossProd:
+		if s.f1 == nil {
+			for i, v := range o.vec {
+				a.vec[i] += v
+			}
+		} else {
+			f2 := s.f2.F
+			for i, v := range o.vec {
+				if a.used {
+					a.vec[i] = f2(v, a.vec[i])
+				} else {
+					a.vec[i] = v
+				}
+			}
+		}
+	case SinkTable:
+		for k, c := range o.table {
+			a.table[k] += c
+		}
+	case SinkGroupByVal:
+		f := s.agg
+		for k, v := range o.byVal {
+			if acc, ok := a.byVal[k]; ok {
+				a.byVal[k] = f.Combine(acc, v)
+			} else {
+				a.byVal[k] = v
+			}
+		}
+	}
+	a.used = true
+}
+
+// finish publishes the combined result into the sink node.
+func (a *sinkAcc) finish(s *Sink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.kind {
+	case SinkAgg:
+		s.result = dense.FromSlice(1, 1, []float64{a.acc})
+	case SinkAggCol:
+		s.result = dense.FromSlice(1, s.cols, a.vec)
+	case SinkGroupByRow:
+		s.result = dense.FromSlice(s.k, s.cols, a.vec)
+	case SinkCrossProd:
+		if s.f1 == nil && s.a == s.b {
+			blas.SymmetrizeLower(s.rows, a.vec, s.rows)
+		}
+		s.result = dense.FromSlice(s.rows, s.cols, a.vec)
+	case SinkTable:
+		keys := make([]float64, 0, len(a.table))
+		for k := range a.table {
+			keys = append(keys, k)
+		}
+		sort.Float64s(keys)
+		counts := make([]int64, len(keys))
+		for i, k := range keys {
+			counts[i] = a.table[k]
+		}
+		s.keys, s.counts = keys, counts
+		s.result = dense.FromSlice(1, len(keys), append([]float64(nil), keys...))
+	case SinkGroupByVal:
+		keys := make([]float64, 0, len(a.byVal))
+		for k := range a.byVal {
+			keys = append(keys, k)
+		}
+		sort.Float64s(keys)
+		folds := make([]float64, len(keys))
+		for i, k := range keys {
+			folds[i] = a.byVal[k]
+		}
+		s.keys, s.folds = keys, folds
+		s.result = dense.FromSlice(1, len(keys), append([]float64(nil), folds...))
+	}
+	// When no rows were folded the result stays at the fold identity,
+	// matching R's empty reductions (sum(c()) == 0, min(c()) == Inf).
+	s.done = true
+}

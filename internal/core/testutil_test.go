@@ -1,0 +1,5 @@
+package core
+
+import "time"
+
+func timeSleep(ms int) { time.Sleep(time.Duration(ms) * time.Millisecond) }

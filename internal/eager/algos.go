@@ -1,0 +1,344 @@
+package eager
+
+import (
+	"math"
+
+	"repro/internal/dense"
+	"repro/internal/linalg"
+	"repro/ml/optim"
+)
+
+// The benchmark algorithm suite, implemented identically to the ml package
+// (the paper: "We implement these algorithms identically to our
+// competitors") but executed on the eager per-op engine.
+
+// Correlation computes the Pearson correlation matrix.
+func (e *Engine) Correlation(x *dense.Dense) *dense.Dense {
+	n := float64(x.R)
+	p := x.C
+	g := e.CrossProd(x, x)
+	sums := e.ColSums(x)
+	out := dense.New(p, p)
+	mean := make([]float64, p)
+	for j := range mean {
+		mean[j] = sums[j] / n
+	}
+	cov := dense.New(p, p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			cov.Set(i, j, g.At(i, j)/n-mean[i]*mean[j])
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			sd := math.Sqrt(cov.At(i, i) * cov.At(j, j))
+			if sd == 0 {
+				out.Set(i, j, 0)
+			} else {
+				out.Set(i, j, cov.At(i, j)/sd)
+			}
+		}
+	}
+	return out
+}
+
+// PCA computes eigenvalues/vectors of the covariance from the Gramian.
+func (e *Engine) PCA(x *dense.Dense, ncomp int) ([]float64, *dense.Dense) {
+	n := float64(x.R)
+	p := x.C
+	if ncomp <= 0 || ncomp > p {
+		ncomp = p
+	}
+	g := e.CrossProd(x, x)
+	sums := e.ColSums(x)
+	cov := dense.New(p, p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			cov.Set(i, j, (g.At(i, j)-sums[i]*sums[j]/n)/(n-1))
+		}
+	}
+	vals, vecs, err := linalg.EigSym(cov)
+	if err != nil {
+		panic(err)
+	}
+	rot := dense.New(p, ncomp)
+	for i := 0; i < p; i++ {
+		for j := 0; j < ncomp; j++ {
+			rot.Set(i, j, vecs.At(i, j))
+		}
+	}
+	return vals[:ncomp], rot
+}
+
+// NaiveBayes trains Gaussian NB and returns per-class means and variances.
+func (e *Engine) NaiveBayes(x, y *dense.Dense, k int) (priors []float64, mean, variance *dense.Dense) {
+	sums, counts := e.GroupByRow(x, y, k)
+	x2 := e.Zip(x, x, func(a, b float64) float64 { return a * b })
+	sq, _ := e.GroupByRow(x2, y, k)
+	p := x.C
+	n := float64(x.R)
+	priors = make([]float64, k)
+	mean = dense.New(k, p)
+	variance = dense.New(k, p)
+	for c := 0; c < k; c++ {
+		nc := counts[c]
+		priors[c] = nc / n
+		for j := 0; j < p; j++ {
+			mu := sums.At(c, j) / nc
+			mean.Set(c, j, mu)
+			v := sq.At(c, j)/nc - mu*mu
+			if v < 1e-9 {
+				v = 1e-9
+			}
+			variance.Set(c, j, v)
+		}
+	}
+	return priors, mean, variance
+}
+
+// Logistic trains binary logistic regression with LBFGS; every loss/grad
+// evaluation is a sequence of separately-materialized ops.
+func (e *Engine) Logistic(x, y *dense.Dense, maxIter int, tol float64) ([]float64, int) {
+	n := float64(x.R)
+	p := x.C
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	// Every elementwise step materializes separately, exactly as the
+	// R-style expression decomposes — the execution model Spark/H2O expose
+	// (and the cost the paper's fusion removes).
+	obj := optim.ObjectiveFunc(func(w []float64) (float64, []float64, error) {
+		wm := dense.FromSlice(p, 1, append([]float64(nil), w...))
+		z := e.MatMul(x, wm)
+		// prob = 1/(1+exp(-z))
+		negZ := e.Map(z, func(v float64) float64 { return -v })
+		expNegZ := e.Map(negZ, math.Exp)
+		denom := e.MapScalar(expNegZ, 1, func(v, s float64) float64 { return v + s })
+		prob := e.Map(denom, func(v float64) float64 { return 1 / v })
+		resid := e.Zip(prob, y, func(a, b float64) float64 { return a - b })
+		grad := e.CrossProd(x, resid)
+		// logloss = sum( pmax(z,0) + log1p(exp(-|z|)) - y*z ).
+		zPos := e.MapScalar(z, 0, math.Max)
+		absZ := e.Map(z, math.Abs)
+		negAbs := e.Map(absZ, func(v float64) float64 { return -v })
+		expTerm := e.Map(negAbs, math.Exp)
+		logTerm := e.Map(expTerm, math.Log1p)
+		yz := e.Zip(y, z, func(a, b float64) float64 { return a * b })
+		stable := e.Zip(zPos, logTerm, func(a, b float64) float64 { return a + b })
+		lossTerms := e.Zip(stable, yz, func(a, b float64) float64 { return a - b })
+		f := e.Sum(lossTerms) / n
+		g := make([]float64, p)
+		for j := 0; j < p; j++ {
+			g[j] = grad.Data[j] / n
+		}
+		return f, g, nil
+	})
+	res, err := optim.Minimize(obj, make([]float64, p), optim.Options{MaxIter: maxIter, TolObj: tol})
+	if err != nil {
+		panic(err)
+	}
+	return res.W, res.Iters
+}
+
+// KMeans runs Lloyd's algorithm with per-op materialization.
+func (e *Engine) KMeans(x *dense.Dense, init *dense.Dense, maxIter int) (*dense.Dense, int) {
+	k := init.R
+	centers := init.Clone()
+	var prev *dense.Dense
+	iters := 0
+	for it := 0; it < maxIter; it++ {
+		iters = it + 1
+		d := e.EuclidDist(x, centers)
+		assign := e.ArgMinRow(d)
+		sums, counts := e.GroupByRow(x, assign, k)
+		for g := 0; g < k; g++ {
+			if counts[g] == 0 {
+				continue
+			}
+			for j := 0; j < x.C; j++ {
+				centers.Set(g, j, sums.At(g, j)/counts[g])
+			}
+		}
+		if prev != nil {
+			diff := e.Zip(assign, prev, func(a, b float64) float64 {
+				if a != b {
+					return 1
+				}
+				return 0
+			})
+			if e.Sum(diff) == 0 {
+				break
+			}
+		}
+		prev = assign
+	}
+	return centers, iters
+}
+
+// GMM fits a Gaussian mixture by EM with per-op materialization.
+func (e *Engine) GMM(x *dense.Dense, init *dense.Dense, maxIter int, tol float64) (weights []float64, means *dense.Dense, iters int, loglike float64) {
+	n := x.R
+	p := x.C
+	k := init.R
+	means = init.Clone()
+	weights = make([]float64, k)
+	covs := make([]*dense.Dense, k)
+	// Global covariance init.
+	g := e.CrossProd(x, x)
+	cs := e.ColSums(x)
+	global := dense.New(p, p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			global.Set(i, j, g.At(i, j)/float64(n)-cs[i]*cs[j]/float64(n)/float64(n))
+		}
+	}
+	for c := 0; c < k; c++ {
+		weights[c] = 1 / float64(k)
+		covs[c] = ridge(global.Clone())
+	}
+	prevLL := math.Inf(-1)
+	for it := 0; it < maxIter; it++ {
+		iters = it + 1
+		// E-step: per-component log densities, each a chain of
+		// materialized ops.
+		logd := dense.New(n, k)
+		for c := 0; c < k; c++ {
+			l, err := linalg.Cholesky(covs[c])
+			if err != nil {
+				covs[c] = ridge(covs[c])
+				l, err = linalg.Cholesky(covs[c])
+				if err != nil {
+					panic(err)
+				}
+			}
+			a := linalg.SolveChol(l, dense.Identity(p))
+			logDet := linalg.LogDetChol(l)
+			mu := dense.New(p, 1)
+			for j := 0; j < p; j++ {
+				mu.Set(j, 0, means.At(c, j))
+			}
+			amu := dense.MatMul(a, mu)
+			var muAmu float64
+			for j := 0; j < p; j++ {
+				muAmu += mu.At(j, 0) * amu.At(j, 0)
+			}
+			xa := e.MatMul(x, a)
+			quadM := e.Zip(xa, x, func(u, v float64) float64 { return u * v })
+			quad := e.RowSums(quadM)
+			lin := e.MatMul(x, amu)
+			logConst := math.Log(weights[c]) - 0.5*(float64(p)*math.Log(2*math.Pi)+logDet)
+			// mahal = quad - 2·lin + μᵀAμ; column = -mahal/2 + const —
+			// each step its own materialized op.
+			lin2 := e.MapScalar(lin, 2, func(v, s float64) float64 { return v * s })
+			mahal := e.Zip(quad, lin2, func(a, b float64) float64 { return a - b })
+			col := e.MapScalar(mahal, muAmu, func(v, s float64) float64 { return -0.5*(v+s) + logConst })
+			e.Stats.Passes.Add(1) // column binding into the n×k density matrix
+			for i := 0; i < n; i++ {
+				logd.Set(i, c, col.Data[i])
+			}
+		}
+		// Responsibilities and log-likelihood, decomposed op by op (the
+		// same softmax expression the flashr implementation builds).
+		rowMax := e.RowMax(logd)
+		shifted := e.SweepCols(logd, rowMax.Data, func(v, m float64) float64 { return v - m })
+		expd := e.Map(shifted, math.Exp)
+		se := e.RowSums(expd)
+		resp := e.SweepCols(expd, se.Data, func(v, s float64) float64 { return v / s })
+		logSE := e.Map(se, math.Log)
+		lls := e.Zip(rowMax, logSE, func(a, b float64) float64 { return a + b })
+		ll := e.Sum(lls) / float64(n)
+		// M-step.
+		nc := e.ColSums(resp)
+		wsum := e.CrossProd(resp, x)
+		for c := 0; c < k; c++ {
+			w := math.Max(nc[c], 1e-10)
+			weights[c] = w / float64(n)
+			for j := 0; j < p; j++ {
+				means.Set(c, j, wsum.At(c, j)/w)
+			}
+		}
+		for c := 0; c < k; c++ {
+			rc := dense.New(n, 1)
+			for i := 0; i < n; i++ {
+				rc.Data[i] = resp.At(i, c)
+			}
+			xw := e.SweepCols(x, rc.Data, func(v, r float64) float64 { return v * r })
+			gw := e.CrossProd(x, xw)
+			w := math.Max(nc[c], 1e-10)
+			cov := dense.New(p, p)
+			for i := 0; i < p; i++ {
+				for j := 0; j < p; j++ {
+					cov.Set(i, j, gw.At(i, j)/w-means.At(c, i)*means.At(c, j))
+				}
+			}
+			covs[c] = ridge(cov)
+		}
+		loglike = ll
+		if it > 0 && ll-prevLL >= 0 && ll-prevLL < tol {
+			break
+		}
+		prevLL = ll
+	}
+	return weights, means, iters, loglike
+}
+
+// Mvrnorm draws from N(mu, Sigma) MASS-style.
+func (e *Engine) Mvrnorm(z *dense.Dense, mu []float64, sigma *dense.Dense) *dense.Dense {
+	root, err := linalg.SqrtSPD(sigma)
+	if err != nil {
+		panic(err)
+	}
+	xz := e.MatMul(z, root)
+	return e.SweepRows(xz, mu, func(v, m float64) float64 { return v + m })
+}
+
+// LDA trains MASS-style linear discriminant analysis and returns the
+// discriminant weights (p×k) and biases.
+func (e *Engine) LDA(x, y *dense.Dense, k int) (*dense.Dense, []float64) {
+	n := x.R
+	p := x.C
+	sums, counts := e.GroupByRow(x, y, k)
+	g := e.CrossProd(x, x)
+	means := dense.New(k, p)
+	for c := 0; c < k; c++ {
+		for j := 0; j < p; j++ {
+			means.Set(c, j, sums.At(c, j)/counts[c])
+		}
+	}
+	w := dense.New(p, p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			v := g.At(i, j)
+			for c := 0; c < k; c++ {
+				v -= counts[c] * means.At(c, i) * means.At(c, j)
+			}
+			w.Set(i, j, v/float64(n-k))
+		}
+	}
+	l, err := linalg.Cholesky(ridge(w))
+	if err != nil {
+		panic(err)
+	}
+	wInvMuT := linalg.SolveChol(l, means.T())
+	bias := make([]float64, k)
+	for c := 0; c < k; c++ {
+		var quad float64
+		for j := 0; j < p; j++ {
+			quad += means.At(c, j) * wInvMuT.At(j, c)
+		}
+		bias[c] = -0.5*quad + math.Log(counts[c]/float64(n))
+	}
+	return wInvMuT, bias
+}
+
+func ridge(c *dense.Dense) *dense.Dense {
+	var tr float64
+	for i := 0; i < c.R; i++ {
+		tr += c.At(i, i)
+	}
+	eps := 1e-6*tr/float64(c.R) + 1e-9
+	for i := 0; i < c.R; i++ {
+		c.Set(i, i, c.At(i, i)+eps)
+	}
+	return c
+}

@@ -1,0 +1,138 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dense"
+)
+
+func randTall(rng *rand.Rand, m, n int) *dense.Dense {
+	d := dense.New(m, n)
+	for i := range d.Data {
+		d.Data[i] = rng.NormFloat64()
+	}
+	return d
+}
+
+// TestQRReconstruction property-tests Q R == A, orthonormal Q, upper R.
+func TestQRReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		m := n + rng.Intn(20)
+		a := randTall(rng, m, n)
+		q, r, err := QR(a)
+		if err != nil {
+			return false
+		}
+		if !dense.Equalish(dense.MatMul(q, r), a, 1e-9) {
+			return false
+		}
+		if !dense.Equalish(dense.CrossProd(q, q), dense.Identity(n), 1e-9) {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			for j := 0; j < i; j++ {
+				if r.At(i, j) != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQRRejectsWide(t *testing.T) {
+	if _, _, err := QR(dense.New(2, 5)); err == nil {
+		t.Fatal("wide matrix accepted")
+	}
+}
+
+// TestSolveQRLeastSquares: on a consistent system, QR recovers the exact
+// solution; on an overdetermined noisy one, the residual is orthogonal to
+// the column space.
+func TestSolveQRLeastSquares(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const m, n = 60, 4
+	a := randTall(rng, m, n)
+	wTrue := dense.FromSlice(n, 1, []float64{1, -2, 0.5, 3})
+	b := dense.MatMul(a, wTrue)
+	x, err := SolveQR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dense.Equalish(x, wTrue, 1e-9) {
+		t.Fatalf("exact solve: %v", x.Data)
+	}
+	// Noisy case: Aᵀ(Ax - b) ≈ 0.
+	for i := range b.Data {
+		b.Data[i] += rng.NormFloat64() * 0.1
+	}
+	x, err = SolveQR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resid := dense.Sub(dense.MatMul(a, x), b)
+	normalEq := dense.CrossProd(a, resid)
+	for _, v := range normalEq.Data {
+		if math.Abs(v) > 1e-8 {
+			t.Fatalf("residual not orthogonal: %v", normalEq.Data)
+		}
+	}
+}
+
+// TestSVDThinReconstruction property-tests U S Vᵀ == A and orthonormality.
+func TestSVDThinReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		m := n + rng.Intn(15)
+		a := randTall(rng, m, n)
+		u, s, v, err := SVDThin(a)
+		if err != nil {
+			return false
+		}
+		// Descending singular values.
+		for i := 1; i < n; i++ {
+			if s[i] > s[i-1]+1e-9 {
+				return false
+			}
+		}
+		us := dense.New(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				us.Set(i, j, u.At(i, j)*s[j])
+			}
+		}
+		if !dense.Equalish(dense.MatMul(us, v.T()), a, 1e-7) {
+			return false
+		}
+		return dense.Equalish(dense.CrossProd(u, u), dense.Identity(n), 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	// Two identical columns → one zero singular value.
+	a := dense.FromRows([][]float64{
+		{1, 1}, {2, 2}, {3, 3}, {-1, -1},
+	})
+	_, s, _, err := SVDThin(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[1] != 0 {
+		t.Fatalf("rank-1 matrix has s=%v", s)
+	}
+	if math.Abs(s[0]-math.Sqrt(2*(1+4+9+1))) > 1e-9 {
+		t.Fatalf("s0=%g", s[0])
+	}
+}

@@ -1,0 +1,204 @@
+package matrix
+
+import (
+	"fmt"
+
+	"repro/internal/numa"
+)
+
+// BlockedStore is the block-matrix format of §3.2.2: a tall matrix wider
+// than BlockCols columns is stored as a sequence of TAS blocks of exactly
+// BlockCols columns (the last block may be narrower), each block a separate
+// Store. Combined with I/O partitioning on each block this gives the 2-D
+// partitioning of a dense matrix; reading a column subset touches only the
+// blocks containing requested columns.
+type BlockedStore struct {
+	blocks []Store
+	nrow   int64
+	ncol   int
+}
+
+// NewBlockedStore builds a block matrix over pre-created blocks. All blocks
+// must share NRow and PartRows; widths must be BlockCols except the last.
+func NewBlockedStore(blocks []Store) (*BlockedStore, error) {
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("matrix: blocked store needs at least one block")
+	}
+	nrow := blocks[0].NRow()
+	pr := blocks[0].PartRows()
+	ncol := 0
+	for i, b := range blocks {
+		if b.NRow() != nrow {
+			return nil, fmt.Errorf("matrix: block %d has %d rows, want %d", i, b.NRow(), nrow)
+		}
+		if b.PartRows() != pr {
+			return nil, fmt.Errorf("matrix: block %d has partition height %d, want %d", i, b.PartRows(), pr)
+		}
+		if i < len(blocks)-1 && b.NCol() != BlockCols {
+			return nil, fmt.Errorf("matrix: interior block %d has %d columns, want %d", i, b.NCol(), BlockCols)
+		}
+		if i == len(blocks)-1 && b.NCol() > BlockCols {
+			return nil, fmt.Errorf("matrix: last block has %d columns, max %d", b.NCol(), BlockCols)
+		}
+		ncol += b.NCol()
+	}
+	return &BlockedStore{blocks: blocks, nrow: nrow, ncol: ncol}, nil
+}
+
+// NumBlockCols returns how many TAS blocks an ncol-wide matrix decomposes
+// into.
+func NumBlockCols(ncol int) int { return (ncol + BlockCols - 1) / BlockCols }
+
+// BlockWidth returns the width of block b for an ncol-wide matrix.
+func BlockWidth(ncol, b int) int {
+	w := ncol - b*BlockCols
+	if w > BlockCols {
+		w = BlockCols
+	}
+	return w
+}
+
+// NewBlockedMemStore allocates a block matrix entirely in memory.
+func NewBlockedMemStore(topo *numa.Topology, nrow int64, ncol, partRows int, layout Layout) (*BlockedStore, error) {
+	nb := NumBlockCols(ncol)
+	if partRows == 0 {
+		partRows = DefaultPartRows(ncol)
+	}
+	blocks := make([]Store, nb)
+	for b := 0; b < nb; b++ {
+		ms, err := NewMemStore(topo, nrow, BlockWidth(ncol, b), partRows, layout)
+		if err != nil {
+			return nil, err
+		}
+		blocks[b] = ms
+	}
+	return NewBlockedStore(blocks)
+}
+
+// NRow implements Store.
+func (s *BlockedStore) NRow() int64 { return s.nrow }
+
+// NCol implements Store.
+func (s *BlockedStore) NCol() int { return s.ncol }
+
+// PartRows implements Store.
+func (s *BlockedStore) PartRows() int { return s.blocks[0].PartRows() }
+
+// NumParts implements Store.
+func (s *BlockedStore) NumParts() int { return s.blocks[0].NumParts() }
+
+// NumBlocks returns the number of column blocks.
+func (s *BlockedStore) NumBlocks() int { return len(s.blocks) }
+
+// Block returns block b.
+func (s *BlockedStore) Block(b int) Store { return s.blocks[b] }
+
+// Kind implements Store.
+func (s *BlockedStore) Kind() string { return "blocked/" + s.blocks[0].Kind() }
+
+// ReadPart assembles partition i row-major across all blocks.
+func (s *BlockedStore) ReadPart(i int, dst []float64) error {
+	if err := CheckPart(s, i); err != nil {
+		return err
+	}
+	rows := rowsOf(s, i)
+	if len(dst) < rows*s.ncol {
+		return fmt.Errorf("matrix: ReadPart %d: buffer %d < %d", i, len(dst), rows*s.ncol)
+	}
+	tmp := make([]float64, rows*BlockCols)
+	colOff := 0
+	for _, b := range s.blocks {
+		bc := b.NCol()
+		if err := b.ReadPart(i, tmp[:rows*bc]); err != nil {
+			return err
+		}
+		scatterCols(dst, tmp, rows, s.ncol, bc, colOff)
+		colOff += bc
+	}
+	return nil
+}
+
+// ReadPartCols reads only the blocks containing requested columns.
+func (s *BlockedStore) ReadPartCols(i int, cols []int, dst []float64) error {
+	if err := CheckPart(s, i); err != nil {
+		return err
+	}
+	rows := rowsOf(s, i)
+	k := len(cols)
+	if len(dst) < rows*k {
+		return fmt.Errorf("matrix: ReadPartCols %d: buffer %d < %d", i, len(dst), rows*k)
+	}
+	// Group requested columns by block, preserving output position.
+	type want struct {
+		outIdx   int
+		blockCol int
+	}
+	perBlock := make(map[int][]want)
+	for j, c := range cols {
+		if c < 0 || c >= s.ncol {
+			return fmt.Errorf("matrix: column %d out of range [0,%d)", c, s.ncol)
+		}
+		b := c / BlockCols
+		perBlock[b] = append(perBlock[b], want{outIdx: j, blockCol: c - b*BlockCols})
+	}
+	tmp := make([]float64, rows*BlockCols)
+	for b, wants := range perBlock {
+		blk := s.blocks[b]
+		bcols := make([]int, len(wants))
+		for j, w := range wants {
+			bcols[j] = w.blockCol
+		}
+		if err := blk.ReadPartCols(i, bcols, tmp[:rows*len(wants)]); err != nil {
+			return err
+		}
+		for j, w := range wants {
+			for r := 0; r < rows; r++ {
+				dst[r*k+w.outIdx] = tmp[r*len(wants)+j]
+			}
+		}
+	}
+	return nil
+}
+
+// WritePart splits a row-major partition buffer back into blocks.
+func (s *BlockedStore) WritePart(i int, src []float64) error {
+	if err := CheckPart(s, i); err != nil {
+		return err
+	}
+	rows := rowsOf(s, i)
+	if len(src) < rows*s.ncol {
+		return fmt.Errorf("matrix: WritePart %d: buffer %d < %d", i, len(src), rows*s.ncol)
+	}
+	tmp := make([]float64, rows*BlockCols)
+	colOff := 0
+	for _, b := range s.blocks {
+		bc := b.NCol()
+		for r := 0; r < rows; r++ {
+			copy(tmp[r*bc:(r+1)*bc], src[r*s.ncol+colOff:r*s.ncol+colOff+bc])
+		}
+		if err := b.WritePart(i, tmp[:rows*bc]); err != nil {
+			return err
+		}
+		colOff += bc
+	}
+	return nil
+}
+
+// Free releases all blocks.
+func (s *BlockedStore) Free() error {
+	var first error
+	for _, b := range s.blocks {
+		if err := b.Free(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// scatterCols copies a row-major rows×bc block buffer into columns
+// [colOff, colOff+bc) of a row-major rows×ncol buffer.
+func scatterCols(dst, src []float64, rows, ncol, bc, colOff int) {
+	for r := 0; r < rows; r++ {
+		copy(dst[r*ncol+colOff:r*ncol+colOff+bc], src[r*bc:(r+1)*bc])
+	}
+}

@@ -1,0 +1,185 @@
+// Package matrix implements FlashR's dense matrix storage formats (§3.2 of
+// the paper): tall-and-skinny (TAS) matrices physically partitioned into
+// power-of-two-row I/O partitions, stored either in NUMA-aware memory chunks
+// or on the simulated SSD array (SAFS), and block matrices that decompose a
+// wide tall matrix into TAS blocks of at most 32 columns each.
+//
+// The canonical in-buffer representation of one I/O partition is row-major
+// (rows × ncol float64). Column-major physical storage is supported at the
+// store level; the execution engine treats transpose as a zero-copy view, so
+// layout only affects storage, not kernels.
+package matrix
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// DType is the logical element type of a matrix. All storage is physically
+// float64 (as in R, where logicals and integers promote to double on most
+// arithmetic); the logical type selects semantics such as which multiply
+// kernel Table 2 of the paper prescribes (BLAS for floats, the generalized
+// inner-product GenOp for integers).
+type DType int8
+
+const (
+	// F64 is IEEE double precision.
+	F64 DType = iota
+	// I64 marks integer-valued matrices.
+	I64
+	// Bool marks logical matrices (0/1 valued).
+	Bool
+)
+
+// String returns the R-flavored name of the type.
+func (d DType) String() string {
+	switch d {
+	case F64:
+		return "double"
+	case I64:
+		return "integer"
+	case Bool:
+		return "logical"
+	default:
+		return fmt.Sprintf("DType(%d)", int(d))
+	}
+}
+
+// Layout is the physical element order inside an I/O partition.
+type Layout int8
+
+const (
+	// RowMajor stores each partition row-contiguously (Figure 4(b)).
+	RowMajor Layout = iota
+	// ColMajor stores each partition column-contiguously (Figure 4(a)).
+	ColMajor
+)
+
+func (l Layout) String() string {
+	if l == RowMajor {
+		return "row-major"
+	}
+	return "col-major"
+}
+
+// BlockCols is the column width of TAS blocks inside a block matrix
+// (§3.2.2: "TAS blocks with 32 columns each").
+const BlockCols = 32
+
+// MaxPartRows bounds the I/O partition height.
+const MaxPartRows = 1 << 18
+
+// MinPartRows is the smallest I/O partition height (must stay a power of
+// two per §3.2.1).
+const MinPartRows = 1 << 8
+
+// DefaultPartRows picks the number of rows per I/O partition for a matrix
+// with ncol columns: the largest power of two keeping a partition near the
+// target byte size, clamped to [MinPartRows, MaxPartRows].
+func DefaultPartRows(ncol int) int {
+	const targetBytes = 2 << 20 // 2 MiB per partition
+	if ncol < 1 {
+		ncol = 1
+	}
+	rows := targetBytes / 8 / ncol
+	if rows < MinPartRows {
+		return MinPartRows
+	}
+	p := 1 << (bits.Len(uint(rows)) - 1)
+	if p > MaxPartRows {
+		return MaxPartRows
+	}
+	return p
+}
+
+// NumParts returns how many I/O partitions a matrix of nrow rows has under
+// the given partition height.
+func NumParts(nrow int64, partRows int) int {
+	return int((nrow + int64(partRows) - 1) / int64(partRows))
+}
+
+// PartRowsOf returns the number of valid rows in partition i (the last
+// partition may be short).
+func PartRowsOf(nrow int64, partRows, i int) int {
+	start := int64(i) * int64(partRows)
+	rows := nrow - start
+	if rows > int64(partRows) {
+		rows = int64(partRows)
+	}
+	if rows < 0 {
+		rows = 0
+	}
+	return int(rows)
+}
+
+// Store is materialized tall-matrix data, addressed by I/O partition. All
+// ReadPart/WritePart buffers are row-major rows×ncol. Implementations:
+// MemStore (NUMA chunk pools), SAFSStore (striped SSD array), BlockedStore
+// (32-column TAS blocks over either).
+type Store interface {
+	// NRow is the number of rows (the partition dimension).
+	NRow() int64
+	// NCol is the number of columns.
+	NCol() int
+	// PartRows is the I/O partition height (power of two).
+	PartRows() int
+	// NumParts is the number of I/O partitions.
+	NumParts() int
+	// ReadPart fills dst (rows(i)×NCol row-major) with partition i.
+	ReadPart(i int, dst []float64) error
+	// ReadPartCols fills dst (rows(i)×len(cols) row-major) with the given
+	// column subset of partition i. Blocked stores touch only the blocks
+	// that contain requested columns.
+	ReadPartCols(i int, cols []int, dst []float64) error
+	// WritePart stores partition i from src (rows(i)×NCol row-major).
+	WritePart(i int, src []float64) error
+	// Kind identifies the backend ("mem", "safs", "blocked/...").
+	Kind() string
+	// Free releases backing resources (pool chunks, SAFS files).
+	Free() error
+}
+
+// rowsOf is a helper shared by the store implementations.
+func rowsOf(s Store, i int) int { return PartRowsOf(s.NRow(), s.PartRows(), i) }
+
+// CheckPart validates a partition index against a store.
+func CheckPart(s Store, i int) error {
+	if i < 0 || i >= s.NumParts() {
+		return fmt.Errorf("matrix: partition %d out of range [0,%d) for %dx%d %s store",
+			i, s.NumParts(), s.NRow(), s.NCol(), s.Kind())
+	}
+	return nil
+}
+
+// RowToCol converts a row-major rows×cols buffer into column-major order.
+func RowToCol(dst, src []float64, rows, cols int) {
+	for r := 0; r < rows; r++ {
+		off := r * cols
+		for c := 0; c < cols; c++ {
+			dst[c*rows+r] = src[off+c]
+		}
+	}
+}
+
+// ColToRow converts a column-major rows×cols buffer into row-major order.
+func ColToRow(dst, src []float64, rows, cols int) {
+	for c := 0; c < cols; c++ {
+		off := c * rows
+		for r := 0; r < rows; r++ {
+			dst[r*cols+c] = src[off+r]
+		}
+	}
+}
+
+// GatherCols copies the given columns of a row-major rows×cols buffer into a
+// row-major rows×len(cols) buffer.
+func GatherCols(dst, src []float64, rows, srcCols int, cols []int) {
+	k := len(cols)
+	for r := 0; r < rows; r++ {
+		so := r * srcCols
+		do := r * k
+		for j, c := range cols {
+			dst[do+j] = src[so+c]
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package matrix
+
+import (
+	"fmt"
+	"unsafe"
+
+	"repro/internal/safs"
+)
+
+// SAFSStore keeps a tall matrix on the simulated SSD array as one striped
+// SAFS file. Partitions are stored row-major, partition after partition, so
+// the engine's sequential dispatch of I/O partitions translates into
+// sequential, merge-friendly access on every drive (§3.3 of the paper).
+type SAFSStore struct {
+	fs       *safs.FS
+	file     *safs.File
+	nrow     int64
+	ncol     int
+	partRows int
+	owned    bool // whether Free removes the file
+}
+
+// NewSAFSStore creates a new striped file sized for an nrow×ncol matrix.
+// partRows=0 selects DefaultPartRows(ncol).
+func NewSAFSStore(fs *safs.FS, name string, nrow int64, ncol, partRows int) (*SAFSStore, error) {
+	if partRows == 0 {
+		partRows = DefaultPartRows(ncol)
+	}
+	if partRows <= 0 || partRows&(partRows-1) != 0 {
+		return nil, fmt.Errorf("matrix: partition rows %d is not a power of two", partRows)
+	}
+	if nrow < 0 || ncol <= 0 {
+		return nil, fmt.Errorf("matrix: invalid shape %dx%d", nrow, ncol)
+	}
+	f, err := fs.Create(name, nrow*int64(ncol)*8)
+	if err != nil {
+		return nil, err
+	}
+	return &SAFSStore{fs: fs, file: f, nrow: nrow, ncol: ncol, partRows: partRows, owned: true}, nil
+}
+
+// OpenSAFSStore opens an existing matrix file whose shape is known to the
+// caller (cmd/flashr-gen records shapes in a sidecar; tests pass them
+// directly).
+func OpenSAFSStore(fs *safs.FS, name string, nrow int64, ncol, partRows int) (*SAFSStore, error) {
+	f, err := fs.OpenFile(name)
+	if err != nil {
+		return nil, err
+	}
+	if partRows == 0 {
+		partRows = DefaultPartRows(ncol)
+	}
+	if want := nrow * int64(ncol) * 8; f.Size() != want {
+		return nil, fmt.Errorf("matrix: %q has %d bytes, want %d for %dx%d", name, f.Size(), want, nrow, ncol)
+	}
+	return &SAFSStore{fs: fs, file: f, nrow: nrow, ncol: ncol, partRows: partRows}, nil
+}
+
+// NRow implements Store.
+func (s *SAFSStore) NRow() int64 { return s.nrow }
+
+// NCol implements Store.
+func (s *SAFSStore) NCol() int { return s.ncol }
+
+// PartRows implements Store.
+func (s *SAFSStore) PartRows() int { return s.partRows }
+
+// NumParts implements Store.
+func (s *SAFSStore) NumParts() int { return NumParts(s.nrow, s.partRows) }
+
+// Kind implements Store.
+func (s *SAFSStore) Kind() string { return "safs" }
+
+// File exposes the underlying striped file (used by async prefetchers).
+func (s *SAFSStore) File() *safs.File { return s.file }
+
+// PartOffset returns the byte offset of partition i in the file.
+func (s *SAFSStore) PartOffset(i int) int64 {
+	return int64(i) * int64(s.partRows) * int64(s.ncol) * 8
+}
+
+// PartBytes returns the byte length of partition i.
+func (s *SAFSStore) PartBytes(i int) int {
+	return rowsOf(s, i) * s.ncol * 8
+}
+
+// asBytes reinterprets a float64 slice as its underlying bytes (native
+// endianness; matrices never leave the machine, matching SAFS semantics).
+func asBytes(p []float64) []byte {
+	if len(p) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&p[0])), len(p)*8)
+}
+
+// ReadPart implements Store.
+func (s *SAFSStore) ReadPart(i int, dst []float64) error {
+	if err := CheckPart(s, i); err != nil {
+		return err
+	}
+	n := rowsOf(s, i) * s.ncol
+	if len(dst) < n {
+		return fmt.Errorf("matrix: ReadPart %d: buffer %d < %d", i, len(dst), n)
+	}
+	return s.file.ReadAt(asBytes(dst[:n]), s.PartOffset(i))
+}
+
+// ReadPartAsync schedules an asynchronous read of partition i into dst and
+// reports completion on done with the given tag.
+func (s *SAFSStore) ReadPartAsync(i int, dst []float64, tag int, done chan<- safs.Request) error {
+	if err := CheckPart(s, i); err != nil {
+		return err
+	}
+	n := rowsOf(s, i) * s.ncol
+	if len(dst) < n {
+		return fmt.Errorf("matrix: ReadPartAsync %d: buffer %d < %d", i, len(dst), n)
+	}
+	s.file.ReadAsync(asBytes(dst[:n]), s.PartOffset(i), tag, done)
+	return nil
+}
+
+// ReadPartCols implements Store. A flat SAFS matrix must read the whole
+// partition; BlockedStore over SAFS avoids that for wide matrices.
+func (s *SAFSStore) ReadPartCols(i int, cols []int, dst []float64) error {
+	rows := rowsOf(s, i)
+	tmp := make([]float64, rows*s.ncol)
+	if err := s.ReadPart(i, tmp); err != nil {
+		return err
+	}
+	for _, c := range cols {
+		if c < 0 || c >= s.ncol {
+			return fmt.Errorf("matrix: column %d out of range [0,%d)", c, s.ncol)
+		}
+	}
+	GatherCols(dst, tmp, rows, s.ncol, cols)
+	return nil
+}
+
+// WritePart implements Store.
+func (s *SAFSStore) WritePart(i int, src []float64) error {
+	if err := CheckPart(s, i); err != nil {
+		return err
+	}
+	n := rowsOf(s, i) * s.ncol
+	if len(src) < n {
+		return fmt.Errorf("matrix: WritePart %d: buffer %d < %d", i, len(src), n)
+	}
+	return s.file.WriteAt(asBytes(src[:n]), s.PartOffset(i))
+}
+
+// Free removes the file from the array if this store created it.
+func (s *SAFSStore) Free() error {
+	if !s.owned {
+		return nil
+	}
+	s.owned = false
+	return s.fs.Remove(s.file.Name())
+}

@@ -1,0 +1,433 @@
+package repl
+
+import (
+	"fmt"
+	"math"
+
+	flashr "repro"
+)
+
+func mathPow(a, b float64) float64 { return math.Pow(a, b) }
+
+func mathFloor(v float64) float64 { return math.Floor(v) }
+
+// evalCall dispatches function-call syntax to the flashr API. The table
+// mirrors the paper's Tables 1–3.
+func (e *Env) evalCall(t *callNode) (Value, error) {
+	args := make([]Value, len(t.args))
+	for i, a := range t.args {
+		v, err := e.eval(a)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	mat := func(i int) (*flashr.FM, error) {
+		if i >= len(args) || !args[i].IsMatrix() {
+			return nil, fmt.Errorf("%s: argument %d must be a matrix", t.name, i+1)
+		}
+		return args[i].Mat, nil
+	}
+	num := func(i int) (float64, error) {
+		if i >= len(args) || !args[i].isNum {
+			return 0, fmt.Errorf("%s: argument %d must be a number", t.name, i+1)
+		}
+		return args[i].Num, nil
+	}
+	str := func(i int) (string, error) {
+		if i >= len(args) || !args[i].isStr {
+			return "", fmt.Errorf("%s: argument %d must be a string", t.name, i+1)
+		}
+		return args[i].Str, nil
+	}
+	optNum := func(i int, def float64) float64 {
+		if i < len(args) && args[i].isNum {
+			return args[i].Num
+		}
+		return def
+	}
+
+	// Unary elementwise functions share one path.
+	if flashrUnary[t.name] {
+		x, err := mat(0)
+		if err != nil {
+			return Value{}, err
+		}
+		return matVal(flashr.Sapply(x, rName(t.name))), nil
+	}
+	// Whole-matrix reductions.
+	if agg, ok := reductions[t.name]; ok {
+		x, err := mat(0)
+		if err != nil {
+			return Value{}, err
+		}
+		v, err := agg(x).Float()
+		if err != nil {
+			return Value{}, err
+		}
+		return numVal(v), nil
+	}
+
+	switch t.name {
+	// ---- creation (Table 3) ----
+	case "runif.matrix":
+		n, err := num(0)
+		if err != nil {
+			return Value{}, err
+		}
+		p, err := num(1)
+		if err != nil {
+			return Value{}, err
+		}
+		m, err := e.S.Runif(int64(n), int(p), optNum(2, 0), optNum(3, 1), int64(optNum(4, 1)))
+		if err != nil {
+			return Value{}, err
+		}
+		return matVal(m), nil
+	case "rnorm.matrix":
+		n, err := num(0)
+		if err != nil {
+			return Value{}, err
+		}
+		p, err := num(1)
+		if err != nil {
+			return Value{}, err
+		}
+		m, err := e.S.Rnorm(int64(n), int(p), optNum(2, 0), optNum(3, 1), int64(optNum(4, 1)))
+		if err != nil {
+			return Value{}, err
+		}
+		return matVal(m), nil
+	case "ones", "zeros":
+		n, err := num(0)
+		if err != nil {
+			return Value{}, err
+		}
+		p := optNum(1, 1)
+		if t.name == "ones" {
+			return matVal(e.S.Ones(int64(n), int(p))), nil
+		}
+		return matVal(e.S.Zeros(int64(n), int(p))), nil
+	case "seq":
+		n, err := num(0)
+		if err != nil {
+			return Value{}, err
+		}
+		m, err := e.S.SeqVec(int64(n))
+		if err != nil {
+			return Value{}, err
+		}
+		return matVal(m), nil
+	case "load.dense":
+		path, err := str(0)
+		if err != nil {
+			return Value{}, err
+		}
+		sep := ","
+		if len(args) > 1 && args[1].isStr {
+			sep = args[1].Str
+		}
+		m, err := e.S.LoadCSV(path, sep)
+		if err != nil {
+			return Value{}, err
+		}
+		return matVal(m), nil
+	case "save.csv":
+		x, err := mat(0)
+		if err != nil {
+			return Value{}, err
+		}
+		path, err := str(1)
+		if err != nil {
+			return Value{}, err
+		}
+		return nullVal(), flashr.SaveCSV(x, path, ",")
+
+	// ---- structure (Table 3) ----
+	case "t":
+		x, err := mat(0)
+		if err != nil {
+			return Value{}, err
+		}
+		return matVal(x.T()), nil
+	case "dim":
+		x, err := mat(0)
+		if err != nil {
+			return Value{}, err
+		}
+		r, c := x.Dim()
+		return matVal(e.S.SmallFromRows([][]float64{{float64(r), float64(c)}})), nil
+	case "nrow":
+		x, err := mat(0)
+		if err != nil {
+			return Value{}, err
+		}
+		return numVal(float64(x.NRow())), nil
+	case "ncol":
+		x, err := mat(0)
+		if err != nil {
+			return Value{}, err
+		}
+		return numVal(float64(x.NCol())), nil
+	case "length":
+		x, err := mat(0)
+		if err != nil {
+			return Value{}, err
+		}
+		return numVal(float64(x.Length())), nil
+	case "cbind", "rbind":
+		ms := make([]*flashr.FM, len(args))
+		for i := range args {
+			m, err := mat(i)
+			if err != nil {
+				return Value{}, err
+			}
+			ms[i] = m
+		}
+		if t.name == "cbind" {
+			return matVal(flashr.Cbind(ms...)), nil
+		}
+		return matVal(flashr.Rbind(ms...)), nil
+
+	// ---- row/column reductions ----
+	case "rowSums", "rowMeans", "colSums", "colMeans":
+		x, err := mat(0)
+		if err != nil {
+			return Value{}, err
+		}
+		switch t.name {
+		case "rowSums":
+			return matVal(flashr.RowSums(x)), nil
+		case "rowMeans":
+			return matVal(flashr.RowMeans(x)), nil
+		case "colSums":
+			return matVal(flashr.ColSums(x)), nil
+		default:
+			return matVal(flashr.ColMeans(x)), nil
+		}
+
+	// ---- binary elementwise with function-style call ----
+	case "pmin", "pmax":
+		x, err := mat(0)
+		if err != nil {
+			return Value{}, err
+		}
+		if t.name == "pmin" {
+			return matVal(flashr.Pmin(x, operand(args[1]))), nil
+		}
+		return matVal(flashr.Pmax(x, operand(args[1]))), nil
+
+	// ---- GenOps (Table 1) ----
+	case "sapply":
+		x, err := mat(0)
+		if err != nil {
+			return Value{}, err
+		}
+		f, err := str(1)
+		if err != nil {
+			return Value{}, err
+		}
+		return matVal(flashr.Sapply(x, f)), nil
+	case "mapply":
+		x, err := mat(0)
+		if err != nil {
+			return Value{}, err
+		}
+		f, err := str(2)
+		if err != nil {
+			return Value{}, err
+		}
+		return matVal(flashr.Mapply(x, operand(args[1]), f)), nil
+	case "agg":
+		x, err := mat(0)
+		if err != nil {
+			return Value{}, err
+		}
+		f, err := str(1)
+		if err != nil {
+			return Value{}, err
+		}
+		v, err := flashr.Agg(x, f).Float()
+		if err != nil {
+			return Value{}, err
+		}
+		return numVal(v), nil
+	case "agg.row", "agg.col":
+		x, err := mat(0)
+		if err != nil {
+			return Value{}, err
+		}
+		f, err := str(1)
+		if err != nil {
+			return Value{}, err
+		}
+		if t.name == "agg.row" {
+			return matVal(flashr.AggRow(x, f)), nil
+		}
+		return matVal(flashr.AggCol(x, f)), nil
+	case "which.min.row", "which.max.row":
+		x, err := mat(0)
+		if err != nil {
+			return Value{}, err
+		}
+		if t.name == "which.min.row" {
+			return matVal(flashr.RowWhichMin(x)), nil
+		}
+		return matVal(flashr.RowWhichMax(x)), nil
+	case "inner.prod":
+		x, err := mat(0)
+		if err != nil {
+			return Value{}, err
+		}
+		y, err := mat(1)
+		if err != nil {
+			return Value{}, err
+		}
+		f1, err := str(2)
+		if err != nil {
+			return Value{}, err
+		}
+		f2, err := str(3)
+		if err != nil {
+			return Value{}, err
+		}
+		return matVal(flashr.InnerProd(x, y, f1, f2)), nil
+	case "groupby.row":
+		x, err := mat(0)
+		if err != nil {
+			return Value{}, err
+		}
+		lab, err := mat(1)
+		if err != nil {
+			return Value{}, err
+		}
+		k, err := num(2)
+		if err != nil {
+			return Value{}, err
+		}
+		f, err := str(3)
+		if err != nil {
+			return Value{}, err
+		}
+		return matVal(flashr.GroupByRow(x, lab, int(k), f)), nil
+	case "crossprod":
+		x, err := mat(0)
+		if err != nil {
+			return Value{}, err
+		}
+		if len(args) > 1 {
+			y, err := mat(1)
+			if err != nil {
+				return Value{}, err
+			}
+			return matVal(flashr.CrossProd2(x, y)), nil
+		}
+		return matVal(flashr.CrossProd(x)), nil
+	case "sweep":
+		x, err := mat(0)
+		if err != nil {
+			return Value{}, err
+		}
+		margin, err := num(1)
+		if err != nil {
+			return Value{}, err
+		}
+		v, err := mat(2)
+		if err != nil {
+			return Value{}, err
+		}
+		f := "-"
+		if len(args) > 3 && args[3].isStr {
+			f = args[3].Str
+		}
+		return matVal(flashr.Sweep(x, int(margin), v, f)), nil
+	case "cumsum":
+		x, err := mat(0)
+		if err != nil {
+			return Value{}, err
+		}
+		return matVal(flashr.Cumsum(x)), nil
+
+	// ---- data-dependent sinks ----
+	case "table":
+		x, err := mat(0)
+		if err != nil {
+			return Value{}, err
+		}
+		keys, counts, err := flashr.TableOf(x)
+		if err != nil {
+			return Value{}, err
+		}
+		rows := make([][]float64, len(keys))
+		for i := range keys {
+			rows[i] = []float64{keys[i], float64(counts[i])}
+		}
+		return matVal(e.S.SmallFromRows(rows)), nil
+	case "unique":
+		x, err := mat(0)
+		if err != nil {
+			return Value{}, err
+		}
+		keys, err := flashr.Unique(x)
+		if err != nil {
+			return Value{}, err
+		}
+		rows := make([][]float64, len(keys))
+		for i, k := range keys {
+			rows[i] = []float64{k}
+		}
+		return matVal(e.S.SmallFromRows(rows)), nil
+
+	// ---- tuning (Table 3) ----
+	case "materialize":
+		x, err := mat(0)
+		if err != nil {
+			return Value{}, err
+		}
+		return args[0], x.Materialize()
+	case "set.cache":
+		x, err := mat(0)
+		if err != nil {
+			return Value{}, err
+		}
+		em := optNum(1, 0) != 0
+		return matVal(x.SetCache(em)), nil
+	case "as.matrix", "as.vector", "head":
+		x, err := mat(0)
+		if err != nil {
+			return Value{}, err
+		}
+		n := int(optNum(1, 6))
+		d, err := flashr.Head(x, n)
+		if err != nil {
+			return Value{}, err
+		}
+		return matVal(e.S.Small(d)), nil
+	case "explain":
+		x, err := mat(0)
+		if err != nil {
+			return Value{}, err
+		}
+		return strVal(flashr.Explain(x)), nil
+	}
+	return Value{}, fmt.Errorf("could not find function %q", t.name)
+}
+
+// rName maps REPL names to flashr's registered unary names.
+func rName(name string) string { return name }
+
+var flashrUnary = map[string]bool{
+	"sqrt": true, "exp": true, "log": true, "log1p": true, "abs": true,
+	"floor": true, "ceiling": true, "round": true, "sign": true,
+	"sigmoid": true, "square": true,
+}
+
+var reductions = map[string]func(*flashr.FM) *flashr.FM{
+	"sum":  flashr.Sum,
+	"mean": flashr.Mean,
+	"min":  flashr.Min,
+	"max":  flashr.Max,
+	"prod": flashr.Prod,
+	"any":  flashr.Any,
+	"all":  flashr.All,
+}

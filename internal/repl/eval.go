@@ -1,0 +1,355 @@
+package repl
+
+import (
+	"fmt"
+	"strings"
+
+	flashr "repro"
+	"repro/internal/dense"
+)
+
+// Value is a REPL value: a scalar, a string, or a FlashR matrix.
+type Value struct {
+	Num    float64
+	Str    string
+	Mat    *flashr.FM
+	isNum  bool
+	isStr  bool
+	isNull bool
+}
+
+func numVal(v float64) Value    { return Value{Num: v, isNum: true} }
+func strVal(s string) Value     { return Value{Str: s, isStr: true} }
+func matVal(m *flashr.FM) Value { return Value{Mat: m} }
+func nullVal() Value            { return Value{isNull: true} }
+
+// IsMatrix reports whether the value is a FlashR matrix.
+func (v Value) IsMatrix() bool { return v.Mat != nil }
+
+// IsNumber reports whether the value is a scalar.
+func (v Value) IsNumber() bool { return v.isNum }
+
+// IsNull reports a missing value (blank statements).
+func (v Value) IsNull() bool { return v.isNull }
+
+// Env is an interpreter session: a variable environment over a flashr
+// Session.
+type Env struct {
+	S    *flashr.Session
+	vars map[string]Value
+}
+
+// NewEnv builds an interpreter over the given session.
+func NewEnv(s *flashr.Session) *Env {
+	return &Env{S: s, vars: map[string]Value{}}
+}
+
+// Vars lists defined variable names.
+func (e *Env) Vars() []string {
+	out := make([]string, 0, len(e.vars))
+	for k := range e.vars {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Eval parses and evaluates one statement.
+func (e *Env) Eval(src string) (Value, error) {
+	n, err := Parse(src)
+	if err != nil {
+		return Value{}, err
+	}
+	if n == nil {
+		return nullVal(), nil
+	}
+	return e.evalNode(n)
+}
+
+func (e *Env) evalNode(n node) (v Value, err error) {
+	defer func() {
+		// The flashr API panics on shape/type misuse (like R's stop());
+		// surface those as REPL errors instead of crashing the shell.
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	return e.eval(n)
+}
+
+func (e *Env) eval(n node) (Value, error) {
+	switch t := n.(type) {
+	case *numNode:
+		return numVal(t.v), nil
+	case *strNode:
+		return strVal(t.v), nil
+	case *identNode:
+		if v, ok := e.vars[t.name]; ok {
+			return v, nil
+		}
+		return Value{}, fmt.Errorf("object '%s' not found", t.name)
+	case *assignNode:
+		v, err := e.eval(t.rhs)
+		if err != nil {
+			return Value{}, err
+		}
+		e.vars[t.name] = v
+		return v, nil
+	case *unNode:
+		x, err := e.eval(t.x)
+		if err != nil {
+			return Value{}, err
+		}
+		switch t.op {
+		case "-":
+			if x.isNum {
+				return numVal(-x.Num), nil
+			}
+			return matVal(flashr.Neg(x.Mat)), nil
+		case "!":
+			if x.isNum {
+				if x.Num == 0 {
+					return numVal(1), nil
+				}
+				return numVal(0), nil
+			}
+			return matVal(flashr.Not(x.Mat)), nil
+		}
+		return Value{}, fmt.Errorf("unary %q unsupported", t.op)
+	case *binNode:
+		return e.evalBin(t)
+	case *callNode:
+		return e.evalCall(t)
+	case *indexNode:
+		return e.evalIndex(t)
+	}
+	return Value{}, fmt.Errorf("unhandled syntax")
+}
+
+func (e *Env) evalBin(t *binNode) (Value, error) {
+	l, err := e.eval(t.l)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := e.eval(t.r)
+	if err != nil {
+		return Value{}, err
+	}
+	if t.op == "%*%" {
+		if !l.IsMatrix() || !r.IsMatrix() {
+			return Value{}, fmt.Errorf("%%*%% needs two matrices")
+		}
+		return matVal(flashr.MatMul(l.Mat, r.Mat)), nil
+	}
+	// Scalar-scalar arithmetic stays scalar.
+	if l.isNum && r.isNum {
+		v, err := scalarBin(t.op, l.Num, r.Num)
+		if err != nil {
+			return Value{}, err
+		}
+		return numVal(v), nil
+	}
+	lo, ro := operand(l), operand(r)
+	var out *flashr.FM
+	switch t.op {
+	case "+":
+		out = flashr.Add(lo, ro)
+	case "-":
+		out = flashr.Sub(lo, ro)
+	case "*":
+		out = flashr.Mul(lo, ro)
+	case "/":
+		out = flashr.Div(lo, ro)
+	case "^":
+		out = flashr.Pow(lo, ro)
+	case "%%":
+		out = flashr.Mod(lo, ro)
+	case "==":
+		out = flashr.Eq(lo, ro)
+	case "!=":
+		out = flashr.Ne(lo, ro)
+	case "<":
+		out = flashr.Lt(lo, ro)
+	case "<=":
+		out = flashr.Le(lo, ro)
+	case ">":
+		out = flashr.Gt(lo, ro)
+	case ">=":
+		out = flashr.Ge(lo, ro)
+	case "&", "&&":
+		out = flashr.And(lo, ro)
+	case "|", "||":
+		out = flashr.Or(lo, ro)
+	default:
+		return Value{}, fmt.Errorf("operator %q unsupported", t.op)
+	}
+	return matVal(out), nil
+}
+
+func scalarBin(op string, a, b float64) (float64, error) {
+	switch op {
+	case "+":
+		return a + b, nil
+	case "-":
+		return a - b, nil
+	case "*":
+		return a * b, nil
+	case "/":
+		return a / b, nil
+	case "%%":
+		return a - b*floor(a/b), nil
+	case "^":
+		return pow(a, b), nil
+	case "==":
+		return b2f(a == b), nil
+	case "!=":
+		return b2f(a != b), nil
+	case "<":
+		return b2f(a < b), nil
+	case "<=":
+		return b2f(a <= b), nil
+	case ">":
+		return b2f(a > b), nil
+	case ">=":
+		return b2f(a >= b), nil
+	case "&", "&&":
+		return b2f(a != 0 && b != 0), nil
+	case "|", "||":
+		return b2f(a != 0 || b != 0), nil
+	}
+	return 0, fmt.Errorf("operator %q unsupported on scalars", op)
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func operand(v Value) any {
+	if v.IsMatrix() {
+		return v.Mat
+	}
+	return v.Num
+}
+
+// evalIndex handles x[rows, cols]; only column selection and single-element
+// access are supported (matching the GetCols/Element surface).
+func (e *Env) evalIndex(t *indexNode) (Value, error) {
+	xv, err := e.eval(t.x)
+	if err != nil {
+		return Value{}, err
+	}
+	if !xv.IsMatrix() {
+		return Value{}, fmt.Errorf("indexing a non-matrix")
+	}
+	if t.rows != nil && t.cols != nil {
+		rv, err := e.eval(t.rows)
+		if err != nil {
+			return Value{}, err
+		}
+		cv, err := e.eval(t.cols)
+		if err != nil {
+			return Value{}, err
+		}
+		if !rv.isNum || !cv.isNum {
+			return Value{}, fmt.Errorf("element access needs scalar indices")
+		}
+		// 1-based, like R.
+		val, err := xv.Mat.Element(int64(rv.Num)-1, int64(cv.Num)-1)
+		if err != nil {
+			return Value{}, err
+		}
+		return numVal(val), nil
+	}
+	if t.cols != nil {
+		cv, err := e.eval(t.cols)
+		if err != nil {
+			return Value{}, err
+		}
+		if !cv.isNum {
+			return Value{}, fmt.Errorf("column index must be scalar")
+		}
+		return matVal(flashr.GetCol(xv.Mat, int(cv.Num)-1)), nil
+	}
+	if t.rows != nil {
+		rv, err := e.eval(t.rows)
+		if err != nil {
+			return Value{}, err
+		}
+		if !rv.isNum {
+			return Value{}, fmt.Errorf("row index must be scalar")
+		}
+		d, err := flashr.GetRows(xv.Mat, []int64{int64(rv.Num) - 1})
+		if err != nil {
+			return Value{}, err
+		}
+		return matVal(xv.Mat.Session().Small(d)), nil
+	}
+	return xv, nil
+}
+
+// Format renders a value for the prompt: scalars directly, small matrices
+// fully, large matrices as a summary plus a corner preview.
+func (e *Env) Format(v Value) (string, error) {
+	switch {
+	case v.isNull:
+		return "", nil
+	case v.isNum:
+		return fmt.Sprintf("[1] %g", v.Num), nil
+	case v.isStr:
+		if strings.Contains(v.Str, "\n") {
+			return strings.TrimRight(v.Str, "\n"), nil
+		}
+		return fmt.Sprintf("[1] %q", v.Str), nil
+	case v.Mat != nil:
+		return formatMatrix(v.Mat)
+	}
+	return "NULL", nil
+}
+
+func formatMatrix(m *flashr.FM) (string, error) {
+	r, c := m.Dim()
+	if r*c <= 64 {
+		d, err := m.AsDense()
+		if err != nil {
+			return "", err
+		}
+		return renderDense(d), nil
+	}
+	head, err := flashr.Head(m, 4)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	virt := ""
+	if m.IsVirtual() {
+		virt = " (virtual)"
+	}
+	fmt.Fprintf(&b, "FlashR matrix %d x %d%s, showing first rows:\n", r, c, virt)
+	b.WriteString(renderDense(head))
+	return b.String(), nil
+}
+
+func renderDense(d *dense.Dense) string {
+	var b strings.Builder
+	cols := d.C
+	if cols > 8 {
+		cols = 8
+	}
+	for i := 0; i < d.R; i++ {
+		fmt.Fprintf(&b, "[%d,]", i+1)
+		for j := 0; j < cols; j++ {
+			fmt.Fprintf(&b, " %10.4g", d.At(i, j))
+		}
+		if cols < d.C {
+			b.WriteString(" …")
+		}
+		b.WriteByte('\n')
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func pow(a, b float64) float64 { return mathPow(a, b) }
+
+func floor(v float64) float64 { return mathFloor(v) }

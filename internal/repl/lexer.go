@@ -1,0 +1,163 @@
+// Package repl implements a small interactive R-flavored expression
+// language over the flashr API — the stand-in for the R shell that makes
+// FlashR "an interactive R programming framework" (§1 of the paper).
+//
+// The language covers the paper's programming surface: matrix creation
+// (runif.matrix, rnorm.matrix, load.dense), the overridden R-base operators
+// and functions of Table 2, the GenOps of Table 1, and the tuning functions
+// of Table 3 (materialize, set.cache, as.matrix). Statements are either
+// assignments (`x <- expr`) or expressions; everything stays lazy until a
+// value must be shown.
+package repl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int8
+
+const (
+	tokEOF tokKind = iota
+	tokNumber
+	tokIdent  // names, possibly dotted: runif.matrix, which.min
+	tokString // "..." literals (function names, paths)
+	tokOp     // operators and punctuation
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+	num  float64
+}
+
+// lexer splits an input line into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// operators, longest first so maximal munch works.
+var operators = []string{
+	"%*%", "%%", "<-", "<=", ">=", "==", "!=", "&&", "||",
+	"+", "-", "*", "/", "^", "<", ">", "!", "&", "|", "(", ")", "[", "]", ",", "=",
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			break
+		}
+		c := l.src[l.pos]
+		switch {
+		case c == '#':
+			// Comment to end of line.
+			l.pos = len(l.src)
+		case c == '"' || c == '\'':
+			if err := l.lexString(c); err != nil {
+				return nil, err
+			}
+		case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case unicode.IsLetter(rune(c)) || c == '.' || c == '_':
+			l.lexIdent()
+		default:
+			if !l.lexOp() {
+				return nil, fmt.Errorf("unexpected character %q at %d", c, l.pos)
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: len(src)})
+	return l.toks, nil
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && (l.src[l.pos] == ' ' || l.src[l.pos] == '\t') {
+		l.pos++
+	}
+}
+
+func (l *lexer) lexString(quote byte) error {
+	start := l.pos
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			c = l.src[l.pos]
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("unterminated string at %d", start)
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case unicode.IsDigit(rune(c)):
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		case c == '_': // digit separators: 1_000_000
+			l.pos++
+		default:
+			goto done
+		}
+	}
+done:
+	text := strings.ReplaceAll(l.src[start:l.pos], "_", "")
+	var v float64
+	if _, err := fmt.Sscanf(text, "%g", &v); err != nil {
+		return fmt.Errorf("bad number %q at %d", text, start)
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: text, num: v, pos: start})
+	return nil
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '.' || c == '_' {
+			l.pos++
+		} else {
+			break
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexOp() bool {
+	for _, op := range operators {
+		if strings.HasPrefix(l.src[l.pos:], op) {
+			l.toks = append(l.toks, token{kind: tokOp, text: op, pos: l.pos})
+			l.pos += len(op)
+			return true
+		}
+	}
+	return false
+}

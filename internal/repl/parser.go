@@ -1,0 +1,281 @@
+package repl
+
+import (
+	"fmt"
+)
+
+// AST node kinds.
+type node interface{ pos() int }
+
+type numNode struct {
+	p int
+	v float64
+}
+
+type strNode struct {
+	p int
+	v string
+}
+
+type identNode struct {
+	p    int
+	name string
+}
+
+type callNode struct {
+	p    int
+	name string
+	args []node
+}
+
+type binNode struct {
+	p    int
+	op   string
+	l, r node
+}
+
+type unNode struct {
+	p  int
+	op string
+	x  node
+}
+
+type indexNode struct { // x[rows, cols] — empty slot = all
+	p          int
+	x          node
+	rows, cols node // nil when omitted
+}
+
+type assignNode struct {
+	p    int
+	name string
+	rhs  node
+}
+
+func (n *numNode) pos() int    { return n.p }
+func (n *strNode) pos() int    { return n.p }
+func (n *identNode) pos() int  { return n.p }
+func (n *callNode) pos() int   { return n.p }
+func (n *binNode) pos() int    { return n.p }
+func (n *unNode) pos() int     { return n.p }
+func (n *indexNode) pos() int  { return n.p }
+func (n *assignNode) pos() int { return n.p }
+
+// parser is a Pratt-style expression parser matching R's operator
+// precedence for the subset we support.
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses one statement: `name <- expr` or a bare expression.
+func Parse(src string) (node, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	if p.peek().kind == tokEOF {
+		return nil, nil // blank line
+	}
+	// Assignment?
+	if p.peek().kind == tokIdent && p.peekAt(1).kind == tokOp &&
+		(p.peekAt(1).text == "<-" || p.peekAt(1).text == "=") {
+		name := p.next().text
+		p.next() // <- or =
+		rhs, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectEOF(); err != nil {
+			return nil, err
+		}
+		return &assignNode{p: 0, name: name, rhs: rhs}, nil
+	}
+	e, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectEOF(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) peekAt(k int) token {
+	if p.i+k >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.i+k]
+}
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) expect(op string) error {
+	t := p.next()
+	if t.kind != tokOp || t.text != op {
+		return fmt.Errorf("expected %q at %d, got %q", op, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectEOF() error {
+	if t := p.peek(); t.kind != tokEOF {
+		return fmt.Errorf("unexpected %q at %d", t.text, t.pos)
+	}
+	return nil
+}
+
+// Binding powers, loosely mirroring R: | & < > == != then + - then * / %%
+// then %*% then ^ then unary.
+var binPower = map[string]int{
+	"||": 10, "|": 10,
+	"&&": 20, "&": 20,
+	"==": 30, "!=": 30, "<": 30, "<=": 30, ">": 30, ">=": 30,
+	"+": 40, "-": 40,
+	"*": 50, "/": 50, "%%": 50,
+	"%*%": 60,
+	"^":   70,
+}
+
+func (p *parser) parseExpr(minPower int) (node, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp {
+			break
+		}
+		power, ok := binPower[t.text]
+		if !ok || power < minPower {
+			break
+		}
+		p.next()
+		// ^ is right-associative in R.
+		nextMin := power + 1
+		if t.text == "^" {
+			nextMin = power
+		}
+		rhs, err := p.parseExpr(nextMin)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binNode{p: t.pos, op: t.text, l: lhs, r: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseUnary() (node, error) {
+	t := p.peek()
+	if t.kind == tokOp && (t.text == "-" || t.text == "+") {
+		p.next()
+		// R's unary minus binds tighter than %any% and below, but looser
+		// than ^: -2^2 is -(2^2).
+		x, err := p.parseExpr(binPower["%*%"] + 1)
+		if err != nil {
+			return nil, err
+		}
+		if t.text == "+" {
+			return x, nil
+		}
+		return &unNode{p: t.pos, op: t.text, x: x}, nil
+	}
+	if t.kind == tokOp && t.text == "!" {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &unNode{p: t.pos, op: t.text, x: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (node, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp || t.text != "[" {
+			break
+		}
+		p.next()
+		idx := &indexNode{p: t.pos, x: x}
+		// rows slot (may be empty).
+		if !p.atOp(",") {
+			idx.rows, err = p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		if !p.atOp("]") {
+			idx.cols, err = p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		x = idx
+	}
+	return x, nil
+}
+
+func (p *parser) atOp(op string) bool {
+	t := p.peek()
+	return t.kind == tokOp && t.text == op
+}
+
+func (p *parser) parsePrimary() (node, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		return &numNode{p: t.pos, v: t.num}, nil
+	case tokString:
+		return &strNode{p: t.pos, v: t.text}, nil
+	case tokIdent:
+		if p.atOp("(") {
+			p.next()
+			call := &callNode{p: t.pos, name: t.text}
+			if !p.atOp(")") {
+				for {
+					arg, err := p.parseExpr(0)
+					if err != nil {
+						return nil, err
+					}
+					call.args = append(call.args, arg)
+					if p.atOp(",") {
+						p.next()
+						continue
+					}
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &identNode{p: t.pos, name: t.text}, nil
+	case tokOp:
+		if t.text == "(" {
+			e, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("unexpected %q at %d", t.text, t.pos)
+}

@@ -1,0 +1,165 @@
+// Package workload synthesizes the paper's benchmark datasets (Table 5) at
+// configurable scale. The originals — the Criteo 1TB click logs (4.3B×40)
+// and PageGraph-32ev, 32 singular vectors of a 3.5-billion-vertex web graph
+// — are not redistributable, so per the reproduction's substitution rule
+// this package generates matrices with the same shapes and the statistical
+// structure the benchmarked algorithms actually consume:
+//
+//   - Criteo(n): 40 columns — 13 skewed (log-normal) count features and 27
+//     hashed-categorical features — plus a binary click label generated from
+//     a ground-truth logistic model over the features, so classification
+//     algorithms have real signal to find.
+//   - PageGraph(n): 32 columns shaped like a spectral embedding of a
+//     power-law graph: a Gaussian mixture (clustered communities) with
+//     per-dimension decaying scale σ_j ∝ 1/(j+1), mirroring the decaying
+//     singular-value spectrum of web graphs.
+//
+// Generators stream partition-parallel through the engine, so billion-row
+// shapes can be written straight to the SSD array without staging in memory.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	flashr "repro"
+)
+
+// CriteoCols is the column count of the Criteo click-log dataset.
+const CriteoCols = 40
+
+// PageGraphCols is the column count of the PageGraph-32ev dataset.
+const PageGraphCols = 32
+
+// criteoWeights is the fixed ground-truth logistic model behind the labels.
+func criteoWeights() []float64 {
+	rng := rand.New(rand.NewSource(9001))
+	w := make([]float64, CriteoCols)
+	for j := range w {
+		w[j] = rng.NormFloat64() * 0.4
+	}
+	return w
+}
+
+// Criteo generates an n×40 feature matrix and the matching n×1 binary click
+// labels.
+func Criteo(s *flashr.Session, n int64, seed int64) (x, y *flashr.FM, err error) {
+	w := criteoWeights()
+	x, err = s.GenerateSeeded(n, CriteoCols, seed, fillCriteoRow)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Labels derive deterministically from the same per-row stream, so x
+	// and y stay consistent across partitions and sessions.
+	y, err = s.GenerateSeeded(n, 1, seed, func(rng *rand.Rand, row []float64) {
+		feat := make([]float64, CriteoCols)
+		fillCriteoRow(rng, feat)
+		var z float64
+		for j, v := range feat {
+			// Center features so the logit has usable variance; the
+			// scale keeps Bayes accuracy well above the base rate while
+			// the offset calibrates a ~30% click rate.
+			z += w[j] * (v - 0.5)
+		}
+		z = 2.5*z - 0.9
+		p := 1 / (1 + math.Exp(-z))
+		if rng.Float64() < p {
+			row[0] = 1
+		} else {
+			row[0] = 0
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return x, y, nil
+}
+
+// fillCriteoRow writes one synthetic click-log row: 13 log-normal counts
+// then 27 hashed categorical indicators.
+func fillCriteoRow(rng *rand.Rand, row []float64) {
+	for j := 0; j < 13; j++ {
+		row[j] = math.Exp(rng.NormFloat64()) - 1 // log-normal count, ≥ -1+tiny
+		if row[j] < 0 {
+			row[j] = 0
+		}
+		row[j] = math.Log1p(row[j]) // the usual count transform
+	}
+	for j := 13; j < len(row); j++ {
+		// Hashed categorical: a small integer bucket, scaled.
+		row[j] = float64(rng.Intn(16)) / 15
+	}
+}
+
+// PageGraph generates an n×32 matrix shaped like the spectral embedding of
+// a power-law web graph: k latent communities with decaying per-dimension
+// scales.
+func PageGraph(s *flashr.Session, n int64, seed int64) (*flashr.FM, error) {
+	const k = 10
+	centers := pageGraphCenters(k)
+	return s.GenerateSeeded(n, PageGraphCols, seed, func(rng *rand.Rand, row []float64) {
+		// Zipf-ish community sizes: community c with weight 1/(c+1).
+		c := zipfPick(rng, k)
+		for j := 0; j < PageGraphCols; j++ {
+			scale := 1 / float64(j+1)
+			row[j] = centers[c][j] + rng.NormFloat64()*0.3*scale
+		}
+	})
+}
+
+func pageGraphCenters(k int) [][]float64 {
+	rng := rand.New(rand.NewSource(7007))
+	cs := make([][]float64, k)
+	for c := range cs {
+		cs[c] = make([]float64, PageGraphCols)
+		for j := range cs[c] {
+			cs[c][j] = rng.NormFloat64() / float64(j+1)
+		}
+	}
+	return cs
+}
+
+func zipfPick(rng *rand.Rand, k int) int {
+	var total float64
+	for c := 0; c < k; c++ {
+		total += 1 / float64(c+1)
+	}
+	u := rng.Float64() * total
+	for c := 0; c < k; c++ {
+		u -= 1 / float64(c+1)
+		if u <= 0 {
+			return c
+		}
+	}
+	return k - 1
+}
+
+// GaussianBlobs generates n points around k well-separated centers in p
+// dimensions plus the 0-based component labels — the generic clustering /
+// classification workload used by tests and the Fig. 9 sweeps.
+func GaussianBlobs(s *flashr.Session, n int64, p, k int, sep float64, seed int64) (x, y *flashr.FM, err error) {
+	rng := rand.New(rand.NewSource(seed * 31))
+	centers := make([][]float64, k)
+	for c := range centers {
+		centers[c] = make([]float64, p)
+		for j := range centers[c] {
+			centers[c][j] = rng.NormFloat64() * sep
+		}
+	}
+	x, err = s.GenerateSeeded(n, p, seed, func(rng *rand.Rand, row []float64) {
+		c := rng.Intn(k)
+		for j := 0; j < p; j++ {
+			row[j] = centers[c][j] + rng.NormFloat64()
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	y, err = s.GenerateSeeded(n, 1, seed, func(rng *rand.Rand, row []float64) {
+		row[0] = float64(rng.Intn(k))
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return x, y, nil
+}

@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	flashr "repro"
+	"repro/ml"
+)
+
+func session(t *testing.T) *flashr.Session {
+	t.Helper()
+	s, err := flashr.NewSession(flashr.Options{Workers: 2, PartRows: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCriteoShapeAndLabels(t *testing.T) {
+	s := session(t)
+	x, y, err := Criteo(s, 20000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, c := x.Dim(); r != 20000 || c != CriteoCols {
+		t.Fatalf("x dims %dx%d", r, c)
+	}
+	if r, c := y.Dim(); r != 20000 || c != 1 {
+		t.Fatalf("y dims %dx%d", r, c)
+	}
+	// Labels are 0/1 with a plausible click rate.
+	keys, _, err := flashr.TableOf(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != 0 || keys[1] != 1 {
+		t.Fatalf("label values %v", keys)
+	}
+	rate, err := flashr.Mean(y).Float()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < 0.05 || rate > 0.8 {
+		t.Fatalf("click rate %g", rate)
+	}
+	// Count features (cols 0..12) are non-negative.
+	mn, err := flashr.Min(GetColsHelper(x, 0, 13)).Float()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mn < 0 {
+		t.Fatalf("count feature below zero: %g", mn)
+	}
+}
+
+// GetColsHelper selects columns [lo,hi).
+func GetColsHelper(x *flashr.FM, lo, hi int) *flashr.FM {
+	cols := make([]int, 0, hi-lo)
+	for c := lo; c < hi; c++ {
+		cols = append(cols, c)
+	}
+	return flashr.GetCols(x, cols)
+}
+
+// TestCriteoLabelsLearnable: the ground-truth logistic model means a
+// classifier must beat the base rate substantially.
+func TestCriteoLabelsLearnable(t *testing.T) {
+	s := session(t)
+	x, y, err := Criteo(s, 30000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xb := flashr.Cbind(x, s.Ones(x.NRow(), 1))
+	m, err := ml.LogisticRegressionLBFGS(s, xb, y, ml.LogisticOptions{MaxIter: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := ml.Accuracy(m.Predict(s, xb), y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, _ := flashr.Mean(y).Float()
+	base := math.Max(rate, 1-rate)
+	if acc < base+0.03 {
+		t.Fatalf("accuracy %g barely beats base rate %g — labels carry no signal", acc, base)
+	}
+}
+
+func TestCriteoDeterministic(t *testing.T) {
+	s := session(t)
+	x1, y1, err := Criteo(s, 5000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, y2, err := Criteo(s, 5000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := flashr.Max(flashr.Abs(flashr.Sub(x1, x2))).MustFloat(); d != 0 {
+		t.Fatalf("features differ across identical seeds: %g", d)
+	}
+	if d := flashr.Max(flashr.Abs(flashr.Sub(y1, y2))).MustFloat(); d != 0 {
+		t.Fatalf("labels differ across identical seeds: %g", d)
+	}
+	// Different seed differs.
+	x3, _, err := Criteo(s, 5000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := flashr.Max(flashr.Abs(flashr.Sub(x1, x3))).MustFloat(); d == 0 {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+// TestPageGraphSpectralShape: per-dimension scale must decay like a spectral
+// embedding, and k-means must find meaningful clusters.
+func TestPageGraphSpectralShape(t *testing.T) {
+	s := session(t)
+	x, err := PageGraph(s, 30000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, c := x.Dim(); r != 30000 || c != PageGraphCols {
+		t.Fatalf("dims %dx%d", r, c)
+	}
+	// Column variances decay: dim 0 much larger than dim 31.
+	mean, err := flashr.ColMeans(x).AsVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := flashr.ColMeans(flashr.Square(x)).AsVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var0 := sq[0] - mean[0]*mean[0]
+	var31 := sq[31] - mean[31]*mean[31]
+	if var0 < 20*var31 {
+		t.Fatalf("no spectral decay: var0=%g var31=%g", var0, var31)
+	}
+	// K-means finds clusters far better than random: objective with k=10
+	// centers must be well below the k=1 objective.
+	res10, err := ml.KMeans(s, x, 10, ml.KMeansOptions{MaxIter: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := ml.KMeans(s, x, 1, ml.KMeansOptions{MaxIter: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res10.Objective > 0.8*res1.Objective {
+		t.Fatalf("k=10 objective %g vs k=1 %g — no cluster structure", res10.Objective, res1.Objective)
+	}
+	res10.Assign.Free()
+	res1.Assign.Free()
+}
+
+func TestGaussianBlobs(t *testing.T) {
+	s := session(t)
+	x, y, err := GaussianBlobs(s, 10000, 5, 3, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, c := x.Dim(); r != 10000 || c != 5 {
+		t.Fatalf("dims %dx%d", r, c)
+	}
+	keys, counts, err := flashr.TableOf(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 3 {
+		t.Fatalf("labels %v", keys)
+	}
+	for _, c := range counts {
+		if c < 2000 {
+			t.Fatalf("unbalanced labels %v", counts)
+		}
+	}
+}

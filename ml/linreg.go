@@ -1,0 +1,131 @@
+package ml
+
+import (
+	"fmt"
+
+	flashr "repro"
+	"repro/internal/dense"
+	"repro/internal/linalg"
+)
+
+// LinearModel is least-squares linear regression fitted by the normal
+// equations: w = (XᵀX + λI)⁻¹ Xᵀy. Like PCA, training reduces to sink
+// GenOps — the Gramian and Xᵀy materialize together in one pass over the
+// data regardless of n (computation O(n·p²), I/O O(n·p)).
+type LinearModel struct {
+	W         []float64 // p coefficients
+	Intercept float64
+	L2        float64
+	R2        float64 // training coefficient of determination
+}
+
+// LinearOptions controls the fit.
+type LinearOptions struct {
+	// L2 is the ridge penalty λ (0 = ordinary least squares).
+	L2 float64
+	// Intercept adds a bias term (fitted via mean centering).
+	Intercept bool
+}
+
+// LinearRegression fits y ≈ X w (+ b) from tall data. The Gramian, Xᵀy,
+// column sums and the scalar statistics of y all share one fused pass.
+func LinearRegression(s *flashr.Session, x, y *flashr.FM, opts LinearOptions) (*LinearModel, error) {
+	if y.NCol() != 1 || y.NRow() != x.NRow() {
+		return nil, fmt.Errorf("ml: response must be %dx1", x.NRow())
+	}
+	n := float64(x.NRow())
+	p := int(x.NCol())
+	gram := flashr.CrossProd(x)
+	xty := flashr.CrossProd2(x, y)
+	xsums := flashr.ColSums(x)
+	ysum := flashr.Sum(y)
+	yy := flashr.Sum(flashr.Square(y))
+	g, err := gram.AsDense() // forces all five sinks in one pass
+	if err != nil {
+		return nil, err
+	}
+	xyd, err := xty.AsDense()
+	if err != nil {
+		return nil, err
+	}
+	xs, err := xsums.AsVector()
+	if err != nil {
+		return nil, err
+	}
+	ys, err := ysum.Float()
+	if err != nil {
+		return nil, err
+	}
+	yySum, err := yy.Float()
+	if err != nil {
+		return nil, err
+	}
+
+	a := g.Clone()
+	b := xyd.Clone()
+	if opts.Intercept {
+		// Centered normal equations: (XᵀX − n·x̄x̄ᵀ) w = Xᵀy − n·x̄·ȳ.
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				a.Set(i, j, a.At(i, j)-xs[i]*xs[j]/n)
+			}
+			b.Set(i, 0, b.At(i, 0)-xs[i]*ys/n)
+		}
+	}
+	if opts.L2 > 0 {
+		for i := 0; i < p; i++ {
+			a.Set(i, i, a.At(i, i)+opts.L2)
+		}
+	}
+	w, err := linalg.Solve(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("ml: normal equations singular (try L2 > 0): %w", err)
+	}
+	m := &LinearModel{W: w.Col(0), L2: opts.L2}
+	if opts.Intercept {
+		m.Intercept = ys / n
+		for j := 0; j < p; j++ {
+			m.Intercept -= m.W[j] * xs[j] / n
+		}
+	}
+	// Training R²: 1 − SSE/SST, computed from the already-materialized
+	// sufficient statistics (no extra data pass).
+	yMean := ys / n
+	sst := yySum - n*yMean*yMean
+	// SSE = yᵀy − 2wᵀXᵀy + wᵀXᵀXw − intercept terms; reuse g/xyd.
+	var wXty, wGw float64
+	for i := 0; i < p; i++ {
+		wXty += m.W[i] * xyd.At(i, 0)
+		for j := 0; j < p; j++ {
+			wGw += m.W[i] * g.At(i, j) * m.W[j]
+		}
+	}
+	sse := yySum - 2*wXty + wGw
+	if opts.Intercept {
+		var wXs float64
+		for j := 0; j < p; j++ {
+			wXs += m.W[j] * xs[j]
+		}
+		sse += n*m.Intercept*m.Intercept + 2*m.Intercept*wXs - 2*m.Intercept*ys
+	}
+	if sst > 0 {
+		m.R2 = 1 - sse/sst
+	}
+	return m, nil
+}
+
+// Predict returns the lazy n×1 fitted values.
+func (m *LinearModel) Predict(s *flashr.Session, x *flashr.FM) *flashr.FM {
+	wv := s.Small(dense.FromSlice(len(m.W), 1, append([]float64(nil), m.W...)))
+	out := flashr.MatMul(x, wv)
+	if m.Intercept != 0 {
+		out = flashr.Add(out, m.Intercept)
+	}
+	return out
+}
+
+// MSE computes the mean squared error of predictions against truth in one
+// fused pass.
+func MSE(pred, y *flashr.FM) (float64, error) {
+	return flashr.Mean(flashr.Square(flashr.Sub(pred, y))).Float()
+}

@@ -1,0 +1,186 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	flashr "repro"
+	"repro/internal/dense"
+)
+
+func TestLinearRegressionRecoversCoefficients(t *testing.T) {
+	for _, s := range []*flashr.Session{memSession(t), emSession(t)} {
+		const n, p = 4000, 5
+		rng := rand.New(rand.NewSource(3))
+		wTrue := []float64{2, -1, 0.5, 0, 3}
+		const bTrue = 4.0
+		xd := dense.New(n, p)
+		yd := dense.New(n, 1)
+		for i := 0; i < n; i++ {
+			var dot float64
+			for j := 0; j < p; j++ {
+				v := rng.NormFloat64()
+				xd.Set(i, j, v)
+				dot += wTrue[j] * v
+			}
+			yd.Data[i] = dot + bTrue + rng.NormFloat64()*0.1
+		}
+		x, _ := s.FromDense(xd)
+		y, _ := s.FromDense(yd)
+		m, err := LinearRegression(s, x, y, LinearOptions{Intercept: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, w := range wTrue {
+			if math.Abs(m.W[j]-w) > 0.02 {
+				t.Fatalf("w[%d]=%g want %g", j, m.W[j], w)
+			}
+		}
+		if math.Abs(m.Intercept-bTrue) > 0.02 {
+			t.Fatalf("intercept %g", m.Intercept)
+		}
+		if m.R2 < 0.99 {
+			t.Fatalf("R² %g", m.R2)
+		}
+		mse, err := MSE(m.Predict(s, x), y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mse > 0.02 {
+			t.Fatalf("mse %g", mse)
+		}
+	}
+}
+
+func TestLinearRegressionRidgeShrinks(t *testing.T) {
+	s := memSession(t)
+	const n, p = 1000, 3
+	rng := rand.New(rand.NewSource(5))
+	xd := dense.New(n, p)
+	yd := dense.New(n, 1)
+	for i := 0; i < n; i++ {
+		for j := 0; j < p; j++ {
+			xd.Set(i, j, rng.NormFloat64())
+		}
+		yd.Data[i] = 5*xd.At(i, 0) + rng.NormFloat64()
+	}
+	x, _ := s.FromDense(xd)
+	y, _ := s.FromDense(yd)
+	ols, err := LinearRegression(s, x, y, LinearOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ridge, err := LinearRegression(s, x, y, LinearOptions{L2: 1e5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ridge.W[0]) >= math.Abs(ols.W[0]) {
+		t.Fatalf("ridge %g not shrunk vs OLS %g", ridge.W[0], ols.W[0])
+	}
+}
+
+func TestLinearRegressionSingularNeedsRidge(t *testing.T) {
+	s := memSession(t)
+	// Duplicate column → singular Gramian.
+	x, _ := s.GenerateMat(500, 2, func(i int64, j int) float64 { return float64(i % 7) })
+	y, _ := s.GenerateMat(500, 1, func(i int64, _ int) float64 { return float64(i % 7) })
+	if _, err := LinearRegression(s, x, y, LinearOptions{}); err == nil {
+		t.Fatal("singular system fitted without ridge")
+	}
+	if _, err := LinearRegression(s, x, y, LinearOptions{L2: 1e-3}); err != nil {
+		t.Fatalf("ridge fit failed: %v", err)
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	s := memSession(t)
+	truth, _ := s.FromVec([]float64{0, 0, 1, 1, 2, 2, 2})
+	pred, _ := s.FromVec([]float64{0, 1, 1, 1, 2, 0, 2})
+	cm, err := ConfusionMatrix(s, pred, truth, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int64{{1, 1, 0}, {0, 2, 0}, {1, 0, 2}}
+	for i := range want {
+		for j := range want[i] {
+			if cm[i][j] != want[i][j] {
+				t.Fatalf("cm[%d][%d]=%d want %d (%v)", i, j, cm[i][j], want[i][j], cm)
+			}
+		}
+	}
+}
+
+func TestAUC(t *testing.T) {
+	s := memSession(t)
+	// Perfectly separated scores → AUC 1; inverted → 0; random ≈ 0.5.
+	y, _ := s.FromVec([]float64{0, 0, 0, 1, 1, 1})
+	perfect, _ := s.FromVec([]float64{0.1, 0.2, 0.3, 0.7, 0.8, 0.9})
+	if v, err := AUC(perfect, y); err != nil || v != 1 {
+		t.Fatalf("perfect AUC %g %v", v, err)
+	}
+	inverted, _ := s.FromVec([]float64{0.9, 0.8, 0.7, 0.3, 0.2, 0.1})
+	if v, _ := AUC(inverted, y); v != 0 {
+		t.Fatalf("inverted AUC %g", v)
+	}
+	// Ties get midranks: constant scores → 0.5.
+	constant, _ := s.FromVec([]float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5})
+	if v, _ := AUC(constant, y); math.Abs(v-0.5) > 1e-12 {
+		t.Fatalf("tied AUC %g", v)
+	}
+	// Model-driven sanity: logistic scores on separable data give AUC≈1.
+	x, yy := gauss2(t, s, 800, 3, 11)
+	m, err := LogisticRegressionLBFGS(s, flashr.Cbind(x, s.Ones(800, 1)), yy, LogisticOptions{MaxIter: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := AUC(m.PredictProb(s, flashr.Cbind(x, s.Ones(800, 1))), yy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 0.98 {
+		t.Fatalf("model AUC %g", v)
+	}
+	// Single-class input errors.
+	ones := s.Ones(6, 1)
+	if _, err := AUC(perfect, ones); err == nil {
+		t.Fatal("single-class AUC accepted")
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	train, test := TrainTestSplit(10000, 0.25, 7)
+	if len(train)+len(test) != 10000 {
+		t.Fatal("split loses rows")
+	}
+	frac := float64(len(test)) / 10000
+	if math.Abs(frac-0.25) > 0.02 {
+		t.Fatalf("test fraction %g", frac)
+	}
+	// Deterministic.
+	train2, _ := TrainTestSplit(10000, 0.25, 7)
+	if len(train2) != len(train) || train2[0] != train[0] {
+		t.Fatal("split not deterministic")
+	}
+	// Different seed differs.
+	_, test3 := TrainTestSplit(10000, 0.25, 8)
+	same := 0
+	m := map[int64]bool{}
+	for _, i := range test {
+		m[i] = true
+	}
+	for _, i := range test3 {
+		if m[i] {
+			same++
+		}
+	}
+	if same == len(test) {
+		t.Fatal("different seeds gave identical split")
+	}
+	// No overlap between train and test.
+	for _, i := range train {
+		if m[i] {
+			t.Fatal("row in both sets")
+		}
+	}
+}

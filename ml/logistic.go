@@ -1,0 +1,167 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	flashr "repro"
+	"repro/internal/dense"
+	"repro/ml/optim"
+)
+
+// LogisticModel is a binary logistic regression model (§4.1: linear model
+// for classification; computation and I/O both O(n·p) per iteration).
+type LogisticModel struct {
+	W       []float64 // p weights
+	Iters   int
+	LogLoss float64
+}
+
+// LogisticOptions controls training.
+type LogisticOptions struct {
+	// MaxIter bounds iterations (default 100 for LBFGS, 50 for GD).
+	MaxIter int
+	// Tol is the logloss-delta convergence threshold; the paper uses
+	// logloss_{i-1} − logloss_i < 1e−6.
+	Tol float64
+	// L2 is an optional ridge penalty.
+	L2 float64
+}
+
+// lossGrad evaluates the logloss and gradient at w in ONE fused pass: the
+// cost aggregation and the gradient crossprod share the DAG rooted at X.
+func logisticLossGrad(s *flashr.Session, x, y *flashr.FM, w []float64, l2 float64) (float64, []float64, error) {
+	n := float64(x.NRow())
+	p := len(w)
+	wv := s.Small(dense.FromSlice(p, 1, append([]float64(nil), w...)))
+	z := flashr.MatMul(x, wv)            // n×1
+	prob := flashr.Sigmoid(z)            // n×1
+	resid := flashr.Sub(prob, y)         // n×1
+	gradS := flashr.CrossProd2(x, resid) // p×1 sink
+	// logloss = mean( log(1+exp(z)) - y*z )  (stable via log1p(exp(-|z|))).
+	// log(1+exp(z)) = max(z,0) + log1p(exp(-|z|)).
+	loss := flashr.Sum(flashr.Sub(
+		flashr.Add(flashr.Pmax(z, 0.0), flashr.Log1p(flashr.Exp(flashr.Neg(flashr.Abs(z))))),
+		flashr.Mul(y, z)))
+	lv, err := loss.Float() // forces: loss + grad in one pass
+	if err != nil {
+		return 0, nil, err
+	}
+	gd, err := gradS.AsDense()
+	if err != nil {
+		return 0, nil, err
+	}
+	f := lv / n
+	g := make([]float64, p)
+	for j := 0; j < p; j++ {
+		g[j] = gd.Data[j] / n
+	}
+	if l2 > 0 {
+		for j := 0; j < p; j++ {
+			f += 0.5 * l2 * w[j] * w[j]
+			g[j] += l2 * w[j]
+		}
+	}
+	return f, g, nil
+}
+
+// LogisticRegressionLBFGS trains with L-BFGS, the configuration benchmarked
+// in the paper.
+func LogisticRegressionLBFGS(s *flashr.Session, x, y *flashr.FM, opts LogisticOptions) (*LogisticModel, error) {
+	if y.NCol() != 1 || y.NRow() != x.NRow() {
+		return nil, fmt.Errorf("ml: labels must be %dx1", x.NRow())
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 100
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-6
+	}
+	p := int(x.NCol())
+	obj := optim.ObjectiveFunc(func(w []float64) (float64, []float64, error) {
+		return logisticLossGrad(s, x, y, w, opts.L2)
+	})
+	res, err := optim.Minimize(obj, make([]float64, p), optim.Options{
+		MaxIter: opts.MaxIter,
+		TolObj:  opts.Tol,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &LogisticModel{W: res.W, Iters: res.Iters, LogLoss: res.F}, nil
+}
+
+// LogisticRegressionGD trains with plain gradient descent plus backtracking
+// line search — the Figure 2 implementation, kept as the paper presents it.
+func LogisticRegressionGD(s *flashr.Session, x, y *flashr.FM, opts LogisticOptions) (*LogisticModel, error) {
+	if y.NCol() != 1 || y.NRow() != x.NRow() {
+		return nil, fmt.Errorf("ml: labels must be %dx1", x.NRow())
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 50
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-6
+	}
+	p := int(x.NCol())
+	w := make([]float64, p)
+	f, g, err := logisticLossGrad(s, x, y, w, opts.L2)
+	if err != nil {
+		return nil, err
+	}
+	model := &LogisticModel{}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		// Line search along -g: delta = 0.5 * (-g)·(-g)ᵀ (Figure 2).
+		var gg float64
+		for _, v := range g {
+			gg += v * v
+		}
+		if gg == 0 {
+			break
+		}
+		eta := 1.0
+		var fNew float64
+		var gNew []float64
+		wNew := make([]float64, p)
+		for ls := 0; ls < 30; ls++ {
+			for j := range wNew {
+				wNew[j] = w[j] - eta*g[j]
+			}
+			fNew, gNew, err = logisticLossGrad(s, x, y, wNew, opts.L2)
+			if err != nil {
+				return nil, err
+			}
+			if fNew < f-0.5*eta*gg*0.1 || fNew < f {
+				break
+			}
+			eta *= 0.2 // the paper's shrink factor
+		}
+		improve := f - fNew
+		if math.IsNaN(fNew) || improve <= 0 {
+			break
+		}
+		w, f, g = wNew, fNew, gNew
+		model.Iters = iter + 1
+		if improve < opts.Tol {
+			break
+		}
+	}
+	model.W, model.LogLoss = w, f
+	return model, nil
+}
+
+// PredictProb returns P(y=1|x) as a lazy n×1 tall matrix.
+func (m *LogisticModel) PredictProb(s *flashr.Session, x *flashr.FM) *flashr.FM {
+	wv := s.Small(dense.FromSlice(len(m.W), 1, append([]float64(nil), m.W...)))
+	return flashr.Sigmoid(flashr.MatMul(x, wv))
+}
+
+// Predict returns hard 0/1 predictions.
+func (m *LogisticModel) Predict(s *flashr.Session, x *flashr.FM) *flashr.FM {
+	return flashr.Ge(m.PredictProb(s, x), 0.5)
+}
+
+// Accuracy computes classification accuracy against labels y.
+func Accuracy(pred, y *flashr.FM) (float64, error) {
+	return flashr.Mean(flashr.Eq(pred, y)).Float()
+}

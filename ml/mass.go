@@ -1,0 +1,123 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	flashr "repro"
+	"repro/internal/dense"
+	"repro/internal/linalg"
+)
+
+// Mvrnorm draws n samples from a multivariate normal N(mu, Sigma) as an n×p
+// tall matrix — the MASS::mvrnorm port the paper benchmarks against
+// Revolution R Open (Fig. 8). Following MASS, X = μ + Z·Σ^{1/2} with the
+// symmetric eigendecomposition square root; the standard-normal draw and the
+// p×p multiplication stream through the engine (computation O(n·p²), I/O
+// O(n·p), Table 4).
+func Mvrnorm(s *flashr.Session, n int64, mu []float64, sigma *dense.Dense, seed int64) (*flashr.FM, error) {
+	p := len(mu)
+	if sigma.R != p || sigma.C != p {
+		return nil, fmt.Errorf("ml: mvrnorm Sigma is %dx%d, want %dx%d", sigma.R, sigma.C, p, p)
+	}
+	root, err := linalg.SqrtSPD(sigma)
+	if err != nil {
+		return nil, err
+	}
+	z, err := s.Rnorm(n, p, 0, 1, seed)
+	if err != nil {
+		return nil, err
+	}
+	// X = Z %*% Σ^{1/2} + μ (the sweep fuses with the multiply).
+	return flashr.Sweep(flashr.MatMul(z, s.Small(root)), 2,
+		s.Small(dense.FromSlice(1, p, append([]float64(nil), mu...))), "+"), nil
+}
+
+// LDAModel is linear discriminant analysis in the MASS style: Gaussian
+// classes sharing a pooled within-class covariance (§4.1; computation
+// O(n·p²), I/O O(n·p), Table 4).
+type LDAModel struct {
+	K        int
+	Priors   []float64
+	Means    *dense.Dense // k×p class means
+	PooledW  *dense.Dense // p×p pooled within-class covariance
+	discrimW *dense.Dense // p×k: W⁻¹ μ_cᵀ per class
+	discrimB []float64    // per-class constant −½ μᵀW⁻¹μ + log π
+}
+
+// LDA trains the classifier from tall data x and 0-based labels y. Training
+// is two fused passes: class counts/sums plus the global Gramian in one,
+// nothing further over the data (the pooled covariance comes from the
+// Gramian minus class-mean outer products).
+func LDA(s *flashr.Session, x, y *flashr.FM, k int) (*LDAModel, error) {
+	if err := validateLabels(y, k); err != nil {
+		return nil, err
+	}
+	n := x.NRow()
+	p := int(x.NCol())
+	cnt := flashr.GroupByRow(s.Ones(n, 1), y, k, "+")
+	sums := flashr.GroupByRow(x, y, k, "+")
+	gram := flashr.CrossProd(x)
+	cd, err := cnt.AsDense() // forces all three sinks in one pass
+	if err != nil {
+		return nil, err
+	}
+	sd, err := sums.AsDense()
+	if err != nil {
+		return nil, err
+	}
+	gd, err := gram.AsDense()
+	if err != nil {
+		return nil, err
+	}
+	m := &LDAModel{K: k, Priors: make([]float64, k), Means: dense.New(k, p)}
+	for c := 0; c < k; c++ {
+		nc := cd.Data[c]
+		if nc == 0 {
+			return nil, fmt.Errorf("ml: LDA class %d is empty", c)
+		}
+		m.Priors[c] = nc / float64(n)
+		for j := 0; j < p; j++ {
+			m.Means.Set(c, j, sd.At(c, j)/nc)
+		}
+	}
+	// Pooled within-class covariance: (XᵀX − Σ_c n_c μ_c μ_cᵀ)/(n−k).
+	w := dense.New(p, p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			v := gd.At(i, j)
+			for c := 0; c < k; c++ {
+				v -= cd.Data[c] * m.Means.At(c, i) * m.Means.At(c, j)
+			}
+			w.Set(i, j, v/float64(n-int64(k)))
+		}
+	}
+	m.PooledW = ridge(w)
+	l, err := linalg.Cholesky(m.PooledW)
+	if err != nil {
+		return nil, fmt.Errorf("ml: LDA pooled covariance not PD: %w", err)
+	}
+	// Discriminants: δ_c(x) = xᵀ W⁻¹ μ_c − ½ μ_cᵀ W⁻¹ μ_c + log π_c.
+	wInvMuT := linalg.SolveChol(l, m.Means.T()) // p×k
+	m.discrimW = wInvMuT
+	m.discrimB = make([]float64, k)
+	for c := 0; c < k; c++ {
+		var quad float64
+		for j := 0; j < p; j++ {
+			quad += m.Means.At(c, j) * wInvMuT.At(j, c)
+		}
+		m.discrimB[c] = -0.5*quad + math.Log(m.Priors[c])
+	}
+	return m, nil
+}
+
+// Scores returns the lazy n×k matrix of class discriminants.
+func (m *LDAModel) Scores(s *flashr.Session, x *flashr.FM) *flashr.FM {
+	lin := flashr.MatMul(x, s.Small(m.discrimW)) // n×k
+	return flashr.Sweep(lin, 2, s.Small(dense.FromSlice(1, m.K, append([]float64(nil), m.discrimB...))), "+")
+}
+
+// Predict returns the 0-based predicted class per row.
+func (m *LDAModel) Predict(s *flashr.Session, x *flashr.FM) *flashr.FM {
+	return flashr.RowWhichMax(m.Scores(s, x))
+}

@@ -1,0 +1,106 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+
+	flashr "repro"
+)
+
+// ConfusionMatrix computes the k×k confusion matrix of 0-based predictions
+// against 0-based truth in a single fused pass: the pair (truth, pred) is
+// encoded as truth·k + pred elementwise and counted with groupby.row.
+func ConfusionMatrix(s *flashr.Session, pred, truth *flashr.FM, k int) ([][]int64, error) {
+	if pred.NRow() != truth.NRow() || pred.NCol() != 1 || truth.NCol() != 1 {
+		return nil, fmt.Errorf("ml: confusion needs matching n×1 label vectors")
+	}
+	code := flashr.Add(flashr.Mul(truth, float64(k)), pred) // n×1 in [0, k²)
+	cnt := flashr.GroupByRow(s.Ones(pred.NRow(), 1), code, k*k, "+")
+	d, err := cnt.AsDense()
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int64, k)
+	for t := 0; t < k; t++ {
+		out[t] = make([]int64, k)
+		for p := 0; p < k; p++ {
+			out[t][p] = int64(d.At(t*k+p, 0))
+		}
+	}
+	return out, nil
+}
+
+// AUC computes the area under the ROC curve for binary labels and
+// predicted scores. Scores and labels materialize once; the sort is on the
+// gathered (n) values, matching how R's ROC utilities work.
+func AUC(score, y *flashr.FM) (float64, error) {
+	sv, err := score.AsVector()
+	if err != nil {
+		return 0, err
+	}
+	yv, err := y.AsVector()
+	if err != nil {
+		return 0, err
+	}
+	if len(sv) != len(yv) {
+		return 0, fmt.Errorf("ml: AUC length mismatch %d vs %d", len(sv), len(yv))
+	}
+	type pair struct {
+		s float64
+		y float64
+	}
+	ps := make([]pair, len(sv))
+	for i := range sv {
+		ps[i] = pair{sv[i], yv[i]}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].s < ps[j].s })
+	// Rank-sum (Mann-Whitney) formulation with midranks for ties.
+	var nPos, nNeg, rankSum float64
+	i := 0
+	rank := 1.0
+	for i < len(ps) {
+		j := i
+		for j < len(ps) && ps[j].s == ps[i].s {
+			j++
+		}
+		mid := (rank + rank + float64(j-i) - 1) / 2
+		for k := i; k < j; k++ {
+			if ps[k].y != 0 {
+				rankSum += mid
+				nPos++
+			} else {
+				nNeg++
+			}
+		}
+		rank += float64(j - i)
+		i = j
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0, fmt.Errorf("ml: AUC needs both classes present")
+	}
+	return (rankSum - nPos*(nPos+1)/2) / (nPos * nNeg), nil
+}
+
+// TrainTestSplit deterministically splits rows into train and test index
+// sets using a hash of the row index (no data pass at all; callers gather
+// with GetRows or build masks).
+func TrainTestSplit(n int64, testFraction float64, seed int64) (train, test []int64) {
+	if testFraction < 0 {
+		testFraction = 0
+	}
+	if testFraction > 1 {
+		testFraction = 1
+	}
+	threshold := uint64(testFraction * float64(^uint64(0)>>1))
+	for i := int64(0); i < n; i++ {
+		z := uint64(i)*0x9E3779B97F4A7C15 + uint64(seed)
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		if (z^(z>>31))>>1 < threshold {
+			test = append(test, i)
+		} else {
+			train = append(train, i)
+		}
+	}
+	return train, test
+}

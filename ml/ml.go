@@ -1,0 +1,156 @@
+// Package ml implements the benchmark algorithms of the paper's evaluation
+// (§4.1) on the flashr public API, exactly as the paper does: "we implement
+// these algorithms completely with the R code and rely on FlashR to execute
+// them in parallel and out-of-core". Each algorithm notes its computation
+// and I/O complexity from Table 4.
+//
+// All algorithms accept the data as a tall flashr matrix whose rows are data
+// points; models (means, covariances, weights, centers) are small in-memory
+// matrices, as in the paper where sink results stay in memory.
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	flashr "repro"
+	"repro/internal/dense"
+	"repro/internal/linalg"
+)
+
+// Correlation computes the pairwise Pearson correlation matrix of the
+// columns of x (Table 4: computation O(n·p²), I/O O(n·p); one pass — the
+// Gramian, column sums and column sums of squares materialize in a single
+// fused DAG).
+func Correlation(x *flashr.FM) (*dense.Dense, error) {
+	n := float64(x.NRow())
+	p := int(x.NCol())
+	gram := flashr.CrossProd(x)
+	sums := flashr.ColSums(x)
+	// Forcing gram flushes sums in the same pass.
+	g, err := gram.AsDense()
+	if err != nil {
+		return nil, err
+	}
+	sv, err := sums.AsVector()
+	if err != nil {
+		return nil, err
+	}
+	mean := make([]float64, p)
+	for j := range mean {
+		mean[j] = sv[j] / n
+	}
+	// cov = E[xy] - E[x]E[y]; corr = cov / (sd sdᵀ).
+	cov := dense.New(p, p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			cov.Set(i, j, g.At(i, j)/n-mean[i]*mean[j])
+		}
+	}
+	out := dense.New(p, p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			sd := math.Sqrt(cov.At(i, i) * cov.At(j, j))
+			if sd == 0 {
+				out.Set(i, j, 0)
+			} else {
+				out.Set(i, j, cov.At(i, j)/sd)
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		out.Set(i, i, 1)
+	}
+	return out, nil
+}
+
+// PCAResult is the output of PCA: eigenvalues (variances) in descending
+// order and the matching eigenvectors (rotation) as columns.
+type PCAResult struct {
+	Values   []float64
+	Rotation *dense.Dense
+	Center   []float64
+}
+
+// PCA computes principal components by eigendecomposition of the Gramian
+// covariance (the paper: "We implement PCA by computing eigenvalues on the
+// Gramian matrix AᵀA"). Computation O(n·p²), I/O O(n·p), one data pass.
+func PCA(x *flashr.FM, ncomp int) (*PCAResult, error) {
+	n := float64(x.NRow())
+	p := int(x.NCol())
+	if ncomp <= 0 || ncomp > p {
+		ncomp = p
+	}
+	gram := flashr.CrossProd(x)
+	sums := flashr.ColSums(x)
+	g, err := gram.AsDense()
+	if err != nil {
+		return nil, err
+	}
+	sv, err := sums.AsVector()
+	if err != nil {
+		return nil, err
+	}
+	center := make([]float64, p)
+	cov := dense.New(p, p)
+	for j := range center {
+		center[j] = sv[j] / n
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			cov.Set(i, j, (g.At(i, j)-n*center[i]*center[j])/(n-1))
+		}
+	}
+	vals, vecs, err := linalg.EigSym(cov)
+	if err != nil {
+		return nil, err
+	}
+	rot := dense.New(p, ncomp)
+	for i := 0; i < p; i++ {
+		for j := 0; j < ncomp; j++ {
+			rot.Set(i, j, vecs.At(i, j))
+		}
+	}
+	return &PCAResult{Values: vals[:ncomp], Rotation: rot, Center: center}, nil
+}
+
+// Transform projects x onto the principal components (lazy tall result).
+func (r *PCAResult) Transform(s *flashr.Session, x *flashr.FM) *flashr.FM {
+	centered := flashr.Sweep(x, 2, s.Small(dense.FromSlice(1, len(r.Center), r.Center)), "-")
+	return flashr.MatMul(centered, s.Small(r.Rotation))
+}
+
+// classStats gathers per-class counts, feature sums, and feature
+// sums-of-squares in one fused pass — the shared statistics pass behind
+// Naive Bayes and LDA.
+func classStats(s *flashr.Session, x, y *flashr.FM, k int) (counts []float64, sums, sqsums *dense.Dense, err error) {
+	n := x.NRow()
+	cnt := flashr.GroupByRow(s.Ones(n, 1), y, k, "+")
+	sum := flashr.GroupByRow(x, y, k, "+")
+	sq := flashr.GroupByRow(flashr.Square(x), y, k, "+")
+	cd, err := cnt.AsDense()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sums, err = sum.AsDense()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sqsums, err = sq.AsDense()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	counts = cd.Data
+	return counts, sums, sqsums, nil
+}
+
+// validateLabels checks a label matrix holds integers in [0, k).
+func validateLabels(y *flashr.FM, k int) error {
+	if y.NCol() != 1 {
+		return fmt.Errorf("ml: labels must be n×1, got %dx%d", y.NRow(), y.NCol())
+	}
+	if k < 2 {
+		return fmt.Errorf("ml: need at least 2 classes, got %d", k)
+	}
+	return nil
+}

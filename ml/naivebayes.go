@@ -1,0 +1,88 @@
+package ml
+
+import (
+	"math"
+
+	flashr "repro"
+	"repro/internal/dense"
+)
+
+// NaiveBayesModel is a Gaussian naive Bayes classifier: per-class priors and
+// per-class, per-feature means and variances ("Our implementation assumes
+// data follows the normal distribution", §4.1). Computation and I/O are both
+// O(n·p) (Table 4) — training is a single fused pass.
+type NaiveBayesModel struct {
+	K      int
+	Priors []float64
+	Mean   *dense.Dense // k×p
+	Var    *dense.Dense // k×p
+}
+
+// NaiveBayes trains the classifier from tall data x (n×p) and 0-based class
+// labels y (n×1, values in [0,k)).
+func NaiveBayes(s *flashr.Session, x, y *flashr.FM, k int) (*NaiveBayesModel, error) {
+	if err := validateLabels(y, k); err != nil {
+		return nil, err
+	}
+	counts, sums, sqsums, err := classStats(s, x, y, k)
+	if err != nil {
+		return nil, err
+	}
+	p := int(x.NCol())
+	n := float64(x.NRow())
+	m := &NaiveBayesModel{
+		K:      k,
+		Priors: make([]float64, k),
+		Mean:   dense.New(k, p),
+		Var:    dense.New(k, p),
+	}
+	const varFloor = 1e-9
+	for c := 0; c < k; c++ {
+		nc := counts[c]
+		m.Priors[c] = nc / n
+		for j := 0; j < p; j++ {
+			mu := sums.At(c, j) / nc
+			m.Mean.Set(c, j, mu)
+			v := sqsums.At(c, j)/nc - mu*mu
+			if v < varFloor {
+				v = varFloor
+			}
+			m.Var.Set(c, j, v)
+		}
+	}
+	return m, nil
+}
+
+// LogDensities returns the n×k tall matrix of per-class log p(x|c)+log π_c.
+// The whole expression — k scaled Euclidean inner products and their column
+// binding — is one lazy DAG evaluated in a single pass over x.
+func (m *NaiveBayesModel) LogDensities(s *flashr.Session, x *flashr.FM) *flashr.FM {
+	p := m.Mean.C
+	var cols *flashr.FM
+	for c := 0; c < m.K; c++ {
+		// -0.5 Σ_j (x_j-μ_j)²/σ_j² == -0.5 * euclid(x/σ, μ/σ).
+		invSD := make([]float64, p)
+		scaledMu := dense.New(p, 1)
+		var logConst float64
+		for j := 0; j < p; j++ {
+			sd := math.Sqrt(m.Var.At(c, j))
+			invSD[j] = 1 / sd
+			scaledMu.Set(j, 0, m.Mean.At(c, j)/sd)
+			logConst += -0.5*math.Log(2*math.Pi) - math.Log(sd)
+		}
+		xs := flashr.Sweep(x, 2, s.Small(dense.FromSlice(1, p, invSD)), "*")
+		d2 := flashr.InnerProd(xs, s.Small(scaledMu), "euclidean", "+")
+		ll := flashr.Add(flashr.Mul(d2, -0.5), logConst+math.Log(m.Priors[c]))
+		if cols == nil {
+			cols = ll
+		} else {
+			cols = flashr.Cbind(cols, ll)
+		}
+	}
+	return cols
+}
+
+// Predict returns the n×1 tall matrix of predicted 0-based classes.
+func (m *NaiveBayesModel) Predict(s *flashr.Session, x *flashr.FM) *flashr.FM {
+	return flashr.RowWhichMax(m.LogDensities(s, x))
+}

@@ -1,0 +1,230 @@
+// Package optim provides the limited-memory BFGS optimizer (Liu & Nocedal
+// 1989) that the paper's logistic regression uses ("We use the LBFGS
+// algorithm for optimization", §4.1), plus a backtracking Armijo line
+// search. The objective evaluates f and ∇f together — for FlashR objectives
+// one evaluation is one fused DAG pass over the data.
+package optim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Objective evaluates a differentiable function and its gradient at w.
+type Objective interface {
+	Eval(w []float64) (f float64, grad []float64, err error)
+}
+
+// ObjectiveFunc adapts a function to the Objective interface.
+type ObjectiveFunc func(w []float64) (float64, []float64, error)
+
+// Eval implements Objective.
+func (f ObjectiveFunc) Eval(w []float64) (float64, []float64, error) { return f(w) }
+
+// Options controls the optimizer.
+type Options struct {
+	// History is the number of (s, y) correction pairs kept (default 10).
+	History int
+	// MaxIter bounds the outer iterations (default 100).
+	MaxIter int
+	// TolObj stops when f_{i-1} - f_i < TolObj (the paper's logistic
+	// regression converges on logloss deltas below 1e-6).
+	TolObj float64
+	// TolGrad stops when ||∇f||∞ < TolGrad (default 1e-8).
+	TolGrad float64
+	// Callback, when non-nil, observes each accepted iterate.
+	Callback func(iter int, f float64, w []float64)
+}
+
+// Result reports the optimum found.
+type Result struct {
+	W          []float64
+	F          float64
+	Iters      int
+	Evals      int
+	Converged  bool
+	StopReason string
+}
+
+// Minimize runs L-BFGS from w0.
+func Minimize(obj Objective, w0 []float64, opt Options) (*Result, error) {
+	if opt.History <= 0 {
+		opt.History = 10
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 100
+	}
+	if opt.TolObj <= 0 {
+		opt.TolObj = 1e-6
+	}
+	if opt.TolGrad <= 0 {
+		opt.TolGrad = 1e-8
+	}
+	n := len(w0)
+	w := append([]float64(nil), w0...)
+	res := &Result{}
+	f, g, err := obj.Eval(w)
+	if err != nil {
+		return nil, err
+	}
+	res.Evals++
+	var sHist, yHist [][]float64
+	var rhoHist []float64
+	dir := make([]float64, n)
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		if normInf(g) < opt.TolGrad {
+			res.Converged, res.StopReason = true, "gradient"
+			break
+		}
+		// Two-loop recursion for d = -H g.
+		copy(dir, g)
+		alpha := make([]float64, len(sHist))
+		for i := len(sHist) - 1; i >= 0; i-- {
+			alpha[i] = rhoHist[i] * dot(sHist[i], dir)
+			axpy(-alpha[i], yHist[i], dir)
+		}
+		if len(sHist) > 0 {
+			last := len(sHist) - 1
+			gamma := dot(sHist[last], yHist[last]) / dot(yHist[last], yHist[last])
+			scal(gamma, dir)
+		}
+		for i := 0; i < len(sHist); i++ {
+			beta := rhoHist[i] * dot(yHist[i], dir)
+			axpy(alpha[i]-beta, sHist[i], dir)
+		}
+		for i := range dir {
+			dir[i] = -dir[i]
+		}
+		// Guard against non-descent directions (restart).
+		if dd := dot(dir, g); dd >= 0 {
+			for i := range dir {
+				dir[i] = -g[i]
+			}
+			sHist, yHist, rhoHist = nil, nil, nil
+		}
+		// Backtracking Armijo line search.
+		step := 1.0
+		if len(sHist) == 0 {
+			step = 1 / math.Max(1, normInf(g))
+		}
+		const c1 = 1e-4
+		gd := dot(g, dir)
+		var fNew float64
+		var gNew []float64
+		wNew := make([]float64, n)
+		accepted := false
+		for ls := 0; ls < 40; ls++ {
+			for i := range wNew {
+				wNew[i] = w[i] + step*dir[i]
+			}
+			fNew, gNew, err = obj.Eval(wNew)
+			if err != nil {
+				return nil, err
+			}
+			res.Evals++
+			if fNew <= f+c1*step*gd && !math.IsNaN(fNew) {
+				accepted = true
+				break
+			}
+			step *= 0.5
+		}
+		if !accepted {
+			res.StopReason = "line search failed"
+			break
+		}
+		// Curvature update.
+		s := make([]float64, n)
+		y := make([]float64, n)
+		for i := range s {
+			s[i] = wNew[i] - w[i]
+			y[i] = gNew[i] - g[i]
+		}
+		if sy := dot(s, y); sy > 1e-12 {
+			sHist = append(sHist, s)
+			yHist = append(yHist, y)
+			rhoHist = append(rhoHist, 1/sy)
+			if len(sHist) > opt.History {
+				sHist = sHist[1:]
+				yHist = yHist[1:]
+				rhoHist = rhoHist[1:]
+			}
+		}
+		improve := f - fNew
+		w, f, g = wNew, fNew, gNew
+		res.Iters = iter + 1
+		if opt.Callback != nil {
+			opt.Callback(res.Iters, f, w)
+		}
+		if improve >= 0 && improve < opt.TolObj {
+			res.Converged, res.StopReason = true, "objective"
+			break
+		}
+	}
+	if res.StopReason == "" {
+		res.StopReason = "max iterations"
+	}
+	res.W, res.F = w, f
+	return res, nil
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func axpy(alpha float64, x, y []float64) {
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+func scal(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+func normInf(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// NumGradCheck compares an analytic gradient against central differences —
+// a test utility exported for the ml package's property tests.
+func NumGradCheck(obj Objective, w []float64, eps float64) (maxRelErr float64, err error) {
+	_, g, err := obj.Eval(w)
+	if err != nil {
+		return 0, err
+	}
+	for i := range w {
+		wp := append([]float64(nil), w...)
+		wm := append([]float64(nil), w...)
+		wp[i] += eps
+		wm[i] -= eps
+		fp, _, err := obj.Eval(wp)
+		if err != nil {
+			return 0, err
+		}
+		fm, _, err := obj.Eval(wm)
+		if err != nil {
+			return 0, err
+		}
+		num := (fp - fm) / (2 * eps)
+		denom := math.Max(1, math.Abs(g[i]))
+		if rel := math.Abs(num-g[i]) / denom; rel > maxRelErr {
+			maxRelErr = rel
+		}
+	}
+	if math.IsNaN(maxRelErr) {
+		return maxRelErr, fmt.Errorf("optim: NaN in gradient check")
+	}
+	return maxRelErr, nil
+}

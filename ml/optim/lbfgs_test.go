@@ -1,0 +1,109 @@
+package optim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quadratic builds f(w) = ½ (w-c)ᵀ D (w-c) with positive diagonal D.
+func quadratic(c, d []float64) Objective {
+	return ObjectiveFunc(func(w []float64) (float64, []float64, error) {
+		var f float64
+		g := make([]float64, len(w))
+		for i := range w {
+			diff := w[i] - c[i]
+			f += 0.5 * d[i] * diff * diff
+			g[i] = d[i] * diff
+		}
+		return f, g, nil
+	})
+}
+
+func TestMinimizeQuadratic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		c := make([]float64, n)
+		d := make([]float64, n)
+		for i := range c {
+			c[i] = rng.NormFloat64() * 5
+			d[i] = 0.1 + rng.Float64()*10
+		}
+		res, err := Minimize(quadratic(c, d), make([]float64, n), Options{MaxIter: 200, TolObj: 1e-14})
+		if err != nil {
+			return false
+		}
+		for i := range c {
+			if math.Abs(res.W[i]-c[i]) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimizeRosenbrock(t *testing.T) {
+	rosen := ObjectiveFunc(func(w []float64) (float64, []float64, error) {
+		x, y := w[0], w[1]
+		f := (1-x)*(1-x) + 100*(y-x*x)*(y-x*x)
+		g := []float64{
+			-2*(1-x) - 400*x*(y-x*x),
+			200 * (y - x*x),
+		}
+		return f, g, nil
+	})
+	res, err := Minimize(rosen, []float64{-1.2, 1}, Options{MaxIter: 500, TolObj: 1e-14, TolGrad: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.W[0]-1) > 1e-3 || math.Abs(res.W[1]-1) > 1e-3 {
+		t.Fatalf("rosenbrock minimum at %v (f=%g, %s)", res.W, res.F, res.StopReason)
+	}
+}
+
+func TestConvergenceReporting(t *testing.T) {
+	res, err := Minimize(quadratic([]float64{2}, []float64{1}), []float64{0}, Options{MaxIter: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %s", res.StopReason)
+	}
+	if res.Evals < res.Iters {
+		t.Fatal("eval count implausible")
+	}
+	var calls int
+	_, err = Minimize(quadratic([]float64{1, 1}, []float64{1, 2}), []float64{5, -5}, Options{
+		MaxIter:  50,
+		Callback: func(iter int, f float64, w []float64) { calls++ },
+	})
+	if err != nil || calls == 0 {
+		t.Fatalf("callback not invoked (%v)", err)
+	}
+}
+
+func TestNumGradCheck(t *testing.T) {
+	rel, err := NumGradCheck(quadratic([]float64{1, -2, 3}, []float64{1, 2, 3}), []float64{0.5, 0.5, 0.5}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel > 1e-6 {
+		t.Fatalf("analytic gradient off by %g", rel)
+	}
+	// A deliberately wrong gradient must be caught.
+	bad := ObjectiveFunc(func(w []float64) (float64, []float64, error) {
+		return w[0] * w[0], []float64{1}, nil // true grad is 2w
+	})
+	rel, err = NumGradCheck(bad, []float64{3}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel < 0.1 {
+		t.Fatalf("wrong gradient not detected (rel %g)", rel)
+	}
+}

@@ -1,0 +1,884 @@
+package flashr
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+)
+
+// operand normalizes an argument that may be an *FM or a Go number.
+type operand struct {
+	fm     *FM
+	scalar float64
+	isNum  bool
+}
+
+func asOperand(v any) operand {
+	switch t := v.(type) {
+	case *FM:
+		return operand{fm: t}
+	case float64:
+		return operand{scalar: t, isNum: true}
+	case int:
+		return operand{scalar: float64(t), isNum: true}
+	case int64:
+		return operand{scalar: float64(t), isNum: true}
+	default:
+		panic(fmt.Sprintf("flashr: operand type %T (want *FM, float64 or int)", v))
+	}
+}
+
+// binOp implements every elementwise binary R function of Table 2: it
+// dispatches on operand classes (big/small/scalar) and stays lazy whenever a
+// big matrix is involved.
+func binOp(x, y any, f *core.Binary) *FM {
+	a, b := asOperand(x), asOperand(y)
+	switch {
+	case a.isNum && b.isNum:
+		panic("flashr: binary op needs at least one matrix")
+	case a.isNum:
+		return scalarOp(b.fm, a.scalar, f, true)
+	case b.isNum:
+		return scalarOp(a.fm, b.scalar, f, false)
+	}
+	xa, yb := a.fm, b.fm
+	if xa.s != yb.s {
+		panic("flashr: operands belong to different sessions")
+	}
+	s := xa.s
+	// 1×1 operands degrade to scalars.
+	if r, c := yb.dims(); r == 1 && c == 1 && !yb.isBig() {
+		return scalarOp(xa, yb.mustSmall().Data[0], f, false)
+	}
+	if r, c := xa.dims(); r == 1 && c == 1 && !xa.isBig() {
+		return scalarOp(yb, xa.mustSmall().Data[0], f, true)
+	}
+	ar, ac := xa.dims()
+	br, bc := yb.dims()
+	if ar != br || ac != bc {
+		panic(fmt.Sprintf("flashr: elementwise op on %dx%d and %dx%d", ar, ac, br, bc))
+	}
+	switch {
+	case !xa.isBig() && !yb.isBig():
+		da, db := xa.mustSmall(), yb.mustSmall()
+		out := dense.New(da.R, da.C)
+		for i := range out.Data {
+			out.Data[i] = f.F(da.Data[i], db.Data[i])
+		}
+		return s.smallFM(out)
+	case xa.isBig() && yb.isBig():
+		if xa.trans != yb.trans {
+			panic("flashr: elementwise op mixing a transposed and a non-transposed large matrix")
+		}
+		out := s.bigFM(core.Mapply(xa.big, yb.big, f))
+		out.trans = xa.trans
+		return out
+	default:
+		// One big, one small with the same logical shape: promote the
+		// small one into the engine.
+		big, small := xa, yb
+		swapped := false
+		if !big.isBig() {
+			big, small = yb, xa
+			swapped = true
+		}
+		if big.trans {
+			panic("flashr: elementwise op between transposed large matrix and small matrix")
+		}
+		pm, err := small.promote()
+		if err != nil {
+			panic(err)
+		}
+		if swapped {
+			return s.bigFM(core.Mapply(pm, big.big, f))
+		}
+		return s.bigFM(core.Mapply(big.big, pm, f))
+	}
+}
+
+func scalarOp(x *FM, sc float64, f *core.Binary, scalarLeft bool) *FM {
+	if x.isBig() {
+		out := x.s.bigFM(core.MapplyScalar(x.big, sc, f, scalarLeft))
+		out.trans = x.trans
+		return out
+	}
+	d := x.mustSmall()
+	out := dense.New(d.R, d.C)
+	for i, v := range d.Data {
+		if scalarLeft {
+			out.Data[i] = f.F(sc, v)
+		} else {
+			out.Data[i] = f.F(v, sc)
+		}
+	}
+	return x.s.smallFM(out)
+}
+
+// Add is R's "+" (elementwise; either argument may be a scalar).
+func Add(x, y any) *FM { return binOp(x, y, core.BinAdd) }
+
+// Sub is R's "-".
+func Sub(x, y any) *FM { return binOp(x, y, core.BinSub) }
+
+// Mul is R's "*" (Hadamard product).
+func Mul(x, y any) *FM { return binOp(x, y, core.BinMul) }
+
+// Div is R's "/".
+func Div(x, y any) *FM { return binOp(x, y, core.BinDiv) }
+
+// Pow is R's "^".
+func Pow(x, y any) *FM { return binOp(x, y, core.BinPow) }
+
+// Mod is R's "%%".
+func Mod(x, y any) *FM { return binOp(x, y, core.BinMod) }
+
+// Pmin is R's pmin.
+func Pmin(x, y any) *FM { return binOp(x, y, core.BinPmin) }
+
+// Pmax is R's pmax.
+func Pmax(x, y any) *FM { return binOp(x, y, core.BinPmax) }
+
+// Eq is R's "==" (1/0 valued result).
+func Eq(x, y any) *FM { return binOp(x, y, core.BinEq) }
+
+// Ne is R's "!=".
+func Ne(x, y any) *FM { return binOp(x, y, core.BinNe) }
+
+// Lt is R's "<".
+func Lt(x, y any) *FM { return binOp(x, y, core.BinLt) }
+
+// Le is R's "<=".
+func Le(x, y any) *FM { return binOp(x, y, core.BinLe) }
+
+// Gt is R's ">".
+func Gt(x, y any) *FM { return binOp(x, y, core.BinGt) }
+
+// Ge is R's ">=".
+func Ge(x, y any) *FM { return binOp(x, y, core.BinGe) }
+
+// And is R's "&".
+func And(x, y any) *FM { return binOp(x, y, core.BinAnd) }
+
+// Or is R's "|".
+func Or(x, y any) *FM { return binOp(x, y, core.BinOr) }
+
+// Mapply is the binary GenOp with a named predefined function (Table 1).
+func Mapply(x, y any, fname string) *FM {
+	f, err := core.LookupBinary(fname)
+	if err != nil {
+		panic(err)
+	}
+	return binOp(x, y, f)
+}
+
+func unOp(x *FM, f *core.Unary) *FM {
+	if x.isBig() {
+		out := x.s.bigFM(core.Sapply(x.big, f))
+		out.trans = x.trans
+		return out
+	}
+	return x.s.smallFM(x.mustSmall().Apply(f.F))
+}
+
+// Sapply is the unary GenOp with a named predefined function.
+func Sapply(x *FM, fname string) *FM {
+	f, err := core.LookupUnary(fname)
+	if err != nil {
+		panic(err)
+	}
+	return unOp(x, f)
+}
+
+// Neg is unary "-".
+func Neg(x *FM) *FM { return unOp(x, core.UnaryNeg) }
+
+// Not is R's "!".
+func Not(x *FM) *FM { return unOp(x, core.UnaryNot) }
+
+// Sqrt is R's sqrt.
+func Sqrt(x *FM) *FM { return unOp(x, core.UnarySqrt) }
+
+// Exp is R's exp.
+func Exp(x *FM) *FM { return unOp(x, core.UnaryExp) }
+
+// Log is R's log.
+func Log(x *FM) *FM { return unOp(x, core.UnaryLog) }
+
+// Log1p is R's log1p.
+func Log1p(x *FM) *FM { return unOp(x, core.UnaryLog1p) }
+
+// Abs is R's abs.
+func Abs(x *FM) *FM { return unOp(x, core.UnaryAbs) }
+
+// Floor is R's floor.
+func Floor(x *FM) *FM { return unOp(x, core.UnaryFloor) }
+
+// Ceiling is R's ceiling.
+func Ceiling(x *FM) *FM { return unOp(x, core.UnaryCeil) }
+
+// Round is R's round.
+func Round(x *FM) *FM { return unOp(x, core.UnaryRound) }
+
+// Sign is R's sign.
+func Sign(x *FM) *FM { return unOp(x, core.UnarySign) }
+
+// Sigmoid computes 1/(1+exp(-x)) in one fused kernel.
+func Sigmoid(x *FM) *FM { return unOp(x, core.UnarySigmoid) }
+
+// Square computes x*x.
+func Square(x *FM) *FM { return unOp(x, core.UnarySquare) }
+
+// aggF builds the full-matrix aggregation, lazily for big matrices.
+func aggF(x *FM, f *core.AggFunc) *FM {
+	if x.isBig() {
+		return x.s.sinkFM(core.Agg(x.big, f))
+	}
+	d := x.mustSmall()
+	acc := f.Init
+	acc = f.StepV(acc, d.Data)
+	return x.s.smallFM(dense.FromSlice(1, 1, []float64{acc}))
+}
+
+// Agg is agg(A, f) from Table 1: a scalar fold with a named function.
+func Agg(x *FM, fname string) *FM {
+	f, err := core.LookupAgg(fname)
+	if err != nil {
+		panic(err)
+	}
+	return aggF(x, f)
+}
+
+// Sum is R's sum; the result is a lazy 1×1 matrix (force with Float or
+// AsVector, as the paper's examples do).
+func Sum(x *FM) *FM { return aggF(x, core.AggSum) }
+
+// Prod is R's prod.
+func Prod(x *FM) *FM { return aggF(x, core.AggProd) }
+
+// Min is R's min over all elements.
+func Min(x *FM) *FM { return aggF(x, core.AggMin) }
+
+// Max is R's max over all elements.
+func Max(x *FM) *FM { return aggF(x, core.AggMax) }
+
+// Any is R's any (on a 0/1 matrix).
+func Any(x *FM) *FM { return aggF(x, core.AggAny) }
+
+// All is R's all.
+func All(x *FM) *FM { return aggF(x, core.AggAll) }
+
+// Mean is R's mean over all elements.
+func Mean(x *FM) *FM { return Div(Sum(x), float64(x.Length())) }
+
+// RowSums aggregates every row; on a tall matrix this keeps the partition
+// dimension (an n×1 tall matrix).
+func RowSums(x *FM) *FM { return aggRowF(x, core.AggSum) }
+
+// RowMeans is R's rowMeans.
+func RowMeans(x *FM) *FM {
+	_, c := x.dims()
+	return Div(RowSums(x), float64(c))
+}
+
+// ColSums aggregates every column; on a tall matrix the result is a sink
+// (1×p, held in memory).
+func ColSums(x *FM) *FM { return aggColF(x, core.AggSum) }
+
+// ColMeans is R's colMeans.
+func ColMeans(x *FM) *FM {
+	r, _ := x.dims()
+	return Div(ColSums(x), float64(r))
+}
+
+// AggRow is agg.row(A, f) with a named function.
+func AggRow(x *FM, fname string) *FM {
+	f, err := core.LookupAgg(fname)
+	if err != nil {
+		panic(err)
+	}
+	return aggRowF(x, f)
+}
+
+// AggCol is agg.col(A, f) with a named function.
+func AggCol(x *FM, fname string) *FM {
+	f, err := core.LookupAgg(fname)
+	if err != nil {
+		panic(err)
+	}
+	return aggColF(x, f)
+}
+
+func aggRowF(x *FM, f *core.AggFunc) *FM {
+	if x.isBig() {
+		if x.trans {
+			// Rows of the transpose are columns of the original.
+			return x.s.sinkFM(core.AggCol(x.big, f)).T()
+		}
+		return x.s.bigFM(core.AggRow(x.big, f))
+	}
+	d := x.mustSmall()
+	out := dense.New(d.R, 1)
+	for i := 0; i < d.R; i++ {
+		out.Data[i] = f.StepV(f.Init, d.Row(i))
+	}
+	return x.s.smallFM(out)
+}
+
+func aggColF(x *FM, f *core.AggFunc) *FM {
+	if x.isBig() {
+		if x.trans {
+			return x.s.bigFM(core.AggRow(x.big, f)).T()
+		}
+		return x.s.sinkFM(core.AggCol(x.big, f))
+	}
+	d := x.mustSmall()
+	out := dense.New(1, d.C)
+	for j := 0; j < d.C; j++ {
+		acc := f.Init
+		for i := 0; i < d.R; i++ {
+			acc = f.Step(acc, d.At(i, j))
+		}
+		out.Data[j] = acc
+	}
+	return x.s.smallFM(out)
+}
+
+// RowWhichMin returns the 0-based index of each row's minimum (R's
+// which.min per row, shifted to 0-based so the result feeds GroupByRow
+// directly).
+func RowWhichMin(x *FM) *FM {
+	if !x.isBig() || x.trans {
+		panic("flashr: RowWhichMin needs a non-transposed large matrix")
+	}
+	return x.s.bigFM(core.WhichMinRow(x.big))
+}
+
+// RowWhichMax returns the 0-based index of each row's maximum.
+func RowWhichMax(x *FM) *FM {
+	if !x.isBig() || x.trans {
+		panic("flashr: RowWhichMax needs a non-transposed large matrix")
+	}
+	return x.s.bigFM(core.WhichMaxRow(x.big))
+}
+
+// GroupByRow is groupby.row(A, B, f): rows of x grouped by the n×1 label
+// matrix (0-based labels in [0,k)) and aggregated per column into a k×p sink.
+func GroupByRow(x, labels *FM, k int, fname string) *FM {
+	f, err := core.LookupAgg(fname)
+	if err != nil {
+		panic(err)
+	}
+	if !x.isBig() || x.trans {
+		panic("flashr: GroupByRow needs a non-transposed large matrix")
+	}
+	lb, err := labels.promote()
+	if err != nil {
+		panic(err)
+	}
+	return x.s.sinkFM(core.GroupByRow(x.big, lb, k, f))
+}
+
+// GroupByCol is groupby.col(A, B, f): columns grouped by labels[j] ∈ [0,k),
+// aggregated within each row; the n×k result keeps the partition dimension.
+func GroupByCol(x *FM, labels []int, k int, fname string) *FM {
+	f, err := core.LookupAgg(fname)
+	if err != nil {
+		panic(err)
+	}
+	if !x.isBig() || x.trans {
+		panic("flashr: GroupByCol needs a non-transposed large matrix")
+	}
+	return x.s.bigFM(core.GroupByCol(x.big, labels, k, f))
+}
+
+// InnerProd is the generalized matrix multiplication GenOp: x (tall n×p)
+// against a small matrix y (p×m), with named f1/f2 (e.g. "euclidean", "+"
+// computes squared distances as in the paper's k-means).
+func InnerProd(x, y *FM, f1name, f2name string) *FM {
+	f1, err := core.LookupBinary(f1name)
+	if err != nil {
+		panic(err)
+	}
+	f2, err := core.LookupBinary(f2name)
+	if err != nil {
+		panic(err)
+	}
+	if !x.isBig() || x.trans {
+		panic("flashr: InnerProd needs a non-transposed large left operand")
+	}
+	d, err := y.resolveSmall()
+	if err != nil {
+		panic(err)
+	}
+	return x.s.bigFM(core.InnerProd(x.big, d, f1, f2))
+}
+
+// MatMul is R's %*%. Supported operand shapes mirror how the paper's
+// algorithms use multiplication on tall data:
+//
+//   - big %*% small           → streaming inner product (n×m tall result)
+//   - t(big) %*% big          → crossprod sink (p×m small result)
+//   - t(big) %*% small        → not meaningful on shapes; rejected
+//   - small %*% small         → eager BLAS
+//   - small %*% t(big)        → transposed inner product (view)
+//
+// Float matrices use the BLAS kernel; integer matrices use the generalized
+// inner-product GenOp, per Table 2.
+func MatMul(x, y *FM) *FM {
+	s := x.s
+	switch {
+	case x.isBig() && !x.trans:
+		// Right operand must be small (p×m).
+		d, err := y.resolveSmall()
+		if err != nil {
+			panic(fmt.Sprintf("flashr: %%*%% of two tall matrices is t(A)%%*%%B-shaped only: %v", err))
+		}
+		if int64(d.R) != x.NCol() {
+			panic(fmt.Sprintf("flashr: %%*%% dims %dx%d by %dx%d", x.NRow(), x.NCol(), d.R, d.C))
+		}
+		return s.bigFM(core.InnerProd(x.big, d, mmF1(x), mmF2(x)))
+	case x.isBig() && x.trans:
+		// t(A) %*% B with B tall: crossprod sink.
+		if y.isBig() && !y.trans {
+			if x.big.NRow() != y.big.NRow() {
+				panic("flashr: crossprod row mismatch")
+			}
+			return s.sinkFM(core.CrossProd(x.big, y.big, mmF1(x), mmF2(x)))
+		}
+		if !y.isBig() {
+			d := y.mustSmall()
+			if int64(d.R) != x.big.NRow() {
+				panic(fmt.Sprintf("flashr: %%*%% dims %dx%d by %dx%d", x.NRow(), x.NCol(), d.R, d.C))
+			}
+			// t(A) %*% small: promote the small right operand.
+			pm, err := y.promote()
+			if err != nil {
+				panic(err)
+			}
+			return s.sinkFM(core.CrossProd(x.big, pm, mmF1(x), mmF2(x)))
+		}
+		panic("flashr: t(A) %*% t(B) on two tall matrices not supported")
+	default:
+		// Small left operand.
+		da := x.mustSmall()
+		if !y.isBig() {
+			db := y.mustSmall()
+			if da.C != db.R {
+				panic(fmt.Sprintf("flashr: %%*%% dims %dx%d by %dx%d", da.R, da.C, db.R, db.C))
+			}
+			return s.smallFM(dense.MatMul(da, db))
+		}
+		if y.trans {
+			// small(m×p) %*% t(big n×p) = t( big %*% t(small) ): stream.
+			ip := core.InnerProd(y.big, da.T(), mmF1(y), mmF2(y))
+			out := s.bigFM(ip)
+			return out.T()
+		}
+		panic("flashr: small %*% tall is shape-invalid")
+	}
+}
+
+// mmF1/mmF2 select the multiply kernel per Table 2: BLAS (nil) for floats,
+// the generalized GenOp for integer matrices.
+func mmF1(x *FM) *core.Binary {
+	if x.big != nil && x.big.DType() != 0 { // non-F64
+		return core.BinMul
+	}
+	return nil
+}
+
+func mmF2(x *FM) *core.Binary {
+	if x.big != nil && x.big.DType() != 0 {
+		return core.BinAdd
+	}
+	return nil
+}
+
+// CrossProd computes t(x) %*% x (R's crossprod), a p×p sink on tall input.
+func CrossProd(x *FM) *FM { return CrossProd2(x, x) }
+
+// CrossProd2 computes t(x) %*% y.
+func CrossProd2(x, y *FM) *FM {
+	if x.isBig() && y.isBig() && !x.trans && !y.trans {
+		return x.s.sinkFM(core.CrossProd(x.big, y.big, mmF1(x), mmF2(x)))
+	}
+	return MatMul(x.T(), y)
+}
+
+// Sweep is R's sweep(x, margin, v, f): margin 2 sweeps a length-p vector
+// along every row; margin 1 sweeps a length-n vector (an n×1 matrix,
+// possibly tall) down every column.
+func Sweep(x *FM, margin int, v *FM, fname string) *FM {
+	f, err := core.LookupBinary(fname)
+	if err != nil {
+		panic(err)
+	}
+	if !x.isBig() {
+		d := x.mustSmall()
+		vd := v.mustSmall()
+		switch margin {
+		case 2:
+			return x.s.smallFM(d.SweepRows(vd.Data, f.F))
+		case 1:
+			return x.s.smallFM(d.SweepCols(vd.Data, f.F))
+		}
+		panic("flashr: sweep margin must be 1 or 2")
+	}
+	if x.trans {
+		panic("flashr: sweep on transposed large matrix")
+	}
+	switch margin {
+	case 2:
+		vd, err := v.resolveSmall()
+		if err != nil {
+			panic(err)
+		}
+		return x.s.bigFM(core.MapplyRowVec(x.big, vd.Data, f, false))
+	case 1:
+		vb, err := v.promote()
+		if err != nil {
+			panic(err)
+		}
+		return x.s.bigFM(core.MapplyColVec(x.big, vb, f, false))
+	}
+	panic("flashr: sweep margin must be 1 or 2")
+}
+
+// CumCol is the cumulative GenOp down each column (R's cumsum semantics per
+// column on a matrix) with a named function.
+func CumCol(x *FM, fname string) *FM {
+	f, err := core.LookupAgg(fname)
+	if err != nil {
+		panic(err)
+	}
+	if x.isBig() {
+		if x.trans {
+			return x.s.bigFM(core.CumRow(x.big, f)).T()
+		}
+		return x.s.bigFM(core.CumCol(x.big, f))
+	}
+	d := x.mustSmall()
+	out := dense.New(d.R, d.C)
+	run := make([]float64, d.C)
+	for j := range run {
+		run[j] = f.Init
+	}
+	for i := 0; i < d.R; i++ {
+		for j := 0; j < d.C; j++ {
+			run[j] = f.Step(run[j], d.At(i, j))
+			out.Set(i, j, run[j])
+		}
+	}
+	return x.s.smallFM(out)
+}
+
+// CumRow is the cumulative GenOp along each row.
+func CumRow(x *FM, fname string) *FM {
+	f, err := core.LookupAgg(fname)
+	if err != nil {
+		panic(err)
+	}
+	if x.isBig() {
+		if x.trans {
+			return x.s.bigFM(core.CumCol(x.big, f)).T()
+		}
+		return x.s.bigFM(core.CumRow(x.big, f))
+	}
+	return CumCol(x.T(), fname).T()
+}
+
+// Cumsum on a one-column matrix (R's cumsum on a vector).
+func Cumsum(x *FM) *FM { return CumCol(x, "+") }
+
+// GetCols selects columns (R's x[, idx]); on tall matrices this is a
+// virtual view whose blocked storage reads only the touched column blocks.
+func GetCols(x *FM, cols []int) *FM {
+	if x.isBig() {
+		if x.trans {
+			panic("flashr: GetCols on transposed large matrix (select rows instead)")
+		}
+		return x.s.bigFM(core.Cols(x.big, cols))
+	}
+	d := x.mustSmall()
+	out := dense.New(d.R, len(cols))
+	for i := 0; i < d.R; i++ {
+		for j, c := range cols {
+			out.Set(i, j, d.At(i, c))
+		}
+	}
+	return x.s.smallFM(out)
+}
+
+// GetCol selects a single column as an n×1 matrix.
+func GetCol(x *FM, j int) *FM { return GetCols(x, []int{j}) }
+
+// Cbind concatenates matrices column-wise (R's cbind).
+func Cbind(xs ...*FM) *FM {
+	if len(xs) == 0 {
+		panic("flashr: cbind of nothing")
+	}
+	out := xs[0]
+	for _, x := range xs[1:] {
+		out = cbind2(out, x)
+	}
+	return out
+}
+
+func cbind2(x, y *FM) *FM {
+	if x.isBig() || y.isBig() {
+		xb, err := x.promote()
+		if err != nil {
+			panic(err)
+		}
+		yb, err := y.promote()
+		if err != nil {
+			panic(err)
+		}
+		return x.s.bigFM(core.Cbind2(xb, yb))
+	}
+	dx, dy := x.mustSmall(), y.mustSmall()
+	if dx.R != dy.R {
+		panic("flashr: cbind row mismatch")
+	}
+	out := dense.New(dx.R, dx.C+dy.C)
+	for i := 0; i < dx.R; i++ {
+		copy(out.Row(i)[:dx.C], dx.Row(i))
+		copy(out.Row(i)[dx.C:], dy.Row(i))
+	}
+	return x.s.smallFM(out)
+}
+
+// Rbind concatenates matrices row-wise (R's rbind). Tall operands are
+// materialized and copied into a fresh store (the paper treats large matrix
+// modification as out of scope, citing TileDB-style fragments as future
+// work; a copy preserves semantics).
+func Rbind(xs ...*FM) *FM {
+	if len(xs) == 0 {
+		panic("flashr: rbind of nothing")
+	}
+	s := xs[0].s
+	anyBig := false
+	var totalRows int64
+	cols := xs[0].NCol()
+	for _, x := range xs {
+		if x.NCol() != cols {
+			panic("flashr: rbind column mismatch")
+		}
+		totalRows += x.NRow()
+		anyBig = anyBig || x.isBig()
+	}
+	if !anyBig {
+		rows := make([][]float64, 0, totalRows)
+		for _, x := range xs {
+			d := x.mustSmall()
+			for i := 0; i < d.R; i++ {
+				rows = append(rows, d.Row(i))
+			}
+		}
+		return s.smallFM(dense.FromRows(rows))
+	}
+	parts := make([]*dense.Dense, len(xs))
+	for i, x := range xs {
+		d, err := x.AsDense()
+		if err != nil {
+			panic(err)
+		}
+		parts[i] = d
+	}
+	big := dense.New(int(totalRows), int(cols))
+	off := 0
+	for _, d := range parts {
+		copy(big.Data[off:], d.Data)
+		off += len(d.Data)
+	}
+	out, err := s.FromDense(big)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// SetCols is the functional form of R's `x[, cols] <- v`: it returns x with
+// the given columns replaced by the columns of v. On tall matrices the
+// result is a virtual matrix constructed on the fly (§3.1 of the paper); no
+// copy of x is materialized.
+func SetCols(x *FM, cols []int, v *FM) *FM {
+	if x.isBig() {
+		if x.trans {
+			panic("flashr: SetCols on transposed large matrix")
+		}
+		vb, err := v.promote()
+		if err != nil {
+			panic(err)
+		}
+		return x.s.bigFM(core.SetCols(x.big, vb, cols))
+	}
+	d := x.mustSmall().Clone()
+	vd := v.mustSmall()
+	for i := 0; i < d.R; i++ {
+		for j, c := range cols {
+			d.Set(i, c, vd.At(i, j))
+		}
+	}
+	return x.s.smallFM(d)
+}
+
+// GroupBy is the generalized element groupby of Table 1: elements of x are
+// grouped by value and folded with the named aggregation per group. Output
+// size depends on the data, so it materializes immediately (like table).
+func GroupBy(x *FM, fname string) (keys, folds []float64, err error) {
+	f, err := core.LookupAgg(fname)
+	if err != nil {
+		return nil, nil, err
+	}
+	if x.isBig() {
+		g := core.GroupByVal(x.big, f)
+		if err := x.s.eng.Materialize(nil, []*core.Sink{g}); err != nil {
+			return nil, nil, err
+		}
+		k, v := g.GroupByValResult()
+		return k, v, nil
+	}
+	d, err := x.resolveSmall()
+	if err != nil {
+		return nil, nil, err
+	}
+	m := map[float64]float64{}
+	for _, v := range d.Data {
+		acc, ok := m[v]
+		if !ok {
+			acc = f.Init
+		}
+		m[v] = f.Step(acc, v)
+	}
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Float64s(keys)
+	folds = make([]float64, len(keys))
+	for i, k := range keys {
+		folds[i] = m[k]
+	}
+	return keys, folds, nil
+}
+
+// GetRows gathers arbitrary rows of x into a small in-memory matrix,
+// touching only the I/O partitions that contain requested rows. (General
+// large-matrix row shuffling is out of the paper's scope; this covers the
+// R idiom x[idx, ] for moderate index sets.)
+func GetRows(x *FM, idx []int64) (*dense.Dense, error) {
+	r, c := x.dims()
+	for _, i := range idx {
+		if i < 0 || i >= r {
+			return nil, fmt.Errorf("flashr: row %d out of range [0,%d)", i, r)
+		}
+	}
+	if !x.isBig() || x.trans {
+		d, err := x.AsDense()
+		if err != nil {
+			return nil, err
+		}
+		out := dense.New(len(idx), int(c))
+		for o, i := range idx {
+			copy(out.Row(o), d.Row(int(i)))
+		}
+		return out, nil
+	}
+	if err := x.Materialize(); err != nil {
+		return nil, err
+	}
+	st := x.big.Store()
+	pr := st.PartRows()
+	// Group requested rows by partition so each partition is read once.
+	byPart := map[int][]int{}
+	for o, i := range idx {
+		byPart[int(i)/pr] = append(byPart[int(i)/pr], o)
+	}
+	out := dense.New(len(idx), int(c))
+	buf := make([]float64, pr*int(c))
+	for p, outs := range byPart {
+		rows := int(min64(int64(pr), r-int64(p)*int64(pr)))
+		if err := st.ReadPart(p, buf[:rows*int(c)]); err != nil {
+			return nil, err
+		}
+		for _, o := range outs {
+			local := int(idx[o]) - p*pr
+			copy(out.Row(o), buf[local*int(c):(local+1)*int(c)])
+		}
+	}
+	return out, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Explain renders the lazy computation DAG rooted at x as an indented tree
+// (virtual matrices, their GenOps and shapes) — the structure Figure 6(a)
+// of the paper draws.
+func Explain(x *FM) string {
+	switch {
+	case x.big != nil:
+		return core.Explain(x.big)
+	case x.sink != nil:
+		return core.ExplainSink(x.sink)
+	default:
+		d := x.mustSmall()
+		return fmt.Sprintf("dense %dx%d (materialized in memory)\n", d.R, d.C)
+	}
+}
+
+// Unique returns the sorted distinct values (R's unique; output size is
+// data-dependent, so this forces materialization, §3.4 case iv).
+func Unique(x *FM) ([]float64, error) {
+	keys, _, err := TableOf(x)
+	return keys, err
+}
+
+// TableOf returns sorted distinct values and their counts (R's table).
+func TableOf(x *FM) (keys []float64, counts []int64, err error) {
+	if x.isBig() {
+		t := core.Table(x.big)
+		if err := x.s.eng.Materialize(nil, []*core.Sink{t}); err != nil {
+			return nil, nil, err
+		}
+		k, c := t.TableResult()
+		return k, c, nil
+	}
+	d, err := x.resolveSmall()
+	if err != nil {
+		return nil, nil, err
+	}
+	m := map[float64]int64{}
+	for _, v := range d.Data {
+		m[v]++
+	}
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Float64s(keys)
+	counts = make([]int64, len(keys))
+	for i, k := range keys {
+		counts[i] = m[k]
+	}
+	return keys, counts, nil
+}
+
+// Head materializes and returns the first n rows as a dense matrix.
+func Head(x *FM, n int) (*dense.Dense, error) {
+	d, err := x.AsDense()
+	if err != nil {
+		return nil, err
+	}
+	if n > d.R {
+		n = d.R
+	}
+	out := dense.New(n, d.C)
+	copy(out.Data, d.Data[:n*d.C])
+	return out, nil
+}

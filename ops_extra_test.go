@@ -1,0 +1,139 @@
+package flashr
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dense"
+)
+
+func TestSetCols(t *testing.T) {
+	for name, s := range testSessions(t) {
+		xd := dense.FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+		x, _ := s.FromDense(xd)
+		v, _ := s.FromRows([][]float64{{10, 30}, {40, 60}, {70, 90}})
+		got, err := SetCols(x, []int{0, 2}, v).AsDense()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := dense.FromRows([][]float64{{10, 2, 30}, {40, 5, 60}, {70, 8, 90}})
+		if !dense.Equalish(got, want, 0) {
+			t.Fatalf("%s: setcols %v", name, got.Data)
+		}
+		// Original unchanged (functional semantics, virtual construction).
+		orig, err := x.AsDense()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dense.Equalish(orig, xd, 0) {
+			t.Fatalf("%s: setcols mutated the source", name)
+		}
+		// Small path.
+		sm := s.SmallFromRows([][]float64{{1, 2}, {3, 4}})
+		got2 := SetCols(sm, []int{1}, s.SmallFromRows([][]float64{{9}, {9}}))
+		if got2.mustSmall().At(0, 1) != 9 || got2.mustSmall().At(0, 0) != 1 {
+			t.Fatalf("%s: small setcols", name)
+		}
+	}
+}
+
+func TestGroupByValue(t *testing.T) {
+	for name, s := range testSessions(t) {
+		v, _ := s.FromVec([]float64{2, 2, 3, 5, 3, 2})
+		keys, folds, err := GroupBy(v, "+")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Groups: 2→{2,2,2} sum 6; 3→{3,3} sum 6; 5→{5} sum 5.
+		if len(keys) != 3 || keys[0] != 2 || keys[1] != 3 || keys[2] != 5 {
+			t.Fatalf("%s: keys %v", name, keys)
+		}
+		if folds[0] != 6 || folds[1] != 6 || folds[2] != 5 {
+			t.Fatalf("%s: folds %v", name, folds)
+		}
+		// Count instance matches TableOf.
+		_, counts, err := TableOf(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, cFolds, err := GroupBy(v, "count")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range counts {
+			if float64(counts[i]) != cFolds[i] {
+				t.Fatalf("%s: groupby count %v vs table %v", name, cFolds, counts)
+			}
+		}
+	}
+}
+
+func TestGetRows(t *testing.T) {
+	for name, s := range testSessions(t) {
+		// Rows spanning several 256-row partitions.
+		x, err := s.GenerateMat(1000, 3, func(i int64, j int) float64 { return float64(i)*10 + float64(j) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := GetRows(x, []int64{999, 0, 300, 511, 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFirst := []float64{9990, 9991, 9992}
+		for j, w := range wantFirst {
+			if got.At(0, j) != w {
+				t.Fatalf("%s: row 999 = %v", name, got.Row(0))
+			}
+		}
+		if got.At(1, 0) != 0 || got.At(2, 0) != 3000 || got.At(3, 0) != 5110 || got.At(4, 0) != 5120 {
+			t.Fatalf("%s: gathered rows wrong: %v", name, got.Data)
+		}
+		if _, err := GetRows(x, []int64{1000}); err == nil {
+			t.Fatalf("%s: out-of-range row accepted", name)
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	s := NewMemSession()
+	x, _ := s.Rnorm(2000, 4, 0, 1, 1)
+	expr := Sqrt(Abs(Sub(Mul(x, 2.0), 1.0)))
+	plan := Explain(expr)
+	for _, want := range []string{"sapply", "f=sqrt", "mapply.scalar", "leaf 2000x4", "[virtual]"} {
+		if !strings.Contains(plan, want) {
+			t.Fatalf("explain missing %q:\n%s", want, plan)
+		}
+	}
+	// Sink explain.
+	sum := Sum(expr)
+	splan := Explain(sum)
+	if !strings.Contains(splan, "agg") || !strings.Contains(splan, "sink") {
+		t.Fatalf("sink explain:\n%s", splan)
+	}
+	// Forcing flips the state.
+	if _, err := sum.Float(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(Explain(sum), "materialized") {
+		t.Fatal("explain does not show materialization")
+	}
+}
+
+// TestSetColsFused: SetCols composes with downstream GenOps in one pass.
+func TestSetColsFused(t *testing.T) {
+	s := NewMemSession()
+	x, _ := s.Rnorm(3000, 4, 0, 1, 2)
+	zeros := s.Zeros(3000, 1)
+	masked := SetCols(x, []int{2}, zeros)
+	cs, err := ColSums(masked).AsVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs[2] != 0 {
+		t.Fatalf("masked column sum %g", cs[2])
+	}
+	if math.Abs(cs[0]) < 1e-12 && math.Abs(cs[1]) < 1e-12 {
+		t.Fatal("other columns unexpectedly zero")
+	}
+}

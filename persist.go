@@ -1,0 +1,166 @@
+package flashr
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// matrixMeta is the sidecar metadata stored next to a named matrix on the
+// SSD array, so matrices can be reopened across sessions without the caller
+// tracking shapes (what SAFS keeps in its own metadata files).
+type matrixMeta struct {
+	NRow     int64  `json:"nrow"`
+	NCol     int    `json:"ncol"`
+	PartRows int    `json:"part_rows"`
+	Blocks   int    `json:"blocks"` // 0 = flat file, else 32-column TAS blocks
+	DType    string `json:"dtype"`
+	Version  int    `json:"version"`
+}
+
+func metaName(name string) string { return name + ".meta" }
+
+// SaveNamed materializes x and stores it under the given name on the
+// session's SSD array (EM sessions only), with a metadata sidecar; reopen
+// with OpenNamed — from this session or a later one over the same drives.
+func (s *Session) SaveNamed(x *FM, name string) error {
+	if s.fs == nil {
+		return fmt.Errorf("flashr: SaveNamed needs a session with an SSD array")
+	}
+	if err := x.Materialize(); err != nil {
+		return err
+	}
+	if !x.isBig() {
+		d, err := x.resolveSmall()
+		if err != nil {
+			return err
+		}
+		big, err := s.FromDense(d)
+		if err != nil {
+			return err
+		}
+		return s.SaveNamed(big, name)
+	}
+	if x.trans {
+		return fmt.Errorf("flashr: SaveNamed of a transposed view; save the base matrix")
+	}
+	src := x.big.Store()
+	nrow, ncol := src.NRow(), src.NCol()
+	partRows := src.PartRows()
+	blocks := 0
+	if ncol > matrix.BlockCols {
+		blocks = matrix.NumBlockCols(ncol)
+	}
+	// Destination store(s) under the chosen name.
+	var dst matrix.Store
+	var err error
+	if blocks > 0 {
+		bs := make([]matrix.Store, blocks)
+		for b := 0; b < blocks; b++ {
+			bs[b], err = matrix.NewSAFSStore(s.fs, fmt.Sprintf("%s.b%02d", name, b),
+				nrow, matrix.BlockWidth(ncol, b), partRows)
+			if err != nil {
+				return err
+			}
+		}
+		dst, err = matrix.NewBlockedStore(bs)
+		if err != nil {
+			return err
+		}
+	} else {
+		dst, err = matrix.NewSAFSStore(s.fs, name, nrow, ncol, partRows)
+		if err != nil {
+			return err
+		}
+	}
+	buf := make([]float64, partRows*ncol)
+	for p := 0; p < src.NumParts(); p++ {
+		rows := matrix.PartRowsOf(nrow, partRows, p)
+		if err := src.ReadPart(p, buf[:rows*ncol]); err != nil {
+			return err
+		}
+		if err := dst.WritePart(p, buf[:rows*ncol]); err != nil {
+			return err
+		}
+	}
+	meta := matrixMeta{
+		NRow: nrow, NCol: ncol, PartRows: partRows, Blocks: blocks,
+		DType: x.big.DType().String(), Version: 1,
+	}
+	raw, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	mf, err := s.fs.Create(metaName(name), int64(len(raw)))
+	if err != nil {
+		return err
+	}
+	return mf.WriteAt(raw, 0)
+}
+
+// OpenNamed opens a matrix previously stored with SaveNamed (possibly by a
+// different process over the same drive directories).
+func (s *Session) OpenNamed(name string) (*FM, error) {
+	if s.fs == nil {
+		return nil, fmt.Errorf("flashr: OpenNamed needs a session with an SSD array")
+	}
+	mf, err := s.fs.OpenFile(metaName(name))
+	if err != nil {
+		return nil, fmt.Errorf("flashr: no metadata for %q: %w", name, err)
+	}
+	raw := make([]byte, mf.Size())
+	if err := mf.ReadAt(raw, 0); err != nil {
+		return nil, err
+	}
+	var meta matrixMeta
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return nil, fmt.Errorf("flashr: corrupt metadata for %q: %w", name, err)
+	}
+	if meta.PartRows != s.eng.PartRows() {
+		return nil, fmt.Errorf("flashr: %q stored with partition height %d, session uses %d",
+			name, meta.PartRows, s.eng.PartRows())
+	}
+	var st matrix.Store
+	if meta.Blocks > 0 {
+		bs := make([]matrix.Store, meta.Blocks)
+		for b := 0; b < meta.Blocks; b++ {
+			bs[b], err = matrix.OpenSAFSStore(s.fs, fmt.Sprintf("%s.b%02d", name, b),
+				meta.NRow, matrix.BlockWidth(meta.NCol, b), meta.PartRows)
+			if err != nil {
+				return nil, err
+			}
+		}
+		st, err = matrix.NewBlockedStore(bs)
+	} else {
+		st, err = matrix.OpenSAFSStore(s.fs, name, meta.NRow, meta.NCol, meta.PartRows)
+	}
+	if err != nil {
+		return nil, err
+	}
+	dt := matrix.F64
+	switch meta.DType {
+	case "integer":
+		dt = matrix.I64
+	case "logical":
+		dt = matrix.Bool
+	}
+	return s.bigFM(core.NewLeaf(st, dt)), nil
+}
+
+// ListNamed returns the names of matrices stored with SaveNamed on the
+// session's array.
+func (s *Session) ListNamed() []string {
+	if s.fs == nil {
+		return nil
+	}
+	var out []string
+	for _, f := range s.fs.List() {
+		const suffix = ".meta"
+		if len(f) > len(suffix) && f[len(f)-len(suffix):] == suffix {
+			out = append(out, f[:len(f)-len(suffix)])
+		}
+	}
+	return out
+}

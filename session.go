@@ -1,0 +1,217 @@
+// Package flashr is a Go reproduction of FlashR (Zheng et al., PPoPP 2018):
+// a matrix-oriented programming framework that parallelizes R-base-style
+// matrix operations and scales them beyond memory with SSDs.
+//
+// The public surface mirrors the paper's programming interface (§3.1):
+// matrix creation (runif.matrix, rnorm.matrix, load.dense), the overridden
+// R-base matrix functions of Table 2 (arithmetic, sum/rowSums/colSums,
+// pmin/pmax, sweep, %*%, t, rbind/cbind, unique/table, cumsum, [ ]), the
+// generalized operations of Table 1 (sapply, mapply, agg, agg.row/col,
+// groupby.row/col, inner.prod, cum.row/col), and the tuning functions of
+// Table 3 (materialize, set.cache, as.vector, as.matrix).
+//
+// Everything is lazily evaluated: operations build DAGs of virtual matrices
+// and the engine materializes a whole DAG in one parallel pass when a result
+// is forced (as.vector/as.matrix, element access, unique/table) or when
+// Materialize is called. A Session selects in-memory (FlashR-IM) or SSD
+// (FlashR-EM) execution and the operation-fusion level.
+package flashr
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/numa"
+	"repro/internal/safs"
+)
+
+// Options configures a Session.
+type Options struct {
+	// Workers is the number of evaluation goroutines (0 = GOMAXPROCS).
+	Workers int
+	// Fuse selects the operation-fusion level (default FuseCache; the
+	// lower levels exist for the Figure 10 ablation).
+	Fuse core.FuseLevel
+	// EM stores matrices on the SSD array instead of memory (FlashR-EM).
+	EM bool
+	// SSDDirs are the drive directories of the simulated SSD array;
+	// required when EM is set. OpenTempSSDs builds a throwaway array.
+	SSDDirs []string
+	// ReadMBps / WriteMBps throttle the SSD array's aggregate bandwidth
+	// (0 = unthrottled).
+	ReadMBps  float64
+	WriteMBps float64
+	// PartRows overrides the I/O partition height (power of two).
+	PartRows int
+	// PcacheBytes overrides the processor-cache partition budget.
+	PcacheBytes int
+	// NumaNodes sets the simulated NUMA topology size (0 = 4 nodes).
+	NumaNodes int
+}
+
+// FuseLevel aliases the engine's fusion-level type for Options.Fuse.
+type FuseLevel = core.FuseLevel
+
+// The engine fusion levels, re-exported for Options.Fuse.
+const (
+	FuseNone  = core.FuseNone
+	FuseMem   = core.FuseMem
+	FuseCache = core.FuseCache
+)
+
+// Session owns an execution engine plus the set of not-yet-materialized sink
+// matrices. The session grows DAGs as large as possible: every pending sink
+// sharing a partition dimension is materialized in the same parallel pass
+// the first time any of them is forced (§3.4).
+type Session struct {
+	eng *core.Engine
+	fs  *safs.FS
+
+	mu      sync.Mutex
+	pending []*core.Sink
+	ownsFS  bool
+}
+
+// NewSession builds a session from options.
+func NewSession(opts Options) (*Session, error) {
+	var fs *safs.FS
+	var err error
+	if len(opts.SSDDirs) > 0 {
+		fs, err = safs.Open(safs.Config{
+			Drives:    opts.SSDDirs,
+			ReadMBps:  opts.ReadMBps,
+			WriteMBps: opts.WriteMBps,
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else if opts.EM {
+		return nil, fmt.Errorf("flashr: EM session requires SSDDirs")
+	}
+	var topo *numa.Topology
+	if opts.NumaNodes > 0 {
+		topo = numa.NewTopology(opts.NumaNodes, 0)
+	}
+	eng, err := core.NewEngine(core.Config{
+		Workers:     opts.Workers,
+		Fuse:        opts.Fuse,
+		Topo:        topo,
+		FS:          fs,
+		EM:          opts.EM,
+		PartRows:    opts.PartRows,
+		PcacheBytes: opts.PcacheBytes,
+	})
+	if err != nil {
+		if fs != nil {
+			fs.Close()
+		}
+		return nil, err
+	}
+	return &Session{eng: eng, fs: fs, ownsFS: fs != nil}, nil
+}
+
+// NewMemSession builds an in-memory session (FlashR-IM) with default
+// settings.
+func NewMemSession() *Session {
+	s, err := NewSession(Options{})
+	if err != nil {
+		panic(err) // cannot fail without EM options
+	}
+	return s
+}
+
+// Engine exposes the underlying execution engine (benchmarks and tests).
+func (s *Session) Engine() *core.Engine { return s.eng }
+
+// Wrap adopts an existing engine matrix (e.g. a leaf over a store opened
+// from an SSD array) into the session. The matrix's partition height must
+// match the session engine's.
+func (s *Session) Wrap(m *core.Mat) *FM { return s.bigFM(m) }
+
+// FS exposes the SSD array, or nil for an in-memory session.
+func (s *Session) FS() *safs.FS { return s.fs }
+
+// Close releases the SSD array if the session owns one.
+func (s *Session) Close() error {
+	if s.ownsFS && s.fs != nil {
+		return s.fs.Close()
+	}
+	return nil
+}
+
+// deferSink registers a sink for batched materialization.
+func (s *Session) deferSink(k *core.Sink) {
+	s.mu.Lock()
+	s.pending = append(s.pending, k)
+	s.mu.Unlock()
+}
+
+// flush materializes every pending sink (plus the given tall targets),
+// grouping by partition dimension so each group is one fused pass.
+func (s *Session) flush(talls ...*core.Mat) error {
+	s.mu.Lock()
+	pend := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+
+	groups := map[int64]*struct {
+		sinks []*core.Sink
+		talls []*core.Mat
+	}{}
+	add := func(nrow int64) *struct {
+		sinks []*core.Sink
+		talls []*core.Mat
+	} {
+		g, ok := groups[nrow]
+		if !ok {
+			g = &struct {
+				sinks []*core.Sink
+				talls []*core.Mat
+			}{}
+			groups[nrow] = g
+		}
+		return g
+	}
+	for _, k := range pend {
+		if k.Done() {
+			continue
+		}
+		g := add(sinkNRow(k))
+		g.sinks = append(g.sinks, k)
+	}
+	for _, m := range talls {
+		if m == nil || m.Materialized() {
+			continue
+		}
+		g := add(m.NRow())
+		g.talls = append(g.talls, m)
+	}
+	for _, g := range groups {
+		if err := s.eng.Materialize(g.talls, g.sinks); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sinkNRow recovers the partition dimension a sink aggregates over.
+func sinkNRow(k *core.Sink) int64 { return k.Input().NRow() }
+
+// forceSink materializes a specific sink (flushing the whole pending batch
+// with it) and returns its result.
+func (s *Session) forceSink(k *core.Sink) (*dense.Dense, error) {
+	if !k.Done() {
+		if err := s.flush(); err != nil {
+			return nil, err
+		}
+		if !k.Done() {
+			// The sink was created outside the pending list (defensive).
+			if err := s.eng.Materialize(nil, []*core.Sink{k}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return k.Result(), nil
+}
