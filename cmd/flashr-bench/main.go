@@ -31,15 +31,22 @@ func main() {
 		writeMBps  = flag.Float64("write-mbps", 1000, "aggregate SSD write bandwidth (MiB/s, 0=unthrottled)")
 		iters      = flag.Int("iters", 5, "fixed iteration count for iterative algorithms")
 		seed       = flag.Int64("seed", 42, "workload seed")
+		syncWrites = flag.Bool("sync-writes", false, "disable the write-behind pipeline (synchronous partition writes)")
+		writeDepth = flag.Int("write-depth", 0, "in-flight async partition write bound (0=auto: 2×workers in [4,32])")
 	)
 	flag.Parse()
 
 	cfg := benchmark.Config{
 		N: *n, Workers: *workers, SSDRoot: *ssdRoot, Drives: *drives,
 		ReadMBps: *readMBps, WriteMBps: *writeMBps, Iters: *iters, Seed: *seed,
+		SyncWrites: *syncWrites, WriteBehindDepth: *writeDepth,
 	}
-	fmt.Printf("flashr-bench: experiment=%s n=%d workers=%d drives=%d read=%.0fMiB/s write=%.0fMiB/s iters=%d\n\n",
-		*experiment, *n, *workers, *drives, *readMBps, *writeMBps, *iters)
+	writes := "write-behind"
+	if *syncWrites {
+		writes = "sync"
+	}
+	fmt.Printf("flashr-bench: experiment=%s n=%d workers=%d drives=%d read=%.0fMiB/s write=%.0fMiB/s iters=%d writes=%s depth=%d\n\n",
+		*experiment, *n, *workers, *drives, *readMBps, *writeMBps, *iters, writes, *writeDepth)
 	rows, err := benchmark.Run(*experiment, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "flashr-bench: %v\n", err)

@@ -66,6 +66,10 @@ type Config struct {
 	// single-core host. Zero selects the 250/200 defaults.
 	SweepReadMBps  float64
 	SweepWriteMBps float64
+	// SyncWrites disables the engines' write-behind pipeline (A/B baseline).
+	SyncWrites bool
+	// WriteBehindDepth bounds in-flight async partition writes (0 = auto).
+	WriteBehindDepth int
 }
 
 // Defaults fills unset fields.
@@ -145,7 +149,9 @@ type sessionSet struct {
 }
 
 func (c Config) openSessions(fuseEM flashr.Options) (*sessionSet, error) {
-	im, err := flashr.NewSession(flashr.Options{Workers: c.Workers})
+	im, err := flashr.NewSession(flashr.Options{
+		Workers: c.Workers, SyncWrites: c.SyncWrites, WriteBehindDepth: c.WriteBehindDepth,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -163,7 +169,8 @@ func (c Config) openSessions(fuseEM flashr.Options) (*sessionSet, error) {
 	opts := flashr.Options{
 		Workers: c.Workers, EM: true, SSDDirs: drives,
 		ReadMBps: c.ReadMBps, WriteMBps: c.WriteMBps,
-		Fuse: fuseEM.Fuse,
+		Fuse:       fuseEM.Fuse,
+		SyncWrites: c.SyncWrites, WriteBehindDepth: c.WriteBehindDepth,
 	}
 	em, err := flashr.NewSession(opts)
 	if err != nil {
@@ -183,6 +190,17 @@ func timeIt(f func() error) (float64, error) {
 	t0 := time.Now()
 	err := f()
 	return time.Since(t0).Seconds(), err
+}
+
+// ioExtra compresses a MaterializeStats delta into a Row.Extra fragment.
+// wstall < wtime is the visible proof that the write-behind queue overlapped
+// SSD writes with compute (under SyncWrites the two are equal by
+// construction).
+func ioExtra(s flashr.MaterializeStats) string {
+	return fmt.Sprintf("read=%.0fMB written=%.0fMB pf=%d/%d wstall=%.3fs wtime=%.3fs",
+		float64(s.BytesRead)/(1<<20), float64(s.BytesWritten)/(1<<20),
+		s.PrefetchHits, s.PrefetchMisses,
+		s.WriteStall.Seconds(), s.WriteTime.Seconds())
 }
 
 // algoSpec is one benchmark algorithm bound to its dataset family.
@@ -342,33 +360,35 @@ func Fig7a(cfg Config) ([]Row, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s flashr-im: %w", spec.name, err)
 		}
+		emBefore := ss.em.TotalMaterializeStats()
 		tEM, err := timeIt(func() error { return spec.runFlashr(ss.em, xe, ye, cfg) })
 		if err != nil {
 			return nil, fmt.Errorf("%s flashr-em: %w", spec.name, err)
 		}
+		emIO := ss.em.TotalMaterializeStats().Sub(emBefore)
 		spark := eager.New(eager.StyleMLlib, cfg.Workers)
 		tSpark, err := timeIt(func() error { return spec.runEager(spark, xd, yd, cfg) })
 		if err != nil {
 			return nil, err
 		}
-		add := func(system string, sec float64) {
+		add := func(system string, sec float64, extra string) {
 			rows = append(rows, Row{
 				Experiment: "fig7a", Algorithm: spec.name, System: system,
 				Params:  fmt.Sprintf("n=%d p=%d", cfg.N, int(xi.NCol())),
-				Seconds: sec, Normalized: sec / tIM,
+				Seconds: sec, Normalized: sec / tIM, Extra: extra,
 			})
 		}
-		add("FlashR-IM", tIM)
-		add("FlashR-EM", tEM)
+		add("FlashR-IM", tIM, "")
+		add("FlashR-EM", tEM, ioExtra(emIO))
 		if spec.inH2O {
 			h2o := eager.New(eager.StyleH2O, cfg.Workers)
 			tH2O, err := timeIt(func() error { return spec.runEager(h2o, xd, yd, cfg) })
 			if err != nil {
 				return nil, err
 			}
-			add("H2O-like", tH2O)
+			add("H2O-like", tH2O, "")
 		}
-		add("MLlib-like", tSpark)
+		add("MLlib-like", tSpark, "")
 		freeAll(xi, yi, xe, ye)
 	}
 	return rows, nil
@@ -739,7 +759,9 @@ func Table6(cfg Config) ([]Row, error) {
 		}
 		dataMB := float64(cfg.N) * float64(x.NCol()) * 8 / (1 << 20)
 		peak := newPeakTracker()
+		before := ss.em.TotalMaterializeStats()
 		sec, err := timeIt(func() error { return spec.runFlashr(ss.em, x, y, cfg) })
+		io := ss.em.TotalMaterializeStats().Sub(before)
 		peakMB := peak.stop()
 		freeAll(x, y)
 		if err != nil {
@@ -749,7 +771,8 @@ func Table6(cfg Config) ([]Row, error) {
 			Experiment: "table6", Algorithm: spec.name, System: "FlashR-EM",
 			Params:  fmt.Sprintf("n=%d p=%d", cfg.N, int(x.NCol())),
 			Seconds: sec,
-			Extra:   fmt.Sprintf("peakheap=%.0fMB data=%.0fMB ratio=%.2f", peakMB, dataMB, peakMB/dataMB),
+			Extra: fmt.Sprintf("peakheap=%.0fMB data=%.0fMB ratio=%.2f %s",
+				peakMB, dataMB, peakMB/dataMB, ioExtra(io)),
 		})
 	}
 	return rows, nil

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dense"
 	"repro/internal/matrix"
@@ -80,6 +82,13 @@ type Config struct {
 	// size; the scheduler shrinks to single partitions near the end,
 	// §3.3).
 	SuperParts int
+	// SyncWrites disables the write-behind pipeline and writes tall-output
+	// partitions synchronously from the compute workers — the pre-pipeline
+	// behavior, kept as a debugging escape hatch and for A/B comparison.
+	SyncWrites bool
+	// WriteBehindDepth bounds in-flight asynchronous partition writes
+	// (0 = 2×Workers clamped to [4, 32]).
+	WriteBehindDepth int
 }
 
 // Stats counts engine activity.
@@ -97,6 +106,14 @@ type Engine struct {
 	stats    Stats
 	fileSeq  atomic.Int64
 	matSeqMu sync.Mutex
+
+	statsMu  sync.Mutex
+	lastMat  MaterializeStats
+	totalMat MaterializeStats
+
+	// testStoreWrap, when set by tests, wraps every tall-output store the
+	// engine creates — the injection seam for write-failure coverage.
+	testStoreWrap func(matrix.Store) matrix.Store
 }
 
 // NewEngine validates the configuration and returns an engine.
@@ -119,6 +136,15 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.EM && cfg.FS == nil {
 		return nil, fmt.Errorf("core: EM engine requires an SSD array (Config.FS)")
 	}
+	if cfg.WriteBehindDepth == 0 {
+		cfg.WriteBehindDepth = 2 * cfg.Workers
+		if cfg.WriteBehindDepth < 4 {
+			cfg.WriteBehindDepth = 4
+		}
+		if cfg.WriteBehindDepth > 32 {
+			cfg.WriteBehindDepth = 32
+		}
+	}
 	if cfg.SuperParts == 0 {
 		cfg.SuperParts = 4
 		if cfg.FS != nil {
@@ -139,6 +165,23 @@ func (e *Engine) Config() Config { return e.cfg }
 
 // Stats exposes the engine counters.
 func (e *Engine) Stats() *Stats { return &e.stats }
+
+// LastMaterializeStats returns the observability record of the most recent
+// Materialize call.
+func (e *Engine) LastMaterializeStats() MaterializeStats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.lastMat
+}
+
+// TotalMaterializeStats returns the engine-lifetime accumulation of every
+// Materialize call's record. Snapshot before and after a region and Sub the
+// two to attribute I/O to it.
+func (e *Engine) TotalMaterializeStats() MaterializeStats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.totalMat
+}
 
 // PartRows returns the engine-wide I/O partition height.
 func (e *Engine) PartRows() int { return e.cfg.PartRows }
@@ -257,6 +300,13 @@ func (e *Engine) ToDense(m *Mat) (*dense.Dense, error) {
 // a single parallel pass over the I/O partitions; under FuseNone every
 // operation is materialized separately (§3.5 / Figure 10 "base").
 func (e *Engine) Materialize(talls []*Mat, sinks []*Sink) error {
+	return e.MaterializeCtx(context.Background(), talls, sinks)
+}
+
+// MaterializeCtx is Materialize with cancellation: when ctx is cancelled the
+// pass aborts, in-flight write-behind jobs drain, buffer pools stay
+// consistent, and ctx.Err() is returned.
+func (e *Engine) MaterializeCtx(ctx context.Context, talls []*Mat, sinks []*Sink) error {
 	// Drop already-materialized targets.
 	var mt []*Mat
 	for _, m := range talls {
@@ -264,16 +314,16 @@ func (e *Engine) Materialize(talls []*Mat, sinks []*Sink) error {
 			mt = append(mt, m)
 		}
 	}
-	var ms []*Sink
+	var sk []*Sink
 	for _, s := range sinks {
 		if s != nil && !s.Done() {
-			ms = append(ms, s)
+			sk = append(sk, s)
 		}
 	}
-	if len(mt) == 0 && len(ms) == 0 {
+	if len(mt) == 0 && len(sk) == 0 {
 		return nil
 	}
-	d, err := buildDAG(mt, ms)
+	d, err := buildDAG(mt, sk)
 	if err != nil {
 		return err
 	}
@@ -281,10 +331,19 @@ func (e *Engine) Materialize(talls []*Mat, sinks []*Sink) error {
 		return err
 	}
 	e.stats.DAGs.Add(1)
+	ms := MaterializeStats{Fuse: e.cfg.Fuse, SyncWrites: e.cfg.SyncWrites}
+	t0 := time.Now()
 	if e.cfg.Fuse == FuseNone {
-		return e.runUnfused(d)
+		err = e.runUnfused(ctx, d, &ms)
+	} else {
+		err = e.runFused(ctx, d, e.cfg.Fuse, &ms)
 	}
-	return e.runFused(d, e.cfg.Fuse)
+	ms.Wall = time.Since(t0)
+	e.statsMu.Lock()
+	e.lastMat = ms
+	e.totalMat.Add(ms)
+	e.statsMu.Unlock()
+	return err
 }
 
 // dag is the collected graph for one materialization, flattened into an
@@ -434,7 +493,7 @@ func (e *Engine) validateDAG(d *dag) error {
 // runUnfused materializes every non-leaf node separately in topological
 // order, then evaluates sinks over materialized inputs — one parallel pass
 // and one intermediate matrix per operation.
-func (e *Engine) runUnfused(d *dag) error {
+func (e *Engine) runUnfused(ctx context.Context, d *dag, ms *MaterializeStats) error {
 	for _, m := range d.nodes {
 		if m.Materialized() || m.kind == opConst {
 			continue
@@ -444,7 +503,7 @@ func (e *Engine) runUnfused(d *dag) error {
 			return err
 		}
 		sd.nrow = d.nrow
-		if err := e.runFused(sd, FuseMem); err != nil {
+		if err := e.runFused(ctx, sd, FuseMem, ms); err != nil {
 			return err
 		}
 	}
@@ -456,7 +515,7 @@ func (e *Engine) runUnfused(d *dag) error {
 			return err
 		}
 		sd.nrow = d.nrow
-		if err := e.runFused(sd, FuseMem); err != nil {
+		if err := e.runFused(ctx, sd, FuseMem, ms); err != nil {
 			return err
 		}
 	}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/blas"
 	"repro/internal/matrix"
@@ -35,10 +37,49 @@ type runState struct {
 	tasks     []taskRange
 	taskNext  atomic.Int64
 	cum       *cumCoord
+	// wb is the bounded write-behind queue for tall-output partitions
+	// (nil under Config.SyncWrites).
+	wb *safs.WriteBack
+
+	// Per-pass observability counters, folded into MaterializeStats when
+	// the pass finishes.
+	bytesRead   atomic.Int64
+	prefHits    atomic.Int64
+	prefMiss    atomic.Int64
+	readWaitNs  atomic.Int64
+	syncWriteNs atomic.Int64
+	syncBytes   atomic.Int64
+	parts       atomic.Int64
+	chunks      atomic.Int64
+
+	// outPool recycles tall-output partition buffers. It is shared (unlike
+	// the per-worker chunk pools) because ownership round-trips through the
+	// async writers: a worker checks a buffer out, the write-behind goroutine
+	// checks it back in.
+	outMu   sync.Mutex
+	outPool map[int][][]float64
 
 	errMu  sync.Mutex
 	err    error
 	failed atomic.Bool
+}
+
+func (rs *runState) getOut(n int) []float64 {
+	rs.outMu.Lock()
+	if bs := rs.outPool[n]; len(bs) > 0 {
+		b := bs[len(bs)-1]
+		rs.outPool[n] = bs[:len(bs)-1]
+		rs.outMu.Unlock()
+		return b
+	}
+	rs.outMu.Unlock()
+	return make([]float64, n)
+}
+
+func (rs *runState) putOut(b []float64) {
+	rs.outMu.Lock()
+	rs.outPool[len(b)] = append(rs.outPool[len(b)], b)
+	rs.outMu.Unlock()
 }
 
 func (rs *runState) fail(err error) {
@@ -54,13 +95,25 @@ func (rs *runState) fail(err error) {
 }
 
 // runFused executes the whole DAG in a single parallel pass at the given
-// fusion level.
-func (e *Engine) runFused(d *dag, fuse FuseLevel) error {
+// fusion level. Tall-output partition writes ride the write-behind queue
+// (unless Config.SyncWrites): a worker hands partition i's outputs to the
+// queue and immediately starts partition i+1's compute, and the pass drains
+// the queue at a barrier before returning — so a write failure, like any
+// compute failure, always surfaces here. ms accumulates the pass's
+// observability counters.
+func (e *Engine) runFused(ctx context.Context, d *dag, fuse FuseLevel, ms *MaterializeStats) error {
 	e.stats.Passes.Add(1)
-	rs := &runState{e: e, d: d, fuse: fuse}
+	rs := &runState{e: e, d: d, fuse: fuse, outPool: make(map[int][][]float64)}
 	rs.nparts = matrix.NumParts(d.nrow, e.cfg.PartRows)
 	rs.chunkRows = e.chunkRowsFor(d, fuse)
 	rs.outStores = make([]matrix.Store, len(d.talls))
+	freeOut := func() {
+		for _, st := range rs.outStores {
+			if st != nil {
+				st.Free()
+			}
+		}
+	}
 	for i, m := range d.talls {
 		em := e.cfg.EM
 		m.mu.Lock()
@@ -72,7 +125,11 @@ func (e *Engine) runFused(d *dag, fuse FuseLevel) error {
 		m.mu.Unlock()
 		st, err := e.newStoreOn(m.nrow, m.ncol, em)
 		if err != nil {
+			freeOut()
 			return err
+		}
+		if e.testStoreWrap != nil {
+			st = e.testStoreWrap(st)
 		}
 		rs.outStores[i] = st
 	}
@@ -85,6 +142,12 @@ func (e *Engine) runFused(d *dag, fuse FuseLevel) error {
 		rs.cum = newCumCoord(d.cums, rs.nparts)
 	}
 	rs.tasks = buildTasks(rs.nparts, e.cfg.SuperParts, e.cfg.Workers)
+	if !e.cfg.SyncWrites && len(d.talls) > 0 {
+		// A failed write aborts the pass right away rather than at the
+		// drain barrier, so compute stops producing partitions nobody can
+		// persist.
+		rs.wb = safs.NewWriteBack(e.cfg.WriteBehindDepth, func(err error) { rs.fail(err) })
+	}
 
 	nw := e.cfg.Workers
 	if nw > rs.nparts {
@@ -103,11 +166,54 @@ func (e *Engine) runFused(d *dag, fuse FuseLevel) error {
 			w.run()
 		}(workers[i])
 	}
+	// Cancellation watcher: flips the pass into the failed state so workers
+	// stop at the next partition boundary; the drain below still waits out
+	// writes already in flight.
+	watchDone := make(chan struct{})
+	var watchWG sync.WaitGroup
+	if ctx != nil && ctx.Done() != nil {
+		watchWG.Add(1)
+		go func() {
+			defer watchWG.Done()
+			select {
+			case <-ctx.Done():
+				rs.fail(ctx.Err())
+			case <-watchDone:
+			}
+		}()
+	}
 	wg.Wait()
-	if rs.err != nil {
-		for _, st := range rs.outStores {
-			st.Free()
+	close(watchDone)
+	watchWG.Wait()
+
+	// Drain barrier: every queued write completes (or reports its failure)
+	// before the pass returns and before any store is freed.
+	if rs.wb != nil {
+		d0 := time.Now()
+		if err := rs.wb.Drain(); err != nil {
+			rs.fail(err)
 		}
+		ms.WriteDrain += time.Since(d0)
+		wst := rs.wb.Stats()
+		ms.WriteStall += wst.Stall
+		ms.WriteTime += wst.WriteTime
+		ms.BytesWritten += wst.Bytes
+		ms.WriteJobs += wst.Jobs
+	}
+	ms.Passes++
+	ms.Parts += rs.parts.Load()
+	ms.Chunks += rs.chunks.Load()
+	ms.BytesRead += rs.bytesRead.Load()
+	ms.PrefetchHits += rs.prefHits.Load()
+	ms.PrefetchMisses += rs.prefMiss.Load()
+	ms.ReadWait += time.Duration(rs.readWaitNs.Load())
+	// Synchronous writes stall compute for their full duration.
+	ms.WriteStall += time.Duration(rs.syncWriteNs.Load())
+	ms.WriteTime += time.Duration(rs.syncWriteNs.Load())
+	ms.BytesWritten += rs.syncBytes.Load()
+
+	if rs.err != nil {
+		freeOut()
 		return rs.err
 	}
 	// Merge per-worker sink partials and publish results.
@@ -315,12 +421,14 @@ func (w *worker) takePrefetched(p int) (map[int][]float64, error) {
 	}
 	delete(w.pending, p)
 	var firstErr error
+	t0 := time.Now()
 	for i := 0; i < pf.want; i++ {
 		req := <-pf.ch
 		if req.Err != nil && firstErr == nil {
 			firstErr = req.Err
 		}
 	}
+	w.rs.readWaitNs.Add(time.Since(t0).Nanoseconds())
 	if firstErr != nil {
 		for _, b := range pf.bufs {
 			w.put(b)
@@ -351,6 +459,8 @@ func (w *worker) processPartition(p int) error {
 		if buf, ok := pfBufs[slot]; ok {
 			w.leafBufs[slot] = buf
 			w.leafOwned[slot] = true
+			rs.prefHits.Add(1)
+			rs.bytesRead.Add(int64(rows*m.ncol) * 8)
 			continue
 		}
 		st := m.Store()
@@ -367,6 +477,8 @@ func (w *worker) processPartition(p int) error {
 			w.put(buf)
 			return fmt.Errorf("core: reading leaf %d partition %d: %w", m.id, p, err)
 		}
+		rs.prefMiss.Add(1)
+		rs.bytesRead.Add(int64(rows*m.ncol) * 8)
 		w.leafBufs[slot] = buf
 		w.leafOwned[slot] = true
 	}
@@ -382,10 +494,11 @@ func (w *worker) processPartition(p int) error {
 		}
 	}
 
-	// 3. Output partition buffers for tall targets.
+	// 3. Output partition buffers for tall targets (from the shared pool —
+	// the async writers return them, possibly to a different worker).
 	outBufs := make([][]float64, len(rs.d.talls))
 	for i, m := range rs.d.talls {
-		outBufs[i] = w.get(rows * m.ncol)
+		outBufs[i] = rs.getOut(rows * m.ncol)
 	}
 
 	// 4. Pcache chunk loop: depth-first DAG evaluation per chunk.
@@ -407,6 +520,7 @@ func (w *worker) processPartition(p int) error {
 			return fmt.Errorf("core: %d chunk buffers leaked after chunk eval", len(w.used))
 		}
 		e.stats.Chunks.Add(1)
+		rs.chunks.Add(1)
 	}
 
 	// 5. Publish cumulative carries for partition p+1.
@@ -414,13 +528,32 @@ func (w *worker) processPartition(p int) error {
 		rs.cum.publish(p+1, w.cumRun)
 	}
 
-	// 6. Write tall-target partitions and recycle buffers.
+	// 6. Hand tall-target partitions to the write-behind queue and move on
+	// to the next partition's compute; buffer ownership transfers to the
+	// writer until its release callback returns it to the shared pool.
+	// Under SyncWrites the worker stalls through each write instead.
 	for i, m := range rs.d.talls {
 		buf := outBufs[i]
-		if err := rs.outStores[i].WritePart(p, buf[:rows*m.ncol]); err != nil {
-			return fmt.Errorf("core: writing target %d partition %d: %w", m.id, p, err)
+		n := rows * m.ncol
+		st := rs.outStores[i]
+		mid := m.id
+		if rs.wb != nil {
+			rs.wb.Enqueue(n*8, func() error {
+				if err := st.WritePart(p, buf[:n]); err != nil {
+					return fmt.Errorf("core: writing target %d partition %d: %w", mid, p, err)
+				}
+				return nil
+			}, func() { rs.putOut(buf) })
+			continue
 		}
-		w.put(buf)
+		t0 := time.Now()
+		err := st.WritePart(p, buf[:n])
+		rs.syncWriteNs.Add(time.Since(t0).Nanoseconds())
+		rs.syncBytes.Add(int64(n) * 8)
+		rs.putOut(buf)
+		if err != nil {
+			return fmt.Errorf("core: writing target %d partition %d: %w", mid, p, err)
+		}
 	}
 	for _, slot := range rs.leafSlots {
 		if w.leafOwned[slot] {
@@ -430,6 +563,7 @@ func (w *worker) processPartition(p int) error {
 		w.leafOwned[slot] = false
 	}
 	e.stats.Parts.Add(1)
+	rs.parts.Add(1)
 	return nil
 }
 

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// MaterializeStats is the per-materialization observability record: how much
+// I/O a pass moved, how well the read prefetcher and the write-behind queue
+// overlapped it with compute, and where the wall time went. One record is
+// produced per Materialize/MaterializeCtx call (covering every internal pass
+// under FuseNone) and accumulated into an engine-lifetime total.
+//
+// The write-overlap proof the paper's §3.3 pipeline promises is visible
+// here: with write-behind enabled, WriteStall (time compute spent blocked on
+// the queue's depth bound) should be well below WriteTime (time the writers
+// spent inside the SAFS token-bucket); under SyncWrites the two collapse to
+// the same value because compute waits out every write.
+type MaterializeStats struct {
+	// Fuse is the fusion level the materialization ran at.
+	Fuse FuseLevel
+	// SyncWrites records whether the synchronous-write escape hatch was on.
+	SyncWrites bool
+	// Wall is the end-to-end Materialize duration.
+	Wall time.Duration
+
+	// Passes, Parts and Chunks count parallel passes, I/O partitions and
+	// Pcache chunks processed.
+	Passes int64
+	Parts  int64
+	Chunks int64
+
+	// BytesRead counts leaf partition bytes copied into compute buffers
+	// (zero-copy in-memory references are not counted). BytesWritten counts
+	// tall-output partition bytes handed to stores.
+	BytesRead    int64
+	BytesWritten int64
+
+	// PrefetchHits counts leaf partition loads served by the read-ahead
+	// pipeline; PrefetchMisses counts loads that fell back to a synchronous
+	// read.
+	PrefetchHits   int64
+	PrefetchMisses int64
+
+	// ReadWait is time workers spent blocked on in-flight prefetch reads.
+	ReadWait time.Duration
+	// WriteStall is time compute spent blocked handing partitions to the
+	// write queue (equal to WriteTime when SyncWrites).
+	WriteStall time.Duration
+	// WriteTime is cumulative time inside partition writes, summed across
+	// writers.
+	WriteTime time.Duration
+	// WriteDrain is time spent at the end-of-pass barrier waiting for
+	// in-flight writes.
+	WriteDrain time.Duration
+	// WriteJobs counts partitions that went through the write-behind queue.
+	WriteJobs int64
+}
+
+// Add accumulates o into s (numeric fields sum; Fuse and SyncWrites take
+// o's values so a running total reflects the latest configuration).
+func (s *MaterializeStats) Add(o MaterializeStats) {
+	s.Fuse = o.Fuse
+	s.SyncWrites = o.SyncWrites
+	s.Wall += o.Wall
+	s.Passes += o.Passes
+	s.Parts += o.Parts
+	s.Chunks += o.Chunks
+	s.BytesRead += o.BytesRead
+	s.BytesWritten += o.BytesWritten
+	s.PrefetchHits += o.PrefetchHits
+	s.PrefetchMisses += o.PrefetchMisses
+	s.ReadWait += o.ReadWait
+	s.WriteStall += o.WriteStall
+	s.WriteTime += o.WriteTime
+	s.WriteDrain += o.WriteDrain
+	s.WriteJobs += o.WriteJobs
+}
+
+// Sub returns s minus o field-by-field — the delta between two snapshots of
+// an engine's running total (Fuse and SyncWrites come from s).
+func (s MaterializeStats) Sub(o MaterializeStats) MaterializeStats {
+	d := s
+	d.Wall -= o.Wall
+	d.Passes -= o.Passes
+	d.Parts -= o.Parts
+	d.Chunks -= o.Chunks
+	d.BytesRead -= o.BytesRead
+	d.BytesWritten -= o.BytesWritten
+	d.PrefetchHits -= o.PrefetchHits
+	d.PrefetchMisses -= o.PrefetchMisses
+	d.ReadWait -= o.ReadWait
+	d.WriteStall -= o.WriteStall
+	d.WriteTime -= o.WriteTime
+	d.WriteDrain -= o.WriteDrain
+	d.WriteJobs -= o.WriteJobs
+	return d
+}
+
+// String renders a compact single-line summary for benchmark output.
+func (s MaterializeStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fuse=%s wall=%s passes=%d parts=%d", s.Fuse, round(s.Wall), s.Passes, s.Parts)
+	fmt.Fprintf(&b, " read=%s written=%s", mib(s.BytesRead), mib(s.BytesWritten))
+	fmt.Fprintf(&b, " pf=%d/%d rwait=%s", s.PrefetchHits, s.PrefetchMisses, round(s.ReadWait))
+	mode := "async"
+	if s.SyncWrites {
+		mode = "sync"
+	}
+	fmt.Fprintf(&b, " writes=%s wstall=%s wtime=%s wdrain=%s",
+		mode, round(s.WriteStall), round(s.WriteTime), round(s.WriteDrain))
+	return b.String()
+}
+
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	default:
+		return d.Round(time.Microsecond)
+	}
+}
+
+func mib(n int64) string {
+	return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dense"
+	"repro/internal/matrix"
+	"repro/internal/numa"
+	"repro/internal/safs"
+)
+
+// failingWriteStore wraps a Store and fails writes on one partition — the
+// injection seam for proving write failures surface through the async
+// write-back path.
+type failingWriteStore struct {
+	matrix.Store
+	failPart int
+}
+
+func (f *failingWriteStore) WritePart(i int, src []float64) error {
+	if i == f.failPart {
+		return fmt.Errorf("injected write failure on partition %d", i)
+	}
+	return f.Store.WritePart(i, src)
+}
+
+// TestWriteErrorPropagates: a store write failure must fail Materialize with
+// the injected error — through the write-behind queue and through the
+// synchronous escape hatch alike — and must not publish the target.
+func TestWriteErrorPropagates(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ad := dense.New(2000, 3)
+	for i := range ad.Data {
+		ad.Data[i] = rng.NormFloat64()
+	}
+	for _, syncW := range []bool{false, true} {
+		e, err := NewEngine(Config{Workers: 3, PartRows: 256, SyncWrites: syncW})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := e.FromDense(ad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.testStoreWrap = func(st matrix.Store) matrix.Store {
+			return &failingWriteStore{Store: st, failPart: 3}
+		}
+		out := Sapply(a, UnarySquare)
+		err = e.Materialize([]*Mat{out}, nil)
+		if err == nil {
+			t.Fatalf("sync=%v: materialization with failing writes succeeded", syncW)
+		}
+		if !strings.Contains(err.Error(), "injected write failure") {
+			t.Fatalf("sync=%v: error %v does not carry the injected failure", syncW, err)
+		}
+		if out.Materialized() {
+			t.Fatalf("sync=%v: target published after failed pass", syncW)
+		}
+		// The engine must remain usable after the failed pass.
+		e.testStoreWrap = nil
+		if _, err := e.ToDense(Sapply(a, UnaryAbs)); err != nil {
+			t.Fatalf("sync=%v: engine unusable after write failure: %v", syncW, err)
+		}
+	}
+}
+
+// TestCancelledMaterializeDrains: cancelling a materialization mid-pass must
+// return promptly with the context error, drain in-flight writes, and leave
+// the NUMA chunk pools consistent (every pooled chunk back after frees).
+func TestCancelledMaterializeDrains(t *testing.T) {
+	topo := numa.NewTopology(2, 1<<15)
+	// Throttled array so the pass is slow enough to cancel mid-flight.
+	fs, err := safs.OpenTempDir(t.TempDir(), 2, 0.5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	const nrow, ncol, partRows = 2048, 8, 256
+	st, err := matrix.NewSAFSStore(fs, "leaf", nrow, ncol, partRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, partRows*ncol)
+	rng := rand.New(rand.NewSource(12))
+	for p := 0; p < st.NumParts(); p++ {
+		for i := range buf {
+			buf[i] = rng.NormFloat64()
+		}
+		if err := st.WritePart(p, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leaf := NewLeaf(st, matrix.F64)
+
+	e, err := NewEngine(Config{Workers: 2, PartRows: partRows, Topo: topo, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Sapply(leaf, UnarySquare) // tall output → pooled MemStore partitions
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- e.MaterializeCtx(ctx, []*Mat{out}, nil) }()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	select {
+	case err = <-done:
+	case <-timeoutC(t):
+		t.Fatal("cancelled materialization did not return")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("MaterializeCtx err = %v, want context.Canceled", err)
+	}
+	if out.Materialized() {
+		t.Fatal("cancelled target was published")
+	}
+	// The engine and pools must be reusable: run the same pass to completion.
+	out2 := Sapply(leaf, UnarySquare)
+	if _, err := e.ToDense(out2); err != nil {
+		t.Fatalf("engine unusable after cancellation: %v", err)
+	}
+	out2.Free()
+	leaf.Free()
+	idle, allocated := topo.PoolStats()
+	for n := range idle {
+		if idle[n] != allocated[n] {
+			t.Fatalf("node %d pool inconsistent after cancel: idle=%d allocated=%d",
+				n, idle[n], allocated[n])
+		}
+	}
+}
+
+// TestMaterializeStatsRecorded checks the observability record: an EM pass
+// reports its I/O volume and write-queue activity, and the synchronous
+// escape hatch reports stall == write time by construction.
+func TestMaterializeStatsRecorded(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	ad := dense.New(4096, 4)
+	for i := range ad.Data {
+		ad.Data[i] = rng.NormFloat64()
+	}
+	for _, syncW := range []bool{false, true} {
+		fs, err := safs.OpenTempDir(t.TempDir(), 2, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEngine(Config{Workers: 2, PartRows: 256, FS: fs, EM: true, SyncWrites: syncW})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := e.FromDense(ad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := Sapply(a, UnaryExp)
+		if err := e.Materialize([]*Mat{out}, nil); err != nil {
+			t.Fatal(err)
+		}
+		ms := e.LastMaterializeStats()
+		wantBytes := int64(4096 * 4 * 8)
+		if ms.SyncWrites != syncW {
+			t.Fatalf("stats SyncWrites = %v, want %v", ms.SyncWrites, syncW)
+		}
+		if ms.Parts != 16 || ms.Passes != 1 {
+			t.Fatalf("sync=%v: parts=%d passes=%d, want 16/1", syncW, ms.Parts, ms.Passes)
+		}
+		if ms.BytesRead != wantBytes || ms.BytesWritten != wantBytes {
+			t.Fatalf("sync=%v: read=%d written=%d, want %d", syncW, ms.BytesRead, ms.BytesWritten, wantBytes)
+		}
+		if ms.PrefetchHits+ms.PrefetchMisses != 16 {
+			t.Fatalf("sync=%v: prefetch hits=%d misses=%d, want 16 loads", syncW, ms.PrefetchHits, ms.PrefetchMisses)
+		}
+		if syncW {
+			if ms.WriteJobs != 0 {
+				t.Fatalf("sync mode recorded %d write-behind jobs", ms.WriteJobs)
+			}
+			if ms.WriteStall != ms.WriteTime {
+				t.Fatalf("sync mode: stall %v != write time %v", ms.WriteStall, ms.WriteTime)
+			}
+		} else if ms.WriteJobs != 16 {
+			t.Fatalf("async mode write jobs = %d, want 16", ms.WriteJobs)
+		}
+		total := e.TotalMaterializeStats()
+		if total.BytesWritten < ms.BytesWritten {
+			t.Fatal("total stats did not accumulate the pass")
+		}
+		if s := ms.String(); !strings.Contains(s, "wstall=") || !strings.Contains(s, "parts=16") {
+			t.Fatalf("stats string %q missing fields", s)
+		}
+		fs.Close()
+	}
+}
+
+// TestWriteBehindBitIdentical: for every fusion level, results with the
+// write-behind pipeline must be bit-identical to the synchronous escape
+// hatch. The expressions are order-sensitive (cumulative sums) so this also
+// catches partition writes landing in the wrong slot.
+func TestWriteBehindBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ad := dense.New(3000, 3)
+	bd := dense.New(3000, 3)
+	for i := range ad.Data {
+		ad.Data[i] = rng.NormFloat64()
+		bd.Data[i] = rng.NormFloat64()
+	}
+	exprs := []struct {
+		name  string
+		build func(a, b *Mat) *Mat
+	}{
+		{"sapply-chain", func(a, _ *Mat) *Mat { return Sapply(Sapply(a, UnaryAbs), UnarySqrt) }},
+		{"cumcol-of-mapply", func(a, b *Mat) *Mat { return CumCol(Mapply(a, b, BinAdd), AggSum) }},
+	}
+	for _, ex := range exprs {
+		var want *dense.Dense
+		for _, fuse := range []FuseLevel{FuseCache, FuseMem, FuseNone} {
+			for _, syncW := range []bool{true, false} {
+				fs, err := safs.OpenTempDir(t.TempDir(), 2, 0, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e, err := NewEngine(Config{
+					Workers: 3, Fuse: fuse, PartRows: 256,
+					FS: fs, EM: true, SyncWrites: syncW, WriteBehindDepth: 3,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				a, err := e.FromDense(ad)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := e.FromDense(bd)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := e.ToDense(ex.build(a, b))
+				if err != nil {
+					t.Fatalf("%s fuse=%v sync=%v: %v", ex.name, fuse, syncW, err)
+				}
+				if want == nil {
+					want = got
+				} else if !dense.Equalish(got, want, 0) {
+					t.Fatalf("%s fuse=%v sync=%v differs from reference", ex.name, fuse, syncW)
+				}
+				fs.Close()
+			}
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -153,9 +154,14 @@ func (fs *FS) Close() error {
 	}
 	fs.closed = true
 	fs.mu.Unlock()
+	// All submitted requests have registered with reqWG before this point
+	// (submit checks closed under fs.mu), so waiting here guarantees every
+	// queued piece is drained before the workers stop.
 	fs.reqWG.Wait()
 	var first error
 	for _, d := range fs.drives {
+		close(d.reqCh)
+		d.wg.Wait()
 		if err := d.close(); err != nil && first == nil {
 			first = err
 		}
@@ -306,42 +312,23 @@ func (f *File) segOffset(off int64) (driveID int, segOff int64, contig int64) {
 	return driveID, segOff, contig
 }
 
-// ReadAt reads len(p) bytes at offset off, spanning stripes as needed. It is
-// synchronous; it blocks for throttling like all drive I/O.
+// ReadAt reads len(p) bytes at offset off, spanning stripes as needed. It
+// blocks until every per-drive piece completes; pieces on different drives
+// proceed in parallel, each throttled by its drive's token bucket.
 func (f *File) ReadAt(p []byte, off int64) error {
 	return f.rw(p, off, false)
 }
 
-// WriteAt writes len(p) bytes at offset off.
+// WriteAt writes len(p) bytes at offset off; blocking semantics mirror
+// ReadAt.
 func (f *File) WriteAt(p []byte, off int64) error {
 	return f.rw(p, off, true)
 }
 
 func (f *File) rw(p []byte, off int64, write bool) error {
-	if off < 0 || off+int64(len(p)) > f.size {
-		return fmt.Errorf("safs: %s out of range [%d,%d) in %q of size %d",
-			verb(write), off, off+int64(len(p)), f.name, f.size)
-	}
-	for len(p) > 0 {
-		id, segOff, contig := f.segOffset(off)
-		n := int64(len(p))
-		if n > contig {
-			n = contig
-		}
-		var err error
-		if write {
-			err = f.fs.drives[id].write(f.name, p[:n], segOff)
-		} else {
-			err = f.fs.drives[id].read(f.name, p[:n], segOff)
-		}
-		if err != nil {
-			return err
-		}
-		f.fs.account(n, write)
-		p = p[n:]
-		off += n
-	}
-	return nil
+	done := make(chan Request, 1)
+	f.submit(p, off, write, false, 0, done)
+	return (<-done).Err
 }
 
 func (fs *FS) account(n int64, write bool) {
@@ -370,36 +357,133 @@ type Request struct {
 	Tag int
 }
 
+// completion aggregates the per-stripe pieces of one file-level request and
+// delivers a single Request on done when the last piece finishes.
+type completion struct {
+	fs    *FS
+	n     atomic.Int32
+	done  chan<- Request
+	tag   int
+	write bool
+
+	errMu sync.Mutex
+	err   error
+}
+
+// finish records one piece's outcome; the last piece fires the completion.
+func (c *completion) finish(err error, nbytes int) {
+	if err != nil {
+		c.errMu.Lock()
+		if c.err == nil {
+			c.err = err
+		}
+		c.errMu.Unlock()
+	} else {
+		c.fs.account(int64(nbytes), c.write)
+	}
+	if c.n.Add(-1) == 0 {
+		c.errMu.Lock()
+		first := c.err
+		c.errMu.Unlock()
+		c.done <- Request{Err: first, Tag: c.tag}
+		c.fs.reqWG.Done()
+	}
+}
+
+// pieces splits [off, off+len(p)) into per-stripe (drive, segment-offset)
+// requests bound to the given completion.
+func (f *File) pieces(p []byte, off int64, write bool, comp *completion) []ioReq {
+	var reqs []ioReq
+	for len(p) > 0 {
+		id, segOff, contig := f.segOffset(off)
+		n := int64(len(p))
+		if n > contig {
+			n = contig
+		}
+		reqs = append(reqs, ioReq{drive: id, name: f.name, buf: p[:n], off: segOff, write: write, comp: comp})
+		p = p[n:]
+		off += n
+	}
+	return reqs
+}
+
+// submit validates a request, registers it with the FS, and queues its
+// pieces to the per-drive workers. When async is set the (possibly blocking)
+// queue sends happen on a helper goroutine so the caller returns
+// immediately; errors still arrive on done.
+func (f *File) submit(p []byte, off int64, write, async bool, tag int, done chan<- Request) {
+	if off < 0 || off+int64(len(p)) > f.size {
+		done <- Request{Err: fmt.Errorf("safs: %s out of range [%d,%d) in %q of size %d",
+			verb(write), off, off+int64(len(p)), f.name, f.size), Tag: tag}
+		return
+	}
+	comp := &completion{fs: f.fs, done: done, tag: tag, write: write}
+	if len(p) == 0 {
+		// Zero-length request: complete immediately, nothing to queue.
+		done <- Request{Tag: tag}
+		return
+	}
+	reqs := f.pieces(p, off, write, comp)
+	comp.n.Store(int32(len(reqs)))
+	// Register under fs.mu so Close cannot observe reqWG empty between our
+	// closed check and the Add.
+	f.fs.mu.Lock()
+	if f.fs.closed {
+		f.fs.mu.Unlock()
+		done <- Request{Err: errors.New("safs: filesystem closed"), Tag: tag}
+		return
+	}
+	f.fs.reqWG.Add(1)
+	f.fs.mu.Unlock()
+	enqueue := func() {
+		for _, r := range reqs {
+			f.fs.drives[r.drive].reqCh <- r
+		}
+	}
+	if async {
+		go enqueue()
+	} else {
+		enqueue()
+	}
+}
+
 // ReadAsync schedules an asynchronous read of len(p) bytes at off and
 // delivers the completion on done. The buffer must not be touched until the
 // completion arrives. Each stripe-spanning piece is queued to its drive's
-// worker so reads proceed in parallel across drives.
+// worker, so one request proceeds in parallel across drives.
 func (f *File) ReadAsync(p []byte, off int64, tag int, done chan<- Request) {
-	f.fs.reqWG.Add(1)
-	go func() {
-		defer f.fs.reqWG.Done()
-		err := f.ReadAt(p, off)
-		done <- Request{Err: err, Tag: tag}
-	}()
+	f.submit(p, off, false, true, tag, done)
 }
 
 // WriteAsync schedules an asynchronous write; semantics mirror ReadAsync.
+// The caller hands the buffer to the array until the completion arrives —
+// the engine's write-behind queue relies on this ownership transfer.
 func (f *File) WriteAsync(p []byte, off int64, tag int, done chan<- Request) {
-	f.fs.reqWG.Add(1)
-	go func() {
-		defer f.fs.reqWG.Done()
-		err := f.WriteAt(p, off)
-		done <- Request{Err: err, Tag: tag}
-	}()
+	f.submit(p, off, true, true, tag, done)
+}
+
+// ioReq is one stripe-granular I/O request queued to a drive worker.
+type ioReq struct {
+	drive int
+	name  string
+	buf   []byte
+	off   int64
+	write bool
+	comp  *completion
 }
 
 // drive is one simulated SSD: a directory holding one segment file per
-// striped file, plus token buckets modelling its read and write bandwidth.
+// striped file, token buckets modelling its read and write bandwidth, and a
+// bounded request queue served by a dedicated I/O worker goroutine — the
+// per-SSD I/O thread of the real SAFS. Queue depth bounds the requests a
+// drive buffers before callers feel backpressure.
 type drive struct {
 	id      int
 	dir     string
 	readTB  *tokenBucket
 	writeTB *tokenBucket
+	reqCh   chan ioReq
+	wg      sync.WaitGroup
 
 	mu   sync.Mutex
 	open map[string]*os.File
@@ -413,7 +497,26 @@ func newDrive(id int, dir string, readMBps, writeMBps float64, depth int) (*driv
 	if writeMBps > 0 {
 		d.writeTB = newTokenBucket(writeMBps * 1024 * 1024)
 	}
+	d.reqCh = make(chan ioReq, depth)
+	d.wg.Add(1)
+	go d.serve()
 	return d, nil
+}
+
+// serve is the drive's I/O worker: it drains the request queue in FIFO
+// order (preserving the sequential, merge-friendly access pattern the
+// engine's dispatch produces) until the channel is closed at FS shutdown.
+func (d *drive) serve() {
+	defer d.wg.Done()
+	for r := range d.reqCh {
+		var err error
+		if r.write {
+			err = d.write(r.name, r.buf, r.off)
+		} else {
+			err = d.read(r.name, r.buf, r.off)
+		}
+		r.comp.finish(err, len(r.buf))
+	}
 }
 
 func (d *drive) segPath(name string) string {

@@ -1,0 +1,126 @@
+package safs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WriteBack is a bounded write-behind queue: the execution engine hands a
+// finished output partition to the queue and immediately moves on to the
+// next partition's compute, closing the write half of the paper's
+// I/O/compute overlap (§3.3 — the read half is the prefetcher). Ownership
+// of the buffer transfers to the queue until the job's release callback
+// runs, so the scheduler never mutates a buffer a writer still holds.
+//
+// Depth bounds the number of in-flight writes; when the bound is hit,
+// Enqueue blocks and the blocked time is recorded as write-stall — the
+// quantity that collapses to the full write time under synchronous writes
+// and shrinks toward zero when the overlap works.
+type WriteBack struct {
+	slots chan struct{}
+	wg    sync.WaitGroup
+	onErr func(error)
+
+	stallNs atomic.Int64
+	writeNs atomic.Int64
+	bytes   atomic.Int64
+	jobs    atomic.Int64
+
+	errMu sync.Mutex
+	err   error
+}
+
+// WriteBackStats is a snapshot of queue activity.
+type WriteBackStats struct {
+	// Stall is the cumulative time producers spent blocked on the depth
+	// bound in Enqueue.
+	Stall time.Duration
+	// WriteTime is the cumulative time spent inside write jobs (summed
+	// across writers, so it can exceed wall time).
+	WriteTime time.Duration
+	// Bytes and Jobs count enqueued work.
+	Bytes int64
+	Jobs  int64
+}
+
+// DefaultWriteBehindDepth bounds in-flight partition writes when the caller
+// does not configure a depth.
+const DefaultWriteBehindDepth = 8
+
+// NewWriteBack builds a queue allowing depth concurrent in-flight writes
+// (0 selects DefaultWriteBehindDepth). onErr, if non-nil, is invoked once
+// with the first write error as soon as it happens, letting the caller
+// abort a pass early; the same error is returned again by Drain.
+func NewWriteBack(depth int, onErr func(error)) *WriteBack {
+	if depth <= 0 {
+		depth = DefaultWriteBehindDepth
+	}
+	return &WriteBack{slots: make(chan struct{}, depth), onErr: onErr}
+}
+
+// Enqueue schedules one write job of nbytes. write performs the actual
+// store/file write; release is called exactly once when the job finishes
+// (success or failure) and returns buffer ownership to the caller. Enqueue
+// blocks while the queue is at depth; it never blocks indefinitely because
+// in-flight writers always complete.
+func (wb *WriteBack) Enqueue(nbytes int, write func() error, release func()) {
+	t0 := time.Now()
+	wb.slots <- struct{}{}
+	if d := time.Since(t0); d > 0 {
+		wb.stallNs.Add(d.Nanoseconds())
+	}
+	wb.jobs.Add(1)
+	wb.bytes.Add(int64(nbytes))
+	wb.wg.Add(1)
+	go func() {
+		defer wb.wg.Done()
+		defer func() { <-wb.slots }()
+		w0 := time.Now()
+		err := write()
+		wb.writeNs.Add(time.Since(w0).Nanoseconds())
+		if release != nil {
+			release()
+		}
+		if err != nil {
+			wb.fail(err)
+		}
+	}()
+}
+
+func (wb *WriteBack) fail(err error) {
+	wb.errMu.Lock()
+	first := wb.err == nil
+	if first {
+		wb.err = err
+	}
+	wb.errMu.Unlock()
+	if first && wb.onErr != nil {
+		wb.onErr(err)
+	}
+}
+
+// Err returns the first write failure observed so far, or nil.
+func (wb *WriteBack) Err() error {
+	wb.errMu.Lock()
+	defer wb.errMu.Unlock()
+	return wb.err
+}
+
+// Drain is the barrier at the end of a pass: it waits for every in-flight
+// write to finish and returns the first error any of them hit. The queue
+// may be reused after Drain returns.
+func (wb *WriteBack) Drain() error {
+	wb.wg.Wait()
+	return wb.Err()
+}
+
+// Stats snapshots the queue counters.
+func (wb *WriteBack) Stats() WriteBackStats {
+	return WriteBackStats{
+		Stall:     time.Duration(wb.stallNs.Load()),
+		WriteTime: time.Duration(wb.writeNs.Load()),
+		Bytes:     wb.bytes.Load(),
+		Jobs:      wb.jobs.Load(),
+	}
+}

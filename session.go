@@ -49,6 +49,12 @@ type Options struct {
 	PcacheBytes int
 	// NumaNodes sets the simulated NUMA topology size (0 = 4 nodes).
 	NumaNodes int
+	// SyncWrites disables the write-behind pipeline and writes tall-output
+	// partitions synchronously (debugging escape hatch / A-B comparison).
+	SyncWrites bool
+	// WriteBehindDepth bounds in-flight asynchronous partition writes
+	// (0 = 2×Workers clamped to [4, 32]).
+	WriteBehindDepth int
 }
 
 // FuseLevel aliases the engine's fusion-level type for Options.Fuse.
@@ -95,13 +101,15 @@ func NewSession(opts Options) (*Session, error) {
 		topo = numa.NewTopology(opts.NumaNodes, 0)
 	}
 	eng, err := core.NewEngine(core.Config{
-		Workers:     opts.Workers,
-		Fuse:        opts.Fuse,
-		Topo:        topo,
-		FS:          fs,
-		EM:          opts.EM,
-		PartRows:    opts.PartRows,
-		PcacheBytes: opts.PcacheBytes,
+		Workers:          opts.Workers,
+		Fuse:             opts.Fuse,
+		Topo:             topo,
+		FS:               fs,
+		EM:               opts.EM,
+		PartRows:         opts.PartRows,
+		PcacheBytes:      opts.PcacheBytes,
+		SyncWrites:       opts.SyncWrites,
+		WriteBehindDepth: opts.WriteBehindDepth,
 	})
 	if err != nil {
 		if fs != nil {
@@ -124,6 +132,23 @@ func NewMemSession() *Session {
 
 // Engine exposes the underlying execution engine (benchmarks and tests).
 func (s *Session) Engine() *core.Engine { return s.eng }
+
+// MaterializeStats aliases the engine's per-materialization observability
+// record (I/O volume, prefetch hit rate, write-queue stall vs. write time,
+// phase wall times).
+type MaterializeStats = core.MaterializeStats
+
+// LastMaterializeStats returns the record of the session's most recent
+// materialization pass.
+func (s *Session) LastMaterializeStats() MaterializeStats {
+	return s.eng.LastMaterializeStats()
+}
+
+// TotalMaterializeStats returns the session-lifetime accumulated record;
+// snapshot before and after a region and Sub the two to attribute I/O.
+func (s *Session) TotalMaterializeStats() MaterializeStats {
+	return s.eng.TotalMaterializeStats()
+}
 
 // Wrap adopts an existing engine matrix (e.g. a leaf over a store opened
 // from an SSD array) into the session. The matrix's partition height must
