@@ -33,6 +33,10 @@ func main() {
 		seed       = flag.Int64("seed", 42, "workload seed")
 		syncWrites = flag.Bool("sync-writes", false, "disable the write-behind pipeline (synchronous partition writes)")
 		writeDepth = flag.Int("write-depth", 0, "in-flight async partition write bound (0=auto: 2×workers in [4,32])")
+		noVerify   = flag.Bool("no-verify", false, "disable CRC32C verification on SSD reads (A/B for the checksum overhead)")
+		injectRead = flag.Float64("inject-read-err", 0, "probability of a transient injected read error per stripe request")
+		injectFlip = flag.Float64("inject-flip-bit", 0, "probability of an injected in-flight bit flip per stripe read")
+		faultSeed  = flag.Int64("fault-seed", 0, "seed for the injected-fault RNGs (0=derive from -seed)")
 	)
 	flag.Parse()
 
@@ -40,13 +44,23 @@ func main() {
 		N: *n, Workers: *workers, SSDRoot: *ssdRoot, Drives: *drives,
 		ReadMBps: *readMBps, WriteMBps: *writeMBps, Iters: *iters, Seed: *seed,
 		SyncWrites: *syncWrites, WriteBehindDepth: *writeDepth,
+		DisableVerify: *noVerify, ReadErrRate: *injectRead, FlipBitRate: *injectFlip,
+		FaultSeed: *faultSeed,
 	}
 	writes := "write-behind"
 	if *syncWrites {
 		writes = "sync"
 	}
-	fmt.Printf("flashr-bench: experiment=%s n=%d workers=%d drives=%d read=%.0fMiB/s write=%.0fMiB/s iters=%d writes=%s depth=%d\n\n",
-		*experiment, *n, *workers, *drives, *readMBps, *writeMBps, *iters, writes, *writeDepth)
+	verify := "on"
+	if *noVerify {
+		verify = "off"
+	}
+	fmt.Printf("flashr-bench: experiment=%s n=%d workers=%d drives=%d read=%.0fMiB/s write=%.0fMiB/s iters=%d writes=%s depth=%d verify=%s\n",
+		*experiment, *n, *workers, *drives, *readMBps, *writeMBps, *iters, writes, *writeDepth, verify)
+	if *injectRead > 0 || *injectFlip > 0 {
+		fmt.Printf("fault injection: read-err=%.3g flip-bit=%.3g seed=%d\n", *injectRead, *injectFlip, *faultSeed)
+	}
+	fmt.Println()
 	rows, err := benchmark.Run(*experiment, cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "flashr-bench: %v\n", err)

@@ -22,6 +22,7 @@ func main() {
 		ssdRoot = flag.String("ssd-root", "", "simulated SSD array root (required)")
 		drives  = flag.Int("drives", 4, "simulated SSD count")
 		name    = flag.String("matrix", "", "named matrix to summarize")
+		verify  = flag.Bool("verify", false, "scrub named matrices against their sidecar checksums (all, or just -matrix); exits 1 on corruption")
 	)
 	flag.Parse()
 	if *ssdRoot == "" {
@@ -37,6 +38,49 @@ func main() {
 	}
 	defer s.Close()
 	fs := s.FS()
+
+	if *verify {
+		names := s.ListNamed()
+		if *name != "" {
+			names = []string{*name}
+		}
+		if len(names) == 0 {
+			fmt.Println("no named matrices to verify")
+			return
+		}
+		perDrive := make([]int, fs.NumDrives())
+		var verified, skipped, corrupt int64
+		for _, n := range names {
+			reps, err := s.VerifyNamed(n)
+			if err != nil {
+				fatal(err)
+			}
+			for _, rep := range reps {
+				verified += rep.Verified
+				skipped += rep.Skipped
+				for _, c := range rep.Corrupt {
+					corrupt++
+					if c.Drive >= 0 && c.Drive < len(perDrive) {
+						perDrive[c.Drive]++
+					}
+					fmt.Printf("CORRUPT %s: file %q stripe %d on drive %d (want crc32c %08x, got %08x)\n",
+						n, rep.File, c.Stripe, c.Drive, c.Want, c.Got)
+				}
+			}
+		}
+		fmt.Printf("verify: %d matrices, %d stripes verified, %d skipped (no recorded checksum), %d corrupt\n",
+			len(names), verified, skipped, corrupt)
+		if corrupt > 0 {
+			fmt.Println("per-drive corruption:")
+			for d, c := range perDrive {
+				if c > 0 {
+					fmt.Printf("  drive %02d: %d corrupt stripes\n", d, c)
+				}
+			}
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *name == "" {
 		fmt.Printf("SSD array at %s: %d drives, stripe %d KiB\n", *ssdRoot, fs.NumDrives(), fs.StripeBytes()/1024)
@@ -62,6 +106,14 @@ func main() {
 		return
 	}
 
+	// Summary statistics force reads through the lazy API, parts of which
+	// panic on materialization errors (MustFloat semantics); a corrupt or
+	// unreadable matrix must exit with the I/O error, not a stack trace.
+	defer func() {
+		if r := recover(); r != nil {
+			fatal(fmt.Errorf("%v", r))
+		}
+	}()
 	x, err := s.OpenNamed(*name)
 	if err != nil {
 		fatal(err)

@@ -30,6 +30,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dense"
 	"repro/internal/eager"
+	"repro/internal/safs"
 	"repro/internal/workload"
 	"repro/ml"
 )
@@ -70,6 +71,16 @@ type Config struct {
 	SyncWrites bool
 	// WriteBehindDepth bounds in-flight async partition writes (0 = auto).
 	WriteBehindDepth int
+	// DisableVerify turns off CRC32C verification on EM reads, to measure
+	// the checksumming overhead A/B (checksums are still written).
+	DisableVerify bool
+	// ReadErrRate / FlipBitRate inject transient read failures and in-flight
+	// bit flips into the EM session's SSD array, exercising the retry and
+	// verify-on-read paths under benchmark load (0 = no injection).
+	ReadErrRate float64
+	FlipBitRate float64
+	// FaultSeed seeds the per-drive fault RNGs (0 = derive from Seed).
+	FaultSeed int64
 }
 
 // Defaults fills unset fields.
@@ -171,10 +182,22 @@ func (c Config) openSessions(fuseEM flashr.Options) (*sessionSet, error) {
 		ReadMBps: c.ReadMBps, WriteMBps: c.WriteMBps,
 		Fuse:       fuseEM.Fuse,
 		SyncWrites: c.SyncWrites, WriteBehindDepth: c.WriteBehindDepth,
+		DisableVerify: c.DisableVerify,
 	}
 	em, err := flashr.NewSession(opts)
 	if err != nil {
 		return nil, err
+	}
+	if c.ReadErrRate > 0 || c.FlipBitRate > 0 {
+		seed := c.FaultSeed
+		if seed == 0 {
+			seed = c.Seed
+		}
+		em.FS().InjectFaults(&safs.Faults{
+			Seed:        seed,
+			ReadErrRate: c.ReadErrRate,
+			FlipBitRate: c.FlipBitRate,
+		})
 	}
 	return &sessionSet{im: im, em: em, dir: dir}, nil
 }
@@ -197,10 +220,15 @@ func timeIt(f func() error) (float64, error) {
 // SSD writes with compute (under SyncWrites the two are equal by
 // construction).
 func ioExtra(s flashr.MaterializeStats) string {
-	return fmt.Sprintf("read=%.0fMB written=%.0fMB pf=%d/%d wstall=%.3fs wtime=%.3fs",
+	out := fmt.Sprintf("read=%.0fMB written=%.0fMB pf=%d/%d wstall=%.3fs wtime=%.3fs verify=%.3fs",
 		float64(s.BytesRead)/(1<<20), float64(s.BytesWritten)/(1<<20),
 		s.PrefetchHits, s.PrefetchMisses,
-		s.WriteStall.Seconds(), s.WriteTime.Seconds())
+		s.WriteStall.Seconds(), s.WriteTime.Seconds(), s.VerifyTime.Seconds())
+	if s.ChecksumFailures != 0 || s.IORetries != 0 || s.RecoveredReads != 0 || s.RecoveredWrites != 0 {
+		out += fmt.Sprintf(" csfail=%d retries=%d recovered=%d/%d",
+			s.ChecksumFailures, s.IORetries, s.RecoveredReads, s.RecoveredWrites)
+	}
+	return out
 }
 
 // algoSpec is one benchmark algorithm bound to its dataset family.

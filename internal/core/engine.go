@@ -114,6 +114,11 @@ type Engine struct {
 	// testStoreWrap, when set by tests, wraps every tall-output store the
 	// engine creates — the injection seam for write-failure coverage.
 	testStoreWrap func(matrix.Store) matrix.Store
+	// testSchedEvent, when set by tests, observes scheduler events: kind is
+	// "prefetch" (async read-ahead issued for partition p) or "process"
+	// (compute started on partition p). Called from worker goroutines, so a
+	// hook must be safe for concurrent use when Workers > 1.
+	testSchedEvent func(kind string, p int)
 }
 
 // NewEngine validates the configuration and returns an engine.

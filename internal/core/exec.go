@@ -51,6 +51,20 @@ type runState struct {
 	syncBytes   atomic.Int64
 	parts       atomic.Int64
 	chunks      atomic.Int64
+	// prefAbandoned counts prefetched partitions drained unconsumed on
+	// worker-exit paths.
+	prefAbandoned atomic.Int64
+
+	// Deterministic sink reduction: each task folds into its own accumulator
+	// set and commits it when the task's last partition finishes; commits
+	// merge into global strictly in task-index order, so floating-point sink
+	// results do not depend on which worker won the race for which task.
+	// mergeQueue buffers out-of-order commits (normally at most one per
+	// worker; more only under heavy task skew) until their turn.
+	mergeMu    sync.Mutex
+	mergeNext  int
+	mergeQueue map[int][]*sinkAcc
+	global     []*sinkAcc
 
 	// outPool recycles tall-output partition buffers. It is shared (unlike
 	// the per-worker chunk pools) because ownership round-trips through the
@@ -103,6 +117,13 @@ func (rs *runState) fail(err error) {
 // observability counters.
 func (e *Engine) runFused(ctx context.Context, d *dag, fuse FuseLevel, ms *MaterializeStats) error {
 	e.stats.Passes.Add(1)
+	// Integrity counters live on the array and are cumulative; diff them
+	// around the pass to attribute this pass's share. (Passes on one engine
+	// run serially, so the delta is exact.)
+	var fs0 safs.Stats
+	if e.cfg.FS != nil {
+		fs0 = e.cfg.FS.Stats()
+	}
 	rs := &runState{e: e, d: d, fuse: fuse, outPool: make(map[int][][]float64)}
 	rs.nparts = matrix.NumParts(d.nrow, e.cfg.PartRows)
 	rs.chunkRows = e.chunkRowsFor(d, fuse)
@@ -142,6 +163,8 @@ func (e *Engine) runFused(ctx context.Context, d *dag, fuse FuseLevel, ms *Mater
 		rs.cum = newCumCoord(d.cums, rs.nparts)
 	}
 	rs.tasks = buildTasks(rs.nparts, e.cfg.SuperParts, e.cfg.Workers)
+	rs.mergeQueue = make(map[int][]*sinkAcc)
+	rs.global = rs.newTaskAccs()
 	if !e.cfg.SyncWrites && len(d.talls) > 0 {
 		// A failed write aborts the pass right away rather than at the
 		// drain barrier, so compute stops producing partitions nobody can
@@ -185,6 +208,14 @@ func (e *Engine) runFused(ctx context.Context, d *dag, fuse FuseLevel, ms *Mater
 	wg.Wait()
 	close(watchDone)
 	watchWG.Wait()
+	// Invariant: every worker drained its pending prefetches before exiting
+	// (the reads write into pooled buffers, so an abandoned map is a leak and
+	// a latent use-after-recycle).
+	for _, w := range workers {
+		if len(w.pending) != 0 {
+			rs.fail(fmt.Errorf("core: worker %d exited with %d pending prefetches", w.id, len(w.pending)))
+		}
+	}
 
 	// Drain barrier: every queued write completes (or reports its failure)
 	// before the pass returns and before any store is freed.
@@ -211,18 +242,30 @@ func (e *Engine) runFused(ctx context.Context, d *dag, fuse FuseLevel, ms *Mater
 	ms.WriteStall += time.Duration(rs.syncWriteNs.Load())
 	ms.WriteTime += time.Duration(rs.syncWriteNs.Load())
 	ms.BytesWritten += rs.syncBytes.Load()
+	ms.PrefetchAbandoned += rs.prefAbandoned.Load()
+	if e.cfg.FS != nil {
+		fs1 := e.cfg.FS.Stats()
+		ms.ChecksumFailures += fs1.ChecksumFailures - fs0.ChecksumFailures
+		ms.IORetries += fs1.Retries - fs0.Retries
+		ms.RecoveredReads += fs1.RecoveredReads - fs0.RecoveredReads
+		ms.RecoveredWrites += fs1.RecoveredWrites - fs0.RecoveredWrites
+		ms.VerifyTime += fs1.VerifyTime - fs0.VerifyTime
+	}
 
 	if rs.err != nil {
 		freeOut()
 		return rs.err
 	}
-	// Merge per-worker sink partials and publish results.
+	// Publish sink results. A clean pass committed every task in order; an
+	// unmerged remainder means a worker exited without committing or
+	// failing, which must not pass silently.
+	if rs.mergeNext != len(rs.tasks) || len(rs.mergeQueue) != 0 {
+		freeOut()
+		return fmt.Errorf("core: %d of %d tasks merged at pass end (%d queued)",
+			rs.mergeNext, len(rs.tasks), len(rs.mergeQueue))
+	}
 	for si, s := range d.sinks {
-		global := newSinkAcc(s)
-		for _, w := range workers {
-			global.merge(w.sinks[si])
-		}
-		global.finish(s)
+		rs.global[si].finish(s)
 	}
 	// Publish tall-target stores.
 	for i, m := range d.talls {
@@ -257,10 +300,20 @@ func (e *Engine) chunkRowsFor(d *dag, fuse FuseLevel) int {
 }
 
 // buildTasks precomputes scheduler dispatch units: super-task ranges first,
-// then single partitions for the tail so threads finish together.
+// then single partitions for the tail so threads finish together. The ranges
+// exactly cover [0, nparts) with no overlap for any super/workers values —
+// non-positive workers or super are treated as 1 (an unclamped negative
+// workers once made the tail reservation negative, extending super ranges
+// past nparts into partitions that do not exist).
 func buildTasks(nparts, super, workers int) []taskRange {
+	if nparts <= 0 {
+		return nil
+	}
 	if super < 1 {
 		super = 1
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	tail := workers * super
 	if tail > nparts {
@@ -290,12 +343,14 @@ type entry struct {
 // fixed-chunk recycling at Pcache granularity) and a slot-indexed memo so
 // the per-chunk hot path is array arithmetic, not hashing.
 type worker struct {
-	rs    *runState
-	id    int
-	node  int // simulated NUMA node this worker is bound to
-	pool  map[int][][]float64
-	memo  []entry // indexed by slot
-	used  []int   // slots touched in the current chunk
+	rs   *runState
+	id   int
+	node int // simulated NUMA node this worker is bound to
+	pool map[int][][]float64
+	memo []entry // indexed by slot
+	used []int   // slots touched in the current chunk
+	// sinks is the accumulator set of the task currently being processed;
+	// swapped per task and handed to commitTask for the ordered merge.
 	sinks []*sinkAcc
 	// cumRun holds, per opCumCol node id, the running column accumulator
 	// for the partition currently being processed.
@@ -327,11 +382,37 @@ func newWorker(rs *runState, id, total int) *worker {
 		leafOwned: make([]bool, len(rs.d.nodes)),
 		pending:   make(map[int]*prefetched),
 	}
-	w.sinks = make([]*sinkAcc, len(rs.d.sinks))
-	for i, s := range rs.d.sinks {
-		w.sinks[i] = newSinkAcc(s)
-	}
 	return w
+}
+
+// newTaskAccs builds a fresh accumulator set (one per sink in the DAG).
+func (rs *runState) newTaskAccs() []*sinkAcc {
+	accs := make([]*sinkAcc, len(rs.d.sinks))
+	for i, s := range rs.d.sinks {
+		accs[i] = newSinkAcc(s)
+	}
+	return accs
+}
+
+// commitTask hands a finished task's sink partials to the ordered merge:
+// queued under the task index, then merged into rs.global together with any
+// consecutive successors already waiting. Only the commit under mergeMu
+// touches rs.global, so the merge order is exactly task order.
+func (rs *runState) commitTask(t int, accs []*sinkAcc) {
+	rs.mergeMu.Lock()
+	defer rs.mergeMu.Unlock()
+	rs.mergeQueue[t] = accs
+	for {
+		q, ok := rs.mergeQueue[rs.mergeNext]
+		if !ok {
+			return
+		}
+		delete(rs.mergeQueue, rs.mergeNext)
+		for si := range rs.global {
+			rs.global[si].merge(q[si])
+		}
+		rs.mergeNext++
+	}
 }
 
 func (w *worker) get(n int) []float64 {
@@ -348,35 +429,71 @@ func (w *worker) put(b []float64) {
 }
 
 func (w *worker) run() {
+	// Registered first so it runs last: even when the recover handler above
+	// it fires, every in-flight prefetch is waited out and its buffers return
+	// to the pool. An exit path that abandons the pending map leaves async
+	// reads writing into buffers the pool may hand to a later pass.
+	defer w.drainPending()
 	defer func() {
 		if r := recover(); r != nil {
 			w.rs.fail(fmt.Errorf("core: worker %d panic: %v", w.id, r))
 		}
 	}()
+	t := int(w.rs.taskNext.Add(1) - 1)
+	if t >= len(w.rs.tasks) {
+		return
+	}
+	tr := w.rs.tasks[t]
+	w.sinks = w.rs.newTaskAccs()
+	// Issue read-ahead for the first partition of the range; each partition
+	// then prefetches its successor before computing.
+	w.prefetch(tr.lo)
 	for {
 		if w.rs.failed.Load() {
 			return
 		}
-		t := int(w.rs.taskNext.Add(1) - 1)
-		if t >= len(w.rs.tasks) {
-			return
-		}
-		tr := w.rs.tasks[t]
-		// Issue read-ahead for the first partition of the range; each
-		// partition then prefetches its successor before computing.
-		w.prefetch(tr.lo)
+		next := -1
 		for p := tr.lo; p < tr.hi; p++ {
 			if w.rs.failed.Load() {
 				return
 			}
 			if p+1 < tr.hi {
 				w.prefetch(p + 1)
+			} else if n := int(w.rs.taskNext.Add(1) - 1); n < len(w.rs.tasks) {
+				// Last partition of the range: claim the next range now and
+				// prefetch across the boundary, so the first partition of
+				// every range after the first is read ahead too (read-ahead
+				// used to stop at super-task boundaries, making it a
+				// guaranteed cold read).
+				next = n
+				w.prefetch(w.rs.tasks[n].lo)
 			}
 			if err := w.processPartition(p); err != nil {
 				w.rs.fail(err)
 				return
 			}
 		}
+		w.rs.commitTask(t, w.sinks)
+		if next < 0 {
+			return
+		}
+		t, tr = next, w.rs.tasks[next]
+		w.sinks = w.rs.newTaskAccs()
+	}
+}
+
+// drainPending waits out every still-pending prefetch and returns its
+// buffers to the worker pool. Runs on every worker-exit path.
+func (w *worker) drainPending() {
+	for p, pf := range w.pending {
+		delete(w.pending, p)
+		for i := 0; i < pf.want; i++ {
+			<-pf.ch
+		}
+		for _, b := range pf.bufs {
+			w.put(b)
+		}
+		w.rs.prefAbandoned.Add(1)
 	}
 }
 
@@ -409,6 +526,9 @@ func (w *worker) prefetch(p int) {
 	}
 	if pf.want > 0 {
 		w.pending[p] = pf
+		if h := w.rs.e.testSchedEvent; h != nil {
+			h("prefetch", p)
+		}
 	}
 }
 
@@ -441,6 +561,9 @@ func (w *worker) takePrefetched(p int) (map[int][]float64, error) {
 func (w *worker) processPartition(p int) error {
 	rs := w.rs
 	e := rs.e
+	if h := e.testSchedEvent; h != nil {
+		h("process", p)
+	}
 	rows := matrix.PartRowsOf(rs.d.nrow, e.cfg.PartRows, p)
 	if rows == 0 {
 		return nil

@@ -56,6 +56,24 @@ type MaterializeStats struct {
 	WriteDrain time.Duration
 	// WriteJobs counts partitions that went through the write-behind queue.
 	WriteJobs int64
+
+	// PrefetchAbandoned counts prefetched partitions a worker drained without
+	// consuming on an exit path (its own failure, a peer's, or cancellation).
+	// Always zero on a pass that runs to completion.
+	PrefetchAbandoned int64
+
+	// SAFS integrity counters attributed to this pass (deltas of the array's
+	// cumulative counters around the pass): stripe reads failing CRC32C
+	// verification, retry attempts after transient errors, and requests that
+	// failed at least once but succeeded within the retry budget. All zero on
+	// a fault-free pass.
+	ChecksumFailures int64
+	IORetries        int64
+	RecoveredReads   int64
+	RecoveredWrites  int64
+	// VerifyTime is time the SAFS drive workers spent on integrity work
+	// (CRC32C computation plus partial-stripe read-modify-checksum cycles).
+	VerifyTime time.Duration
 }
 
 // Add accumulates o into s (numeric fields sum; Fuse and SyncWrites take
@@ -76,6 +94,12 @@ func (s *MaterializeStats) Add(o MaterializeStats) {
 	s.WriteTime += o.WriteTime
 	s.WriteDrain += o.WriteDrain
 	s.WriteJobs += o.WriteJobs
+	s.PrefetchAbandoned += o.PrefetchAbandoned
+	s.ChecksumFailures += o.ChecksumFailures
+	s.IORetries += o.IORetries
+	s.RecoveredReads += o.RecoveredReads
+	s.RecoveredWrites += o.RecoveredWrites
+	s.VerifyTime += o.VerifyTime
 }
 
 // Sub returns s minus o field-by-field — the delta between two snapshots of
@@ -95,6 +119,12 @@ func (s MaterializeStats) Sub(o MaterializeStats) MaterializeStats {
 	d.WriteTime -= o.WriteTime
 	d.WriteDrain -= o.WriteDrain
 	d.WriteJobs -= o.WriteJobs
+	d.PrefetchAbandoned -= o.PrefetchAbandoned
+	d.ChecksumFailures -= o.ChecksumFailures
+	d.IORetries -= o.IORetries
+	d.RecoveredReads -= o.RecoveredReads
+	d.RecoveredWrites -= o.RecoveredWrites
+	d.VerifyTime -= o.VerifyTime
 	return d
 }
 
@@ -110,6 +140,14 @@ func (s MaterializeStats) String() string {
 	}
 	fmt.Fprintf(&b, " writes=%s wstall=%s wtime=%s wdrain=%s",
 		mode, round(s.WriteStall), round(s.WriteTime), round(s.WriteDrain))
+	fmt.Fprintf(&b, " verify=%s", round(s.VerifyTime))
+	if s.ChecksumFailures != 0 || s.IORetries != 0 || s.RecoveredReads != 0 || s.RecoveredWrites != 0 {
+		fmt.Fprintf(&b, " csfail=%d retries=%d recovered=%d/%d",
+			s.ChecksumFailures, s.IORetries, s.RecoveredReads, s.RecoveredWrites)
+	}
+	if s.PrefetchAbandoned != 0 {
+		fmt.Fprintf(&b, " pfabandoned=%d", s.PrefetchAbandoned)
+	}
 	return b.String()
 }
 

@@ -114,6 +114,9 @@ func TestCancelledMaterializeDrains(t *testing.T) {
 		t.Fatal("cancelled materialization did not return")
 	}
 	if !errors.Is(err, context.Canceled) {
+		// A worker that abandons in-flight prefetches trips the pass's
+		// pool-consistency invariant and surfaces an internal error here
+		// instead of the bare context error.
 		t.Fatalf("MaterializeCtx err = %v, want context.Canceled", err)
 	}
 	if out.Materialized() {
@@ -123,6 +126,9 @@ func TestCancelledMaterializeDrains(t *testing.T) {
 	out2 := Sapply(leaf, UnarySquare)
 	if _, err := e.ToDense(out2); err != nil {
 		t.Fatalf("engine unusable after cancellation: %v", err)
+	}
+	if ms := e.LastMaterializeStats(); ms.PrefetchAbandoned != 0 {
+		t.Fatalf("clean pass after cancellation abandoned %d prefetches", ms.PrefetchAbandoned)
 	}
 	out2.Free()
 	leaf.Free()

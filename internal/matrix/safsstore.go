@@ -74,6 +74,10 @@ func (s *SAFSStore) Kind() string { return "safs" }
 // File exposes the underlying striped file (used by async prefetchers).
 func (s *SAFSStore) File() *safs.File { return s.file }
 
+// Verify scrubs the store's file against its recorded per-stripe checksums,
+// reporting corrupt stripes without failing the first read that hits them.
+func (s *SAFSStore) Verify() (safs.VerifyReport, error) { return s.file.Verify() }
+
 // PartOffset returns the byte offset of partition i in the file.
 func (s *SAFSStore) PartOffset(i int) int64 {
 	return int64(i) * int64(s.partRows) * int64(s.ncol) * 8

@@ -17,6 +17,11 @@ import (
 // Enqueue blocks and the blocked time is recorded as write-stall — the
 // quantity that collapses to the full write time under synchronous writes
 // and shrinks toward zero when the overlap works.
+//
+// Write-behind jobs funnel through the same per-drive workers as
+// synchronous writes, so stripe checksums, injected faults, and the
+// retry/backoff policy all apply identically on both paths; no separate
+// integrity handling lives here.
 type WriteBack struct {
 	slots chan struct{}
 	wg    sync.WaitGroup

@@ -6,11 +6,21 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/matrix"
+	"repro/internal/safs"
 )
 
 // matrixMeta is the sidecar metadata stored next to a named matrix on the
 // SSD array, so matrices can be reopened across sessions without the caller
 // tracking shapes (what SAFS keeps in its own metadata files).
+//
+// Version history:
+//
+//	v1: shape metadata only.
+//	v2: adds Checksums — the per-stripe CRC32C table of every underlying
+//	    SAFS file, keyed by file name (the matrix name for a flat store,
+//	    "<name>.bNN" per block for a blocked one). Reopening a v2 matrix
+//	    restores the tables so every read is verified; v1 files reopen
+//	    checksum-free and are verified again from the first rewrite on.
 type matrixMeta struct {
 	NRow     int64  `json:"nrow"`
 	NCol     int    `json:"ncol"`
@@ -18,9 +28,51 @@ type matrixMeta struct {
 	Blocks   int    `json:"blocks"` // 0 = flat file, else 32-column TAS blocks
 	DType    string `json:"dtype"`
 	Version  int    `json:"version"`
+	// Checksums maps each underlying SAFS file to its per-stripe CRC32C
+	// table (v2+; absent in v1 sidecars).
+	Checksums map[string][]uint32 `json:"checksums,omitempty"`
 }
 
+// metaVersion is the sidecar version this build writes.
+const metaVersion = 2
+
 func metaName(name string) string { return name + ".meta" }
+
+// decodeMatrixMeta parses and validates a sidecar. It accepts every version
+// up to metaVersion (older sidecars simply lack the newer fields) and
+// rejects sidecars from the future, malformed JSON, and impossible shapes —
+// a corrupted sidecar must fail loudly here, not as an index panic later.
+func decodeMatrixMeta(name string, raw []byte) (matrixMeta, error) {
+	var meta matrixMeta
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return meta, fmt.Errorf("flashr: corrupt metadata for %q: %w", name, err)
+	}
+	if meta.Version > metaVersion {
+		return meta, fmt.Errorf("flashr: %q stored with sidecar version %d, this build reads up to %d",
+			name, meta.Version, metaVersion)
+	}
+	if meta.NRow < 0 || meta.NCol <= 0 || meta.PartRows <= 0 || meta.Blocks < 0 {
+		return meta, fmt.Errorf("flashr: corrupt metadata for %q: impossible shape %dx%d (part_rows=%d, blocks=%d)",
+			name, meta.NRow, meta.NCol, meta.PartRows, meta.Blocks)
+	}
+	if meta.Blocks > 0 && meta.Blocks != matrix.NumBlockCols(meta.NCol) {
+		return meta, fmt.Errorf("flashr: corrupt metadata for %q: %d blocks for %d columns",
+			name, meta.Blocks, meta.NCol)
+	}
+	return meta, nil
+}
+
+// metaFileNames lists the underlying SAFS file names of a named matrix.
+func (m matrixMeta) metaFileNames(name string) []string {
+	if m.Blocks == 0 {
+		return []string{name}
+	}
+	names := make([]string, m.Blocks)
+	for b := range names {
+		names[b] = fmt.Sprintf("%s.b%02d", name, b)
+	}
+	return names
+}
 
 // SaveNamed materializes x and stores it under the given name on the
 // session's SSD array (EM sessions only), with a metadata sidecar; reopen
@@ -55,25 +107,30 @@ func (s *Session) SaveNamed(x *FM, name string) error {
 	}
 	// Destination store(s) under the chosen name.
 	var dst matrix.Store
+	var files []*matrix.SAFSStore
 	var err error
 	if blocks > 0 {
 		bs := make([]matrix.Store, blocks)
 		for b := 0; b < blocks; b++ {
-			bs[b], err = matrix.NewSAFSStore(s.fs, fmt.Sprintf("%s.b%02d", name, b),
+			st, serr := matrix.NewSAFSStore(s.fs, fmt.Sprintf("%s.b%02d", name, b),
 				nrow, matrix.BlockWidth(ncol, b), partRows)
-			if err != nil {
-				return err
+			if serr != nil {
+				return serr
 			}
+			bs[b] = st
+			files = append(files, st)
 		}
 		dst, err = matrix.NewBlockedStore(bs)
 		if err != nil {
 			return err
 		}
 	} else {
-		dst, err = matrix.NewSAFSStore(s.fs, name, nrow, ncol, partRows)
-		if err != nil {
-			return err
+		st, serr := matrix.NewSAFSStore(s.fs, name, nrow, ncol, partRows)
+		if serr != nil {
+			return serr
 		}
+		dst = st
+		files = append(files, st)
 	}
 	buf := make([]float64, partRows*ncol)
 	for p := 0; p < src.NumParts(); p++ {
@@ -87,7 +144,18 @@ func (s *Session) SaveNamed(x *FM, name string) error {
 	}
 	meta := matrixMeta{
 		NRow: nrow, NCol: ncol, PartRows: partRows, Blocks: blocks,
-		DType: x.big.DType().String(), Version: 1,
+		DType: x.big.DType().String(), Version: metaVersion,
+		Checksums: make(map[string][]uint32, len(files)),
+	}
+	// Persist the per-stripe CRC32C tables so a later session verifies its
+	// reads against the data written now (every stripe was just written, so
+	// every table is complete).
+	for _, st := range files {
+		sums, complete := st.File().Checksums()
+		if !complete {
+			return fmt.Errorf("flashr: SaveNamed %q: incomplete checksum table for %q", name, st.File().Name())
+		}
+		meta.Checksums[st.File().Name()] = sums
 	}
 	raw, err := json.Marshal(meta)
 	if err != nil {
@@ -114,27 +182,51 @@ func (s *Session) OpenNamed(name string) (*FM, error) {
 	if err := mf.ReadAt(raw, 0); err != nil {
 		return nil, err
 	}
-	var meta matrixMeta
-	if err := json.Unmarshal(raw, &meta); err != nil {
-		return nil, fmt.Errorf("flashr: corrupt metadata for %q: %w", name, err)
+	meta, err := decodeMatrixMeta(name, raw)
+	if err != nil {
+		return nil, err
 	}
 	if meta.PartRows != s.eng.PartRows() {
 		return nil, fmt.Errorf("flashr: %q stored with partition height %d, session uses %d",
 			name, meta.PartRows, s.eng.PartRows())
 	}
+	// restore reinstates a file's persisted checksum table (v2 sidecars), so
+	// every subsequent read of the reopened matrix is verified. v1 sidecars
+	// carry no table: the file reopens checksum-free.
+	restore := func(f *safs.File) error {
+		sums, ok := meta.Checksums[f.Name()]
+		if !ok {
+			return nil
+		}
+		if err := f.RestoreChecksums(sums); err != nil {
+			return fmt.Errorf("flashr: %q: %w", name, err)
+		}
+		return nil
+	}
 	var st matrix.Store
 	if meta.Blocks > 0 {
 		bs := make([]matrix.Store, meta.Blocks)
 		for b := 0; b < meta.Blocks; b++ {
-			bs[b], err = matrix.OpenSAFSStore(s.fs, fmt.Sprintf("%s.b%02d", name, b),
+			bst, berr := matrix.OpenSAFSStore(s.fs, fmt.Sprintf("%s.b%02d", name, b),
 				meta.NRow, matrix.BlockWidth(meta.NCol, b), meta.PartRows)
-			if err != nil {
+			if berr != nil {
+				return nil, berr
+			}
+			if err := restore(bst.File()); err != nil {
 				return nil, err
 			}
+			bs[b] = bst
 		}
 		st, err = matrix.NewBlockedStore(bs)
 	} else {
-		st, err = matrix.OpenSAFSStore(s.fs, name, meta.NRow, meta.NCol, meta.PartRows)
+		var fst *matrix.SAFSStore
+		fst, err = matrix.OpenSAFSStore(s.fs, name, meta.NRow, meta.NCol, meta.PartRows)
+		if err == nil {
+			if rerr := restore(fst.File()); rerr != nil {
+				return nil, rerr
+			}
+			st = fst
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -147,6 +239,48 @@ func (s *Session) OpenNamed(name string) (*FM, error) {
 		dt = matrix.Bool
 	}
 	return s.bigFM(core.NewLeaf(st, dt)), nil
+}
+
+// VerifyNamed scrubs a matrix stored with SaveNamed against the checksum
+// tables in its sidecar, returning one report per underlying SAFS file (one
+// for a flat matrix, one per 32-column block for a wide one). Stripes a v1
+// sidecar has no checksums for are reported as skipped, not corrupt. The
+// scan reads segment bytes directly — no token bucket, no retries — so it is
+// off the simulated bandwidth budget.
+func (s *Session) VerifyNamed(name string) ([]safs.VerifyReport, error) {
+	if s.fs == nil {
+		return nil, fmt.Errorf("flashr: VerifyNamed needs a session with an SSD array")
+	}
+	mf, err := s.fs.OpenFile(metaName(name))
+	if err != nil {
+		return nil, fmt.Errorf("flashr: no metadata for %q: %w", name, err)
+	}
+	raw := make([]byte, mf.Size())
+	if err := mf.ReadAt(raw, 0); err != nil {
+		return nil, err
+	}
+	meta, err := decodeMatrixMeta(name, raw)
+	if err != nil {
+		return nil, err
+	}
+	var reports []safs.VerifyReport
+	for _, fname := range meta.metaFileNames(name) {
+		f, err := s.fs.OpenFile(fname)
+		if err != nil {
+			return reports, err
+		}
+		if sums, ok := meta.Checksums[fname]; ok {
+			if err := f.RestoreChecksums(sums); err != nil {
+				return reports, fmt.Errorf("flashr: %q: %w", name, err)
+			}
+		}
+		rep, err := f.Verify()
+		if err != nil {
+			return reports, err
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
 }
 
 // ListNamed returns the names of matrices stored with SaveNamed on the

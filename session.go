@@ -20,6 +20,7 @@ package flashr
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dense"
@@ -55,6 +56,18 @@ type Options struct {
 	// WriteBehindDepth bounds in-flight asynchronous partition writes
 	// (0 = 2×Workers clamped to [4, 32]).
 	WriteBehindDepth int
+	// MaxIORetries bounds how many times the SSD array retries a failed
+	// stripe request with exponential backoff before it surfaces as a
+	// permanent error naming the drive, file, and stripe
+	// (0 = safs.DefaultMaxRetries, negative = no retries).
+	MaxIORetries int
+	// IORetryBackoff is the delay before the first retry, doubling per
+	// attempt (0 = safs.DefaultRetryBackoff).
+	IORetryBackoff time.Duration
+	// DisableVerify turns off CRC32C verification on SSD reads (checksums
+	// are still maintained on writes). Escape hatch for measuring the
+	// verification overhead; leave off in normal operation.
+	DisableVerify bool
 }
 
 // FuseLevel aliases the engine's fusion-level type for Options.Fuse.
@@ -86,9 +99,12 @@ func NewSession(opts Options) (*Session, error) {
 	var err error
 	if len(opts.SSDDirs) > 0 {
 		fs, err = safs.Open(safs.Config{
-			Drives:    opts.SSDDirs,
-			ReadMBps:  opts.ReadMBps,
-			WriteMBps: opts.WriteMBps,
+			Drives:        opts.SSDDirs,
+			ReadMBps:      opts.ReadMBps,
+			WriteMBps:     opts.WriteMBps,
+			MaxRetries:    opts.MaxIORetries,
+			RetryBackoff:  opts.IORetryBackoff,
+			DisableVerify: opts.DisableVerify,
 		})
 		if err != nil {
 			return nil, err
