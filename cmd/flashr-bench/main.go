@@ -6,7 +6,7 @@
 //	flashr-bench -experiment fig7a -n 200000
 //	flashr-bench -experiment all -n 100000 -read-mbps 400
 //
-// Experiments: fig7a, fig7b, fig8, fig9, fig10, table4, table6, all.
+// Experiments: fig7a, fig7b, fig8, fig9, fig10, table4, table6, cse, all.
 // See DESIGN.md for the paper-to-experiment index and EXPERIMENTS.md for
 // recorded results.
 package main
@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run (fig7a|fig7b|fig8|fig9|fig10|table4|table6|all)")
+		experiment = flag.String("experiment", "all", "experiment to run (fig7a|fig7b|fig8|fig9|fig10|table4|table6|cse|all)")
 		n          = flag.Int64("n", 200_000, "base dataset rows (Criteo-sub in the paper is 325M)")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines per engine")
 		ssdRoot    = flag.String("ssd-root", "", "directory for the simulated SSD array (default: temp dir)")
@@ -37,6 +37,8 @@ func main() {
 		injectRead = flag.Float64("inject-read-err", 0, "probability of a transient injected read error per stripe request")
 		injectFlip = flag.Float64("inject-flip-bit", 0, "probability of an injected in-flight bit flip per stripe read")
 		faultSeed  = flag.Int64("fault-seed", 0, "seed for the injected-fault RNGs (0=derive from -seed)")
+		noCSE      = flag.Bool("no-cse", false, "disable structural hash-consing and the sub-DAG result cache")
+		cacheMB    = flag.Int64("cache-mb", 0, "sub-DAG result cache budget in MiB (0=engine default, negative=cache off, CSE on)")
 	)
 	flag.Parse()
 
@@ -45,7 +47,8 @@ func main() {
 		ReadMBps: *readMBps, WriteMBps: *writeMBps, Iters: *iters, Seed: *seed,
 		SyncWrites: *syncWrites, WriteBehindDepth: *writeDepth,
 		DisableVerify: *noVerify, ReadErrRate: *injectRead, FlipBitRate: *injectFlip,
-		FaultSeed: *faultSeed,
+		FaultSeed:  *faultSeed,
+		DisableCSE: *noCSE, ResultCacheBytes: *cacheMB << 20,
 	}
 	writes := "write-behind"
 	if *syncWrites {
@@ -55,8 +58,12 @@ func main() {
 	if *noVerify {
 		verify = "off"
 	}
-	fmt.Printf("flashr-bench: experiment=%s n=%d workers=%d drives=%d read=%.0fMiB/s write=%.0fMiB/s iters=%d writes=%s depth=%d verify=%s\n",
-		*experiment, *n, *workers, *drives, *readMBps, *writeMBps, *iters, writes, *writeDepth, verify)
+	cse := "on"
+	if *noCSE {
+		cse = "off"
+	}
+	fmt.Printf("flashr-bench: experiment=%s n=%d workers=%d drives=%d read=%.0fMiB/s write=%.0fMiB/s iters=%d writes=%s depth=%d verify=%s cse=%s\n",
+		*experiment, *n, *workers, *drives, *readMBps, *writeMBps, *iters, writes, *writeDepth, verify, cse)
 	if *injectRead > 0 || *injectFlip > 0 {
 		fmt.Printf("fault injection: read-err=%.3g flip-bit=%.3g seed=%d\n", *injectRead, *injectFlip, *faultSeed)
 	}

@@ -144,6 +144,14 @@ func main() {
 		fmt.Printf("%.4g ", v)
 	}
 	fmt.Println()
+	// The summaries above run several materialization passes over the same
+	// leaf; show how much of that the hash-consed result cache absorbed.
+	ms := s.TotalMaterializeStats()
+	entries, bytes := s.Engine().ResultCacheStats()
+	fmt.Printf("  engine: nodes=%d cse-unified=%d cache hits=%d misses=%d saved=%.1fMiB evictions=%d (resident %d entries, %.1fMiB)\n",
+		ms.NodesExecuted, ms.CSEUnifications, ms.CacheHits, ms.CacheMisses,
+		float64(ms.CacheHitBytes)/(1<<20), ms.CacheEvictions,
+		entries, float64(bytes)/(1<<20))
 }
 
 func fatal(err error) {

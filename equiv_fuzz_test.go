@@ -1,0 +1,272 @@
+package flashr
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+// Differential equivalence harness for the hash-consed engine: a seeded
+// random program is executed under every combination of
+// {FuseNone, FuseMem, FuseCache} × {CSE on, off} × {SyncWrites on, off}, and
+// every configuration must produce bit-identical results. Each session runs
+// the program twice over the same leaf, so the second run exercises the
+// cross-materialize result cache on exactly the values the first run
+// computed.
+//
+// Sink aggregations fold worker-local partials whose partition composition
+// depends on scheduling, so float sums are only bit-stable when the summands
+// are integers (integer addition in float64 is exact and grouping-
+// insensitive below 2^53). The program therefore fingerprints sums through
+// Round, and keeps raw floats for the order-insensitive min/max sinks and
+// for tall outputs (elementwise, deterministic by construction). The value
+// ranges below keep every rounded sum far under 2^53.
+
+// equivConfig is one point of the equivalence grid.
+type equivConfig struct {
+	name       string
+	fuse       FuseLevel
+	disableCSE bool
+	syncWrites bool
+	em         bool
+}
+
+func equivGrid(em bool) []equivConfig {
+	var grid []equivConfig
+	for _, fuse := range []FuseLevel{FuseCache, FuseMem, FuseNone} {
+		for _, cse := range []bool{false, true} {
+			for _, sync := range []bool{false, true} {
+				grid = append(grid, equivConfig{
+					name:       fmt.Sprintf("fuse=%v/cse=%t/sync=%t", fuse, !cse, sync),
+					fuse:       fuse,
+					disableCSE: cse,
+					syncWrites: sync,
+				})
+			}
+		}
+	}
+	if em {
+		grid = append(grid,
+			equivConfig{name: "em/cache/cse-on", fuse: FuseCache, em: true},
+			equivConfig{name: "em/cache/cse-off/sync", fuse: FuseCache, disableCSE: true, syncWrites: true, em: true},
+		)
+	}
+	return grid
+}
+
+// buildEquivExpr builds a deterministic random elementwise expression over x.
+// Ops are chosen to keep magnitudes bounded (no exp/log/div) so rounded sums
+// stay exactly representable.
+func buildEquivExpr(rng *rand.Rand, x *FM, depth int) *FM {
+	if depth <= 0 {
+		return x
+	}
+	switch rng.Intn(13) {
+	case 0:
+		return Abs(buildEquivExpr(rng, x, depth-1))
+	case 1:
+		return Neg(buildEquivExpr(rng, x, depth-1))
+	case 2:
+		return Sign(buildEquivExpr(rng, x, depth-1))
+	case 3:
+		return Sqrt(Abs(buildEquivExpr(rng, x, depth-1)))
+	case 4:
+		return Sigmoid(buildEquivExpr(rng, x, depth-1))
+	case 5:
+		return Round(buildEquivExpr(rng, x, depth-1))
+	case 6:
+		a := buildEquivExpr(rng, x, depth-1)
+		b := buildEquivExpr(rng, x, depth-1)
+		return Add(a, b)
+	case 7:
+		a := buildEquivExpr(rng, x, depth-1)
+		b := buildEquivExpr(rng, x, depth-1)
+		return Sub(a, b)
+	case 8:
+		a := buildEquivExpr(rng, x, depth-1)
+		b := buildEquivExpr(rng, x, depth-1)
+		return Mul(a, b)
+	case 9:
+		a := buildEquivExpr(rng, x, depth-1)
+		b := buildEquivExpr(rng, x, depth-1)
+		return Pmin(a, b)
+	case 10:
+		a := buildEquivExpr(rng, x, depth-1)
+		b := buildEquivExpr(rng, x, depth-1)
+		return Pmax(a, b)
+	case 11:
+		return Mul(buildEquivExpr(rng, x, depth-1), float64(rng.Intn(9))-4)
+	default:
+		return Cumsum(buildEquivExpr(rng, x, depth-1))
+	}
+}
+
+// runEquivProgram executes the seeded program once over the shared leaf x and
+// returns its result fingerprint as float64 bit patterns. Expressions are
+// rebuilt from scratch each run — structurally identical, new node objects —
+// which is exactly what iterative algorithms do per iteration.
+func runEquivProgram(t testing.TB, x *FM, progSeed int64) []uint64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(progSeed))
+	e1 := buildEquivExpr(rng, x, 3)
+	e2 := buildEquivExpr(rng, x, 3)
+	// An identical twin of e1 from a fresh RNG with the same seed: the
+	// engine must CSE it, a CSE-free engine must recompute it — either way
+	// the bits must agree.
+	e1b := buildEquivExpr(rand.New(rand.NewSource(progSeed)), x, 3)
+
+	z, zb := Sum(Round(e1)), Sum(Round(e1b))
+	mx, mn := Max(e2), Min(e2)
+	cs := ColSums(Round(e2))
+
+	var fp []uint64
+	add := func(vs ...float64) {
+		for _, v := range vs {
+			fp = append(fp, math.Float64bits(v))
+		}
+	}
+	vz, err := z.Float() // one fused pass materializes every pending sink
+	if err != nil {
+		t.Fatal(err)
+	}
+	vzb, err := zb.Float()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vmx, err := mx.Float()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vmn, err := mn.Float()
+	if err != nil {
+		t.Fatal(err)
+	}
+	add(vz, vzb, vmx, vmn)
+	csv, err := cs.AsVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	add(csv...)
+	d1, err := e1.AsDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	add(d1.Data...)
+	d1b, err := e1b.AsDense() // cache-served when CSE is on
+	if err != nil {
+		t.Fatal(err)
+	}
+	add(d1b.Data...)
+	return fp
+}
+
+// checkEquivalence runs the seeded program twice under every grid
+// configuration and asserts all fingerprints are bit-identical, that CSE-on
+// sessions actually unified and cache-served work, and that CSE-off sessions
+// did neither.
+func checkEquivalence(t testing.TB, seed int64, em bool) {
+	rng := rand.New(rand.NewSource(seed))
+	n := int64(300 + rng.Intn(2200))
+	p := 1 + rng.Intn(4)
+	dataSeed := rng.Int63()
+	progSeed := rng.Int63()
+
+	var refName string
+	var ref []uint64
+	for _, cfg := range equivGrid(em) {
+		opts := Options{
+			Workers: 4, PartRows: 256, Fuse: cfg.fuse,
+			DisableCSE: cfg.disableCSE, SyncWrites: cfg.syncWrites,
+		}
+		if cfg.em {
+			dir := t.(interface{ TempDir() string }).TempDir()
+			opts.EM = true
+			opts.SSDDirs = []string{filepath.Join(dir, "d0"), filepath.Join(dir, "d1")}
+		}
+		s, err := NewSession(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := s.GenerateSeeded(n, p, dataSeed, func(rng *rand.Rand, row []float64) {
+			for i := range row {
+				row[i] = rng.Float64()*4 - 2
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp1 := runEquivProgram(t, x, progSeed)
+		fp2 := runEquivProgram(t, x, progSeed)
+		for i := range fp1 {
+			if fp1[i] != fp2[i] {
+				t.Fatalf("seed %d [%s]: run 2 diverged from run 1 at word %d: %016x vs %016x",
+					seed, cfg.name, i, fp2[i], fp1[i])
+			}
+		}
+		ms := s.TotalMaterializeStats()
+		if cfg.disableCSE {
+			if ms.CSEUnifications != 0 || ms.CacheHits != 0 {
+				t.Fatalf("seed %d [%s]: CSE disabled but cse=%d hits=%d",
+					seed, cfg.name, ms.CSEUnifications, ms.CacheHits)
+			}
+		} else {
+			// The duplicate sink unifies in run 1; run 2 rebuilds cached
+			// structures, so hits are guaranteed.
+			if ms.CSEUnifications == 0 {
+				t.Fatalf("seed %d [%s]: no CSE unifications for a program with a duplicate sink", seed, cfg.name)
+			}
+			if ms.CacheHits == 0 {
+				t.Fatalf("seed %d [%s]: no cache hits across two identical runs", seed, cfg.name)
+			}
+		}
+		if ref == nil {
+			refName, ref = cfg.name, fp1
+		} else {
+			if len(fp1) != len(ref) {
+				t.Fatalf("seed %d [%s]: fingerprint length %d != %d (%s)",
+					seed, cfg.name, len(fp1), len(ref), refName)
+			}
+			for i := range ref {
+				if fp1[i] != ref[i] {
+					t.Fatalf("seed %d [%s]: word %d = %016x, want %016x (%s)",
+						seed, cfg.name, i, fp1[i], ref[i], refName)
+				}
+			}
+		}
+		s.Close()
+	}
+}
+
+// TestDAGEquivalenceGrid is the deterministic slice of the harness (several
+// seeds, EM configurations included).
+func TestDAGEquivalenceGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full equivalence grid is slow under -short with -race")
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			checkEquivalence(t, seed, true)
+		})
+	}
+}
+
+// TestDAGEquivalenceGridShort keeps one in-memory seed in the -short / -race
+// tier so the equivalence property is exercised on every CI run.
+func TestDAGEquivalenceGridShort(t *testing.T) {
+	checkEquivalence(t, 99, false)
+}
+
+// FuzzDAGEquivalence feeds arbitrary seeds through the harness (in-memory
+// grid only; EM runs in the deterministic test above).
+func FuzzDAGEquivalence(f *testing.F) {
+	for _, s := range []int64{0, 1, 42, 1<<40 + 7, -3} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		checkEquivalence(t, seed, false)
+	})
+}

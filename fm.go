@@ -227,6 +227,34 @@ func (x *FM) Element(i, j int64) (float64, error) {
 	return d.At(int(i), int(j)), nil
 }
 
+// SetElement writes element (i, j) in place — R's x[i, j] <- v. Big matrices
+// materialize first, then the engine privatizes any store shared with the
+// result cache and records the mutation, so no cached result built over the
+// old contents is ever served again.
+func (x *FM) SetElement(i, j int64, v float64) error {
+	if x.big != nil {
+		if x.trans {
+			i, j = j, i
+		}
+		if i < 0 || i >= x.big.NRow() || j < 0 || j >= int64(x.big.NCol()) {
+			return fmt.Errorf("flashr: SetElement (%d,%d) out of %dx%d", i, j, x.big.NRow(), x.big.NCol())
+		}
+		if err := x.Materialize(); err != nil {
+			return err
+		}
+		return x.s.eng.SetElement(x.big, i, int(j), v)
+	}
+	d, err := x.resolveSmall()
+	if err != nil {
+		return err
+	}
+	if i < 0 || i >= int64(d.R) || j < 0 || j >= int64(d.C) {
+		return fmt.Errorf("flashr: SetElement (%d,%d) out of %dx%d", i, j, d.R, d.C)
+	}
+	d.Set(int(i), int(j), v)
+	return nil
+}
+
 // promote converts a small matrix into a tall engine leaf so it can mix with
 // big matrices of the same partition dimension.
 func (x *FM) promote() (*core.Mat, error) {

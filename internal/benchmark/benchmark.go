@@ -16,6 +16,7 @@ package benchmark
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -81,6 +82,13 @@ type Config struct {
 	FlipBitRate float64
 	// FaultSeed seeds the per-drive fault RNGs (0 = derive from Seed).
 	FaultSeed int64
+	// DisableCSE turns off structural hash-consing and the sub-DAG result
+	// cache in every session the experiments open (the A/B baseline the
+	// "cse" experiment runs internally).
+	DisableCSE bool
+	// ResultCacheBytes bounds the sub-DAG result cache (0 = engine default,
+	// negative = cache off with unification kept on).
+	ResultCacheBytes int64
 }
 
 // Defaults fills unset fields.
@@ -162,6 +170,7 @@ type sessionSet struct {
 func (c Config) openSessions(fuseEM flashr.Options) (*sessionSet, error) {
 	im, err := flashr.NewSession(flashr.Options{
 		Workers: c.Workers, SyncWrites: c.SyncWrites, WriteBehindDepth: c.WriteBehindDepth,
+		DisableCSE: c.DisableCSE, ResultCacheBytes: c.ResultCacheBytes,
 	})
 	if err != nil {
 		return nil, err
@@ -183,6 +192,7 @@ func (c Config) openSessions(fuseEM flashr.Options) (*sessionSet, error) {
 		Fuse:       fuseEM.Fuse,
 		SyncWrites: c.SyncWrites, WriteBehindDepth: c.WriteBehindDepth,
 		DisableVerify: c.DisableVerify,
+		DisableCSE:    c.DisableCSE, ResultCacheBytes: c.ResultCacheBytes,
 	}
 	em, err := flashr.NewSession(opts)
 	if err != nil {
@@ -227,6 +237,11 @@ func ioExtra(s flashr.MaterializeStats) string {
 	if s.ChecksumFailures != 0 || s.IORetries != 0 || s.RecoveredReads != 0 || s.RecoveredWrites != 0 {
 		out += fmt.Sprintf(" csfail=%d retries=%d recovered=%d/%d",
 			s.ChecksumFailures, s.IORetries, s.RecoveredReads, s.RecoveredWrites)
+	}
+	if s.CSEUnifications != 0 || s.CacheHits != 0 || s.CacheMisses != 0 {
+		out += fmt.Sprintf(" cse=%d hits=%d/%d saved=%.0fMB evict=%d nodes=%d",
+			s.CSEUnifications, s.CacheHits, s.CacheMisses,
+			float64(s.CacheHitBytes)/(1<<20), s.CacheEvictions, s.NodesExecuted)
 	}
 	return out
 }
@@ -844,9 +859,123 @@ func Table4(cfg Config) ([]Row, error) {
 	return rows, nil
 }
 
+// CSE is the hash-consing/result-cache A/B: an iterative EM workload whose
+// per-iteration DAG contains an iteration-invariant statistics pass (plus a
+// deliberate duplicate sink) and an iteration-dependent update pass, run with
+// structural hash-consing on and off. The two runs must produce bit-identical
+// outputs, and the CSE-on run must report unifications, cache hits, and
+// strictly less leaf I/O and node execution — violations surface as errors,
+// so CI gates on this experiment simply by running it.
+func CSE(cfg Config) ([]Row, error) {
+	cfg = cfg.Defaults()
+	n := cfg.N / 2
+	if n < 4096 {
+		n = 4096
+	}
+	type result struct {
+		vals  []float64
+		stats flashr.MaterializeStats
+		sec   float64
+	}
+	runMode := func(disable bool) (result, error) {
+		var res result
+		dir, err := os.MkdirTemp(cfg.SSDRoot, "flashr-cse-")
+		if err != nil {
+			return res, err
+		}
+		defer os.RemoveAll(dir)
+		drives := make([]string, cfg.Drives)
+		for i := range drives {
+			drives[i] = filepath.Join(dir, fmt.Sprintf("ssd-%02d", i))
+		}
+		s, err := flashr.NewSession(flashr.Options{
+			Workers: cfg.Workers, EM: true, SSDDirs: drives,
+			ReadMBps: cfg.ReadMBps, WriteMBps: cfg.WriteMBps,
+			SyncWrites: cfg.SyncWrites, WriteBehindDepth: cfg.WriteBehindDepth,
+			DisableVerify: cfg.DisableVerify,
+			DisableCSE:    disable, ResultCacheBytes: cfg.ResultCacheBytes,
+		})
+		if err != nil {
+			return res, err
+		}
+		defer s.Close()
+		x, err := workload.PageGraph(s, n, cfg.Seed)
+		if err != nil {
+			return res, err
+		}
+		defer x.Free()
+		before := s.TotalMaterializeStats()
+		res.sec, err = timeIt(func() error {
+			for it := 0; it < cfg.Iters; it++ {
+				// Pass 1: iteration-invariant statistics — the same DAG every
+				// iteration, with a structural duplicate in the same flush.
+				a := flashr.Sum(flashr.Sqrt(flashr.Abs(x)))
+				b := flashr.Sum(flashr.Sqrt(flashr.Abs(x)))
+				av, err := a.Float()
+				if err != nil {
+					return err
+				}
+				bv, err := b.Float()
+				if err != nil {
+					return err
+				}
+				// Pass 2: iteration-dependent update — never cache-served.
+				cv, err := flashr.Sum(flashr.Mul(x, float64(it+1))).Float()
+				if err != nil {
+					return err
+				}
+				res.vals = append(res.vals, av, bv, cv)
+			}
+			return nil
+		})
+		if err != nil {
+			return res, err
+		}
+		res.stats = s.TotalMaterializeStats().Sub(before)
+		return res, nil
+	}
+	on, err := runMode(false)
+	if err != nil {
+		return nil, fmt.Errorf("cse on: %w", err)
+	}
+	off, err := runMode(true)
+	if err != nil {
+		return nil, fmt.Errorf("cse off: %w", err)
+	}
+	if len(on.vals) != len(off.vals) {
+		return nil, fmt.Errorf("cse: output lengths differ: %d vs %d", len(on.vals), len(off.vals))
+	}
+	for i := range on.vals {
+		if math.Float64bits(on.vals[i]) != math.Float64bits(off.vals[i]) {
+			return nil, fmt.Errorf("cse: output %d differs: %v (on) vs %v (off)", i, on.vals[i], off.vals[i])
+		}
+	}
+	if on.stats.CSEUnifications == 0 {
+		return nil, fmt.Errorf("cse: CSE-on iterative run reported zero unifications")
+	}
+	if on.stats.CacheHits == 0 {
+		return nil, fmt.Errorf("cse: CSE-on iterative run reported zero cache hits")
+	}
+	if on.stats.BytesRead >= off.stats.BytesRead {
+		return nil, fmt.Errorf("cse: CSE-on read %d bytes, not fewer than CSE-off's %d",
+			on.stats.BytesRead, off.stats.BytesRead)
+	}
+	if on.stats.NodesExecuted >= off.stats.NodesExecuted {
+		return nil, fmt.Errorf("cse: CSE-on executed %d nodes, not fewer than CSE-off's %d",
+			on.stats.NodesExecuted, off.stats.NodesExecuted)
+	}
+	params := fmt.Sprintf("n=%d iters=%d (EM)", n, cfg.Iters)
+	return []Row{
+		{Experiment: "cse", Algorithm: "iterative", System: "cse-on", Params: params,
+			Seconds: on.sec, Normalized: 1, Extra: ioExtra(on.stats)},
+		{Experiment: "cse", Algorithm: "iterative", System: "cse-off", Params: params,
+			Seconds: off.sec, Normalized: off.sec / on.sec, Extra: ioExtra(off.stats)},
+	}, nil
+}
+
 // Experiments lists the runnable experiment names.
 func Experiments() []string {
-	return []string{"fig7a", "fig7b", "fig8", "fig9", "fig10", "table4", "table6"}
+	return []string{"fig7a", "fig7b", "fig8", "fig9", "fig10", "table4", "table6", "cse"}
 }
 
 // Run dispatches an experiment by name ("all" runs everything).
@@ -866,6 +995,8 @@ func Run(name string, cfg Config) ([]Row, error) {
 		return Table4(cfg)
 	case "table6":
 		return Table6(cfg)
+	case "cse":
+		return CSE(cfg)
 	case "all":
 		var all []Row
 		for _, e := range Experiments() {

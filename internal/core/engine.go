@@ -89,6 +89,14 @@ type Config struct {
 	// WriteBehindDepth bounds in-flight asynchronous partition writes
 	// (0 = 2×Workers clamped to [4, 32]).
 	WriteBehindDepth int
+	// DisableCSE turns off structural hash-consing entirely: no
+	// common-subexpression unification at DAG-build time and no sub-DAG
+	// result cache (the ablation knob for the equivalence suites).
+	DisableCSE bool
+	// ResultCacheBytes bounds the cross-materialize sub-DAG result cache
+	// (0 = DefaultResultCacheBytes; negative disables the cache while
+	// keeping within-pass CSE unification on).
+	ResultCacheBytes int64
 }
 
 // Stats counts engine activity.
@@ -110,6 +118,12 @@ type Engine struct {
 	statsMu  sync.Mutex
 	lastMat  MaterializeStats
 	totalMat MaterializeStats
+
+	// cons interns structural node signatures (nil when Config.DisableCSE);
+	// rcache is the cross-materialize result cache keyed on them (nil when
+	// disabled by DisableCSE or a negative ResultCacheBytes).
+	cons   *consTable
+	rcache *resultCache
 
 	// testStoreWrap, when set by tests, wraps every tall-output store the
 	// engine creates — the injection seam for write-failure coverage.
@@ -162,7 +176,17 @@ func NewEngine(cfg Config) (*Engine, error) {
 			}
 		}
 	}
-	return &Engine{cfg: cfg}, nil
+	if cfg.ResultCacheBytes == 0 {
+		cfg.ResultCacheBytes = DefaultResultCacheBytes
+	}
+	e := &Engine{cfg: cfg}
+	if !cfg.DisableCSE {
+		e.cons = newConsTable(DefaultConsTableBytes)
+		if cfg.ResultCacheBytes > 0 {
+			e.rcache = newResultCache(cfg.ResultCacheBytes)
+		}
+	}
+	return e, nil
 }
 
 // Config returns the engine configuration.
@@ -328,27 +352,205 @@ func (e *Engine) MaterializeCtx(ctx context.Context, talls []*Mat, sinks []*Sink
 	if len(mt) == 0 && len(sk) == 0 {
 		return nil
 	}
-	d, err := buildDAG(mt, sk)
-	if err != nil {
-		return err
-	}
-	if err := e.validateDAG(d); err != nil {
-		return err
-	}
-	e.stats.DAGs.Add(1)
 	ms := MaterializeStats{Fuse: e.cfg.Fuse, SyncWrites: e.cfg.SyncWrites}
 	t0 := time.Now()
-	if e.cfg.Fuse == FuseNone {
-		err = e.runUnfused(ctx, d, &ms)
-	} else {
-		err = e.runFused(ctx, d, e.cfg.Fuse, &ms)
-	}
+	err := e.materialize(ctx, mt, sk, &ms)
 	ms.Wall = time.Since(t0)
 	e.statsMu.Lock()
 	e.lastMat = ms
 	e.totalMat.Add(ms)
 	e.statsMu.Unlock()
 	return err
+}
+
+// materialize runs one materialization: cache-serves and CSE-unifies what it
+// can, executes the remaining DAG, and (only on a fully successful pass)
+// inserts the fresh results into the result cache.
+func (e *Engine) materialize(ctx context.Context, mt []*Mat, sk []*Sink, ms *MaterializeStats) error {
+	var sc *sigCtx
+	if e.cons != nil {
+		// Reset the intern table between passes once it outgrows its budget.
+		// Interned ids change across a reset, so the result cache (whose
+		// keys embed them) flushes with it.
+		if e.cons.overLimit() {
+			e.cons.reset()
+			if e.rcache != nil {
+				e.rcache.flush()
+			}
+		}
+		sc = newSigCtx(e.cons)
+	}
+	// Serve whole sinks from the result cache, and unify structurally
+	// identical sinks within the pass: the canonical one computes, each
+	// duplicate receives a copy of its payload after the pass.
+	var dupSinks [][2]*Sink
+	if sc != nil {
+		canon := make(map[uint64]*Sink)
+		kept := sk[:0]
+		for _, s := range sk {
+			kid := sc.sinkID(s)
+			if e.rcache != nil {
+				if pl, n, ok := e.rcache.lookupSink(sc.epoch, sc.sinkKey(s)); ok {
+					s.publishPayload(pl)
+					ms.CacheHits++
+					ms.CacheHitBytes += n
+					continue
+				}
+			}
+			if c, ok := canon[kid]; ok {
+				dupSinks = append(dupSinks, [2]*Sink{s, c})
+				ms.CSEUnifications++
+				continue
+			}
+			canon[kid] = s
+			kept = append(kept, s)
+		}
+		sk = kept
+	}
+	d, err := e.buildDAG(mt, sk, sc, ms)
+	if err != nil {
+		return err
+	}
+	if e.rcache != nil && sc != nil {
+		// Misses are the cache candidates this pass has to compute.
+		ms.CacheMisses += int64(len(d.talls) + len(d.sinks))
+	}
+	if len(d.talls) > 0 || len(d.sinks) > 0 {
+		if err := e.validateDAG(d); err != nil {
+			return err
+		}
+		e.stats.DAGs.Add(1)
+		if e.cfg.Fuse == FuseNone {
+			err = e.runUnfused(ctx, d, ms)
+		} else {
+			err = e.runFused(ctx, d, e.cfg.Fuse, ms)
+		}
+		if err != nil {
+			return err
+		}
+		if e.rcache != nil && sc != nil {
+			e.insertResults(d, sc, ms)
+		}
+	}
+	for _, pair := range dupSinks {
+		pair[0].publishPayload(pair[1].payload())
+	}
+	return nil
+}
+
+// insertResults records a successful pass's tall-target stores and sink
+// payloads in the result cache under their pre-pass structural keys.
+func (e *Engine) insertResults(d *dag, sc *sigCtx, ms *MaterializeStats) {
+	for _, m := range d.talls {
+		key, ok := sc.keys[m]
+		if !ok {
+			continue
+		}
+		st := m.Store()
+		if st == nil {
+			continue
+		}
+		rst, isRef := st.(*refStore)
+		if !isRef {
+			// Wrap so the cache and the Mat share the store refcounted.
+			rst = newRefStore(st)
+			m.swapStore(rst)
+		}
+		ms.CacheEvictions += int64(e.rcache.insertTall(sc.epoch, key, rst, m.nrow, m.ncol, sc.depsOf(m)))
+	}
+	for _, s := range d.sinks {
+		key, ok := sc.sinkKeys[s]
+		if !ok {
+			continue
+		}
+		ms.CacheEvictions += int64(e.rcache.insertSink(sc.epoch, key, s.payload(), sc.sinkDepsOf(s)))
+	}
+}
+
+// NoteMutation records an in-place mutation of m's data: it bumps the
+// node's content version (changing every signature built over it) and drops
+// every cached result that depends on it.
+func (e *Engine) NoteMutation(m *Mat) {
+	m.NoteMutated()
+	if e.rcache != nil {
+		e.rcache.invalidateDep(m.id)
+	}
+}
+
+// FlushResultCache drops every cached sub-DAG result and releases its
+// storage references (session close).
+func (e *Engine) FlushResultCache() {
+	if e.rcache != nil {
+		e.rcache.flush()
+	}
+}
+
+// ResultCacheStats returns the result cache's entry count and resident
+// bytes (zero when the cache is disabled).
+func (e *Engine) ResultCacheStats() (entries int, bytes int64) {
+	if e.rcache == nil {
+		return 0, 0
+	}
+	return e.rcache.stats()
+}
+
+// SetElement writes one element of a materialized tall matrix in place —
+// the engine half of R's x[i, j] <- v. A store shared with the result cache
+// is privatized (copied) first so cached results keep their bit-exact
+// values, then the mutation is recorded so no cached result built over the
+// old contents can be served again.
+func (e *Engine) SetElement(m *Mat, i int64, j int, v float64) error {
+	if i < 0 || i >= m.nrow || j < 0 || j >= m.ncol {
+		return fmt.Errorf("core: SetElement (%d,%d) out of %dx%d", i, j, m.nrow, m.ncol)
+	}
+	st := m.Store()
+	if st == nil {
+		return fmt.Errorf("core: SetElement on virtual matrix %d (materialize first)", m.id)
+	}
+	if rst, ok := st.(*refStore); ok {
+		priv, err := e.copyStore(rst)
+		if err != nil {
+			return err
+		}
+		m.swapStore(priv)
+		rst.Free()
+		st = priv
+	}
+	p := int(i / int64(e.cfg.PartRows))
+	rows := matrix.PartRowsOf(m.nrow, e.cfg.PartRows, p)
+	buf := make([]float64, rows*m.ncol)
+	if err := st.ReadPart(p, buf); err != nil {
+		return err
+	}
+	r := int(i - int64(p)*int64(e.cfg.PartRows))
+	buf[r*m.ncol+j] = v
+	if err := st.WritePart(p, buf); err != nil {
+		return err
+	}
+	e.NoteMutation(m)
+	return nil
+}
+
+// copyStore clones a store partition-by-partition onto the engine's
+// preferred backend (copy-on-write for cache-shared stores).
+func (e *Engine) copyStore(src matrix.Store) (matrix.Store, error) {
+	dst, err := e.NewStore(src.NRow(), src.NCol())
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]float64, src.PartRows()*src.NCol())
+	for p := 0; p < src.NumParts(); p++ {
+		rows := matrix.PartRowsOf(src.NRow(), src.PartRows(), p)
+		if err := src.ReadPart(p, buf[:rows*src.NCol()]); err != nil {
+			dst.Free()
+			return nil, err
+		}
+		if err := dst.WritePart(p, buf[:rows*src.NCol()]); err != nil {
+			dst.Free()
+			return nil, err
+		}
+	}
+	return dst, nil
 }
 
 // dag is the collected graph for one materialization, flattened into an
@@ -371,9 +573,15 @@ type dag struct {
 }
 
 // buildDAG walks the graph from the targets, collecting nodes in topological
-// order, assigning slot indices, and counting consumers per node.
-func buildDAG(talls []*Mat, sinks []*Sink) (*dag, error) {
+// order, assigning slot indices, and counting consumers per node. With a
+// signature context it also (a) serves whole subtrees from the result cache
+// by attaching the cached store to the subtree root, and (b) unifies
+// structurally identical nodes within the pass onto one execution slot.
+func (e *Engine) buildDAG(talls []*Mat, sinks []*Sink, sc *sigCtx, ms *MaterializeStats) (*dag, error) {
 	d := &dag{slotOf: make(map[uint64]int)}
+	// consSlot maps an interned structural id to the slot of the first node
+	// carrying it: later nodes with the same id reuse that slot.
+	consSlot := make(map[uint64]int)
 	var visit func(m *Mat) error
 	visit = func(m *Mat) error {
 		if m == nil {
@@ -381,6 +589,19 @@ func buildDAG(talls []*Mat, sinks []*Sink) (*dag, error) {
 		}
 		if _, ok := d.slotOf[m.id]; ok {
 			return nil
+		}
+		if sc != nil && e.rcache != nil && !m.Materialized() && m.kind != opLeaf && m.kind != opConst {
+			// The key is computed before any attach below so it reflects the
+			// node's structural (interior) form.
+			key := sc.keyOf(m)
+			if st, n, ok := e.rcache.lookupTall(sc.epoch, key, m.nrow, m.ncol); ok {
+				if m.attachStore(st) {
+					ms.CacheHits++
+					ms.CacheHitBytes += n
+				} else {
+					st.Free() // lost the race: drop the retained reference
+				}
+			}
 		}
 		// Mark before recursion; inputs carry distinct ids so the
 		// placeholder value is fixed up right after.
@@ -392,14 +613,29 @@ func buildDAG(talls []*Mat, sinks []*Sink) (*dag, error) {
 			if err := visit(m.b); err != nil {
 				return err
 			}
-			if m.kind == opCumCol {
-				d.cums = append(d.cums, m)
-			}
 			m.mu.Lock()
 			cached := m.cache
 			m.mu.Unlock()
 			if cached {
 				d.talls = append(d.talls, m)
+			}
+			if sc != nil && m.kind != opLeaf {
+				id := sc.idOf(m)
+				if slot, ok := consSlot[id]; ok {
+					// Structurally identical to an earlier node: share its
+					// slot and don't schedule a second evaluation. A
+					// cache-flagged duplicate keeps its own store (appended
+					// to d.talls above), fed from the shared slot.
+					d.slotOf[m.id] = slot
+					ms.CSEUnifications++
+					return nil
+				}
+				consSlot[id] = len(d.nodes)
+			}
+			// Register cumCol coordination only for nodes that will actually
+			// execute: a unified duplicate never publishes carries.
+			if m.kind == opCumCol {
+				d.cums = append(d.cums, m)
 			}
 		}
 		d.slotOf[m.id] = len(d.nodes)
@@ -503,7 +739,7 @@ func (e *Engine) runUnfused(ctx context.Context, d *dag, ms *MaterializeStats) e
 		if m.Materialized() || m.kind == opConst {
 			continue
 		}
-		sd, err := buildDAG([]*Mat{m}, nil)
+		sd, err := e.buildDAG([]*Mat{m}, nil, nil, ms)
 		if err != nil {
 			return err
 		}
@@ -515,7 +751,7 @@ func (e *Engine) runUnfused(ctx context.Context, d *dag, ms *MaterializeStats) e
 	// Every aggregation materializes in its own pass too ("Spark
 	// materializes operations such as aggregation separately", §4.3).
 	for _, s := range d.sinks {
-		sd, err := buildDAG(nil, []*Sink{s})
+		sd, err := e.buildDAG(nil, []*Sink{s}, nil, ms)
 		if err != nil {
 			return err
 		}

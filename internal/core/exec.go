@@ -234,6 +234,13 @@ func (e *Engine) runFused(ctx context.Context, d *dag, fuse FuseLevel, ms *Mater
 	ms.Passes++
 	ms.Parts += rs.parts.Load()
 	ms.Chunks += rs.chunks.Load()
+	// Virtual nodes this pass evaluated: what CSE unification and cache hits
+	// remove shows up directly as a smaller count here.
+	for _, m := range d.nodes {
+		if !m.Materialized() && m.kind != opConst {
+			ms.NodesExecuted++
+		}
+	}
 	ms.BytesRead += rs.bytesRead.Load()
 	ms.PrefetchHits += rs.prefHits.Load()
 	ms.PrefetchMisses += rs.prefMiss.Load()
@@ -507,7 +514,7 @@ func (w *worker) prefetch(p int) {
 	pf := &prefetched{bufs: make(map[int][]float64)}
 	for _, slot := range w.rs.leafSlots {
 		m := w.rs.d.nodes[slot]
-		st, ok := m.Store().(*matrix.SAFSStore)
+		st, ok := unwrapStore(m.Store()).(*matrix.SAFSStore)
 		if !ok {
 			continue
 		}
@@ -586,7 +593,7 @@ func (w *worker) processPartition(p int) error {
 			rs.bytesRead.Add(int64(rows*m.ncol) * 8)
 			continue
 		}
-		st := m.Store()
+		st := unwrapStore(m.Store())
 		// Zero-copy fast path for row-major in-memory partitions.
 		if ms, ok := st.(*matrix.MemStore); ok {
 			if ref, ok := ms.PartRef(p); ok {

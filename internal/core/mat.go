@@ -114,7 +114,9 @@ type Mat struct {
 	cache    bool         // set.cache: materialize alongside the DAG's targets
 	cacheEM  bool         // cache on SSDs instead of memory
 	freed    bool
-	refCount int32 // DAG bookkeeping during materialization
+	mutated  bool   // data written in place: signature falls back to identity form
+	ver      uint64 // content version, bumped per in-place mutation
+	refCount int32  // DAG bookkeeping during materialization
 }
 
 // NRow returns the number of rows (the partition dimension).
@@ -159,6 +161,52 @@ func (m *Mat) SetCache(em bool) {
 	defer m.mu.Unlock()
 	m.cache = true
 	m.cacheEM = em
+}
+
+// NoteMutated records an in-place write to the node's materialized data.
+// The content version feeds the node's structural signature, so cached
+// results built over the old contents can no longer match; callers go
+// through Engine.NoteMutation, which also drops dependent cache entries.
+func (m *Mat) NoteMutated() {
+	m.mu.Lock()
+	m.mutated = true
+	m.ver++
+	m.mu.Unlock()
+}
+
+func (m *Mat) isMutated() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mutated
+}
+
+func (m *Mat) contentVer() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ver
+}
+
+// attachStore installs a store on a still-virtual node (cache hits turning a
+// subtree into a leaf); it reports false, leaving ownership with the caller,
+// if the node is already materialized.
+func (m *Mat) attachStore(st matrix.Store) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.store != nil {
+		return false
+	}
+	m.store = st
+	return true
+}
+
+// swapStore replaces the backing store, returning the old one (store
+// privatization and cache sharing).
+func (m *Mat) swapStore(st matrix.Store) matrix.Store {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := m.store
+	m.store = st
+	return old
 }
 
 // Free releases the backing store, if any.

@@ -264,3 +264,32 @@ func (a *sinkAcc) finish(s *Sink) {
 	// matching R's empty reductions (sum(c()) == 0, min(c()) == Inf).
 	s.done = true
 }
+
+// payload snapshots a finished sink's published result for the result cache
+// (nil if the sink has not finished). The snapshot is a clone: the caller's
+// dense stays private to whoever holds the sink.
+func (s *Sink) payload() *sinkPayload {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.done {
+		return nil
+	}
+	p := &sinkPayload{keys: s.keys, counts: s.counts, folds: s.folds, result: s.result}
+	return p.clone()
+}
+
+// publishPayload installs a payload snapshot as this sink's result — the
+// serve path for cache hits and within-pass duplicate unification. The sink
+// takes ownership of pl (callers pass a clone).
+func (s *Sink) publishPayload(pl *sinkPayload) {
+	if pl == nil {
+		return
+	}
+	s.mu.Lock()
+	s.result = pl.result
+	s.keys = pl.keys
+	s.counts = pl.counts
+	s.folds = pl.folds
+	s.done = true
+	s.mu.Unlock()
+}

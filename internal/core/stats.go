@@ -74,6 +74,21 @@ type MaterializeStats struct {
 	// VerifyTime is time the SAFS drive workers spent on integrity work
 	// (CRC32C computation plus partial-stripe read-modify-checksum cycles).
 	VerifyTime time.Duration
+
+	// Hash-consing and result-cache counters. CSEUnifications counts nodes
+	// and sinks deduplicated within the pass (scheduled once instead of N
+	// times); NodesExecuted counts virtual nodes actually evaluated, the
+	// direct measure of work CSE and the cache removed. CacheHits/Misses
+	// count sub-DAG results served from / inserted as candidates into the
+	// cross-materialize cache, CacheHitBytes the result bytes served without
+	// recomputation or I/O, and CacheEvictions the LRU evictions this pass's
+	// inserts forced.
+	CSEUnifications int64
+	NodesExecuted   int64
+	CacheHits       int64
+	CacheMisses     int64
+	CacheEvictions  int64
+	CacheHitBytes   int64
 }
 
 // Add accumulates o into s (numeric fields sum; Fuse and SyncWrites take
@@ -100,6 +115,12 @@ func (s *MaterializeStats) Add(o MaterializeStats) {
 	s.RecoveredReads += o.RecoveredReads
 	s.RecoveredWrites += o.RecoveredWrites
 	s.VerifyTime += o.VerifyTime
+	s.CSEUnifications += o.CSEUnifications
+	s.NodesExecuted += o.NodesExecuted
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.CacheEvictions += o.CacheEvictions
+	s.CacheHitBytes += o.CacheHitBytes
 }
 
 // Sub returns s minus o field-by-field — the delta between two snapshots of
@@ -125,6 +146,12 @@ func (s MaterializeStats) Sub(o MaterializeStats) MaterializeStats {
 	d.RecoveredReads -= o.RecoveredReads
 	d.RecoveredWrites -= o.RecoveredWrites
 	d.VerifyTime -= o.VerifyTime
+	d.CSEUnifications -= o.CSEUnifications
+	d.NodesExecuted -= o.NodesExecuted
+	d.CacheHits -= o.CacheHits
+	d.CacheMisses -= o.CacheMisses
+	d.CacheEvictions -= o.CacheEvictions
+	d.CacheHitBytes -= o.CacheHitBytes
 	return d
 }
 
@@ -141,6 +168,11 @@ func (s MaterializeStats) String() string {
 	fmt.Fprintf(&b, " writes=%s wstall=%s wtime=%s wdrain=%s",
 		mode, round(s.WriteStall), round(s.WriteTime), round(s.WriteDrain))
 	fmt.Fprintf(&b, " verify=%s", round(s.VerifyTime))
+	fmt.Fprintf(&b, " nodes=%d", s.NodesExecuted)
+	if s.CSEUnifications != 0 || s.CacheHits != 0 || s.CacheMisses != 0 {
+		fmt.Fprintf(&b, " cse=%d hit=%d/%d saved=%s evict=%d",
+			s.CSEUnifications, s.CacheHits, s.CacheMisses, mib(s.CacheHitBytes), s.CacheEvictions)
+	}
 	if s.ChecksumFailures != 0 || s.IORetries != 0 || s.RecoveredReads != 0 || s.RecoveredWrites != 0 {
 		fmt.Fprintf(&b, " csfail=%d retries=%d recovered=%d/%d",
 			s.ChecksumFailures, s.IORetries, s.RecoveredReads, s.RecoveredWrites)

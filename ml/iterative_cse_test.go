@@ -1,0 +1,189 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	flashr "repro"
+	"repro/internal/dense"
+)
+
+// Iterative-workload ablation: the paper's iterative algorithms rebuild
+// structurally identical sub-DAGs (k-means re-derives its assignment subtree,
+// the logistic line search re-evaluates at repeated weight vectors), so a
+// hash-consed engine must (a) produce bit-identical models to a CSE-free one
+// and (b) read strictly fewer bytes and execute strictly fewer nodes over a
+// repeated run.
+//
+// Sessions run single-worker: worker-local sink partials make float
+// aggregations grouping-sensitive across scheduling, and the cache can only
+// replay a run whose weight trajectory is bit-reproducible. Multi-worker
+// equivalence is covered by the root-package differential grid.
+
+// cseSession builds a single-worker EM session (EM so leaf reads are counted
+// in BytesRead; in-memory leaves are zero-copy and invisible to the counter).
+func cseSession(t *testing.T, disable bool) *flashr.Session {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := flashr.NewSession(flashr.Options{
+		Workers: 1, PartRows: 256, EM: true,
+		SSDDirs:    []string{filepath.Join(dir, "d0"), filepath.Join(dir, "d1")},
+		DisableCSE: disable,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func blobData(n, p, k int, seed int64) *dense.Dense {
+	rng := rand.New(rand.NewSource(seed))
+	d := dense.New(n, p)
+	for i := 0; i < n; i++ {
+		c := i % k
+		for j := 0; j < p; j++ {
+			d.Set(i, j, float64(c*3)+rng.NormFloat64())
+		}
+	}
+	return d
+}
+
+func assertBits(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d values, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: value %d = %v, want %v", name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestKMeansCSEAblation runs k-means (≥3 iterations) twice per session —
+// iterative algorithms in one FlashR session repeat whole programs as well as
+// sub-expressions — and compares CSE on vs off.
+func TestKMeansCSEAblation(t *testing.T) {
+	const n, p, k, iters = 3000, 4, 3, 3
+	xd := blobData(n, p, k, 11)
+	init := dense.New(k, p)
+	for c := 0; c < k; c++ {
+		copy(init.Row(c), xd.Row(c*7))
+	}
+
+	type outcome struct {
+		fp    []float64
+		bytes int64
+		nodes int64
+		cse   int64
+		hits  int64
+	}
+	run := func(disable bool) outcome {
+		s := cseSession(t, disable)
+		x, err := s.FromDense(xd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := s.TotalMaterializeStats()
+		var fp []float64
+		for rep := 0; rep < 2; rep++ {
+			res, err := KMeans(s, x, k, KMeansOptions{MaxIter: iters, InitCenters: init})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Iters < 3 {
+				t.Fatalf("k-means converged in %d iterations; test needs >=3", res.Iters)
+			}
+			fp = append(fp, res.Objective)
+			fp = append(fp, res.Centers.Data...)
+			fp = append(fp, res.Sizes...)
+		}
+		d := s.TotalMaterializeStats().Sub(base)
+		return outcome{fp: fp, bytes: d.BytesRead, nodes: d.NodesExecuted, cse: d.CSEUnifications, hits: d.CacheHits}
+	}
+
+	on, off := run(false), run(true)
+	assertBits(t, "kmeans outputs (cse on vs off)", on.fp, off.fp)
+	if off.cse != 0 || off.hits != 0 {
+		t.Fatalf("CSE-off session recorded cse=%d hits=%d", off.cse, off.hits)
+	}
+	if on.hits == 0 {
+		t.Fatal("CSE-on repeated k-means recorded zero cache hits")
+	}
+	if on.bytes >= off.bytes {
+		t.Fatalf("BytesRead with CSE on (%d) not strictly below off (%d)", on.bytes, off.bytes)
+	}
+	if on.nodes >= off.nodes {
+		t.Fatalf("NodesExecuted with CSE on (%d) not strictly below off (%d)", on.nodes, off.nodes)
+	}
+}
+
+// TestLogisticCSEAblation: same ablation for logistic regression via L-BFGS
+// (≥3 iterations). The weight trajectory is bit-reproducible single-worker,
+// so the second training run replays cached passes end to end.
+func TestLogisticCSEAblation(t *testing.T) {
+	const n, p = 3000, 4
+	rng := rand.New(rand.NewSource(13))
+	wTrue := []float64{1.5, -2, 0.75, 0.25}
+	xd := dense.New(n, p)
+	yd := dense.New(n, 1)
+	for i := 0; i < n; i++ {
+		var dot float64
+		for j := 0; j < p; j++ {
+			v := rng.NormFloat64()
+			xd.Set(i, j, v)
+			dot += wTrue[j] * v
+		}
+		if 1/(1+math.Exp(-dot)) > rng.Float64() {
+			yd.Data[i] = 1
+		}
+	}
+
+	type outcome struct {
+		fp    []float64
+		bytes int64
+		nodes int64
+		hits  int64
+	}
+	run := func(disable bool) outcome {
+		s := cseSession(t, disable)
+		x, err := s.FromDense(xd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := s.FromDense(yd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := s.TotalMaterializeStats()
+		var fp []float64
+		for rep := 0; rep < 2; rep++ {
+			m, err := LogisticRegressionLBFGS(s, x, y, LogisticOptions{MaxIter: 6, Tol: 1e-12})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Iters < 3 {
+				t.Fatalf("logistic converged in %d iterations; test needs >=3", m.Iters)
+			}
+			fp = append(fp, m.LogLoss)
+			fp = append(fp, m.W...)
+		}
+		d := s.TotalMaterializeStats().Sub(base)
+		return outcome{fp: fp, bytes: d.BytesRead, nodes: d.NodesExecuted, hits: d.CacheHits}
+	}
+
+	on, off := run(false), run(true)
+	assertBits(t, "logistic outputs (cse on vs off)", on.fp, off.fp)
+	if on.hits == 0 {
+		t.Fatal("CSE-on repeated training recorded zero cache hits")
+	}
+	if on.bytes >= off.bytes {
+		t.Fatalf("BytesRead with CSE on (%d) not strictly below off (%d)", on.bytes, off.bytes)
+	}
+	if on.nodes >= off.nodes {
+		t.Fatalf("NodesExecuted with CSE on (%d) not strictly below off (%d)", on.nodes, off.nodes)
+	}
+}

@@ -238,7 +238,47 @@ func (s *Session) OpenNamed(name string) (*FM, error) {
 	case "logical":
 		dt = matrix.Bool
 	}
-	return s.bigFM(core.NewLeaf(st, dt)), nil
+	m := core.NewLeaf(st, dt)
+	s.noteNamed(name, m)
+	return s.bigFM(m), nil
+}
+
+// SetNamed overwrites the named matrix with x (creating it if absent) and
+// invalidates every cached result built over matrices previously opened from
+// that name — the persistence analogue of []<- mutation. Handles opened from
+// the name before the overwrite must be reopened: their restored checksum
+// tables describe the replaced bytes, so further reads through them fail
+// verification loudly instead of returning stale or mixed data (and the
+// invalidation above guarantees the result cache never masks that error with
+// a pre-overwrite value).
+func (s *Session) SetNamed(x *FM, name string) error {
+	if s.fs == nil {
+		return fmt.Errorf("flashr: SetNamed needs a session with an SSD array")
+	}
+	// Snapshot the leaves backed by the old files before they change.
+	s.mu.Lock()
+	old := append([]*core.Mat(nil), s.named[name]...)
+	s.mu.Unlock()
+	// Drop the old files (data + sidecar) so the rewrite starts clean even
+	// when the new shape needs fewer block files than the old one.
+	if mf, err := s.fs.OpenFile(metaName(name)); err == nil {
+		raw := make([]byte, mf.Size())
+		if rerr := mf.ReadAt(raw, 0); rerr == nil {
+			if meta, derr := decodeMatrixMeta(name, raw); derr == nil {
+				for _, fname := range meta.metaFileNames(name) {
+					s.fs.Remove(fname)
+				}
+			}
+		}
+		s.fs.Remove(metaName(name))
+	}
+	if err := s.SaveNamed(x, name); err != nil {
+		return err
+	}
+	for _, m := range old {
+		s.eng.NoteMutation(m)
+	}
+	return nil
 }
 
 // VerifyNamed scrubs a matrix stored with SaveNamed against the checksum

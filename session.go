@@ -68,6 +68,14 @@ type Options struct {
 	// are still maintained on writes). Escape hatch for measuring the
 	// verification overhead; leave off in normal operation.
 	DisableVerify bool
+	// DisableCSE turns off structural hash-consing: no common-subexpression
+	// unification at DAG-build time and no sub-DAG result cache (the
+	// ablation knob for the equivalence suites).
+	DisableCSE bool
+	// ResultCacheBytes bounds the cross-materialize sub-DAG result cache
+	// (0 = core.DefaultResultCacheBytes; negative disables the cache while
+	// keeping within-pass CSE unification on).
+	ResultCacheBytes int64
 }
 
 // FuseLevel aliases the engine's fusion-level type for Options.Fuse.
@@ -91,6 +99,20 @@ type Session struct {
 	mu      sync.Mutex
 	pending []*core.Sink
 	ownsFS  bool
+	// named tracks the engine leaves opened from each named on-array matrix,
+	// so SetNamed can invalidate cached results built over them when the
+	// name's files are overwritten.
+	named map[string][]*core.Mat
+}
+
+// noteNamed records that m is backed by the named matrix's files.
+func (s *Session) noteNamed(name string, m *core.Mat) {
+	s.mu.Lock()
+	if s.named == nil {
+		s.named = make(map[string][]*core.Mat)
+	}
+	s.named[name] = append(s.named[name], m)
+	s.mu.Unlock()
 }
 
 // NewSession builds a session from options.
@@ -126,6 +148,8 @@ func NewSession(opts Options) (*Session, error) {
 		PcacheBytes:      opts.PcacheBytes,
 		SyncWrites:       opts.SyncWrites,
 		WriteBehindDepth: opts.WriteBehindDepth,
+		DisableCSE:       opts.DisableCSE,
+		ResultCacheBytes: opts.ResultCacheBytes,
 	})
 	if err != nil {
 		if fs != nil {
@@ -174,8 +198,10 @@ func (s *Session) Wrap(m *core.Mat) *FM { return s.bigFM(m) }
 // FS exposes the SSD array, or nil for an in-memory session.
 func (s *Session) FS() *safs.FS { return s.fs }
 
-// Close releases the SSD array if the session owns one.
+// Close drops the session's result cache and releases the SSD array if the
+// session owns one.
 func (s *Session) Close() error {
+	s.eng.FlushResultCache()
 	if s.ownsFS && s.fs != nil {
 		return s.fs.Close()
 	}
