@@ -5,8 +5,10 @@
 //
 //	flashr-bench -experiment fig7a -n 200000
 //	flashr-bench -experiment all -n 100000 -read-mbps 400
+//	flashr-bench -concurrent 4 -n 100000
 //
-// Experiments: fig7a, fig7b, fig8, fig9, fig10, table4, table6, cse, all.
+// Experiments: fig7a, fig7b, fig8, fig9, fig10, table4, table6, cse,
+// concurrent, all.
 // See DESIGN.md for the paper-to-experiment index and EXPERIMENTS.md for
 // recorded results.
 package main
@@ -22,7 +24,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run (fig7a|fig7b|fig8|fig9|fig10|table4|table6|cse|all)")
+		experiment = flag.String("experiment", "all", "experiment to run (fig7a|fig7b|fig8|fig9|fig10|table4|table6|cse|concurrent|all)")
 		n          = flag.Int64("n", 200_000, "base dataset rows (Criteo-sub in the paper is 325M)")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines per engine")
 		ssdRoot    = flag.String("ssd-root", "", "directory for the simulated SSD array (default: temp dir)")
@@ -39,8 +41,12 @@ func main() {
 		faultSeed  = flag.Int64("fault-seed", 0, "seed for the injected-fault RNGs (0=derive from -seed)")
 		noCSE      = flag.Bool("no-cse", false, "disable structural hash-consing and the sub-DAG result cache")
 		cacheMB    = flag.Int64("cache-mb", 0, "sub-DAG result cache budget in MiB (0=engine default, negative=cache off, CSE on)")
+		concurrent = flag.Int("concurrent", 0, "run the concurrent multi-session experiment with N sessions sharing one engine (shorthand for -experiment concurrent)")
 	)
 	flag.Parse()
+	if *concurrent > 0 && *experiment == "all" {
+		*experiment = "concurrent"
+	}
 
 	cfg := benchmark.Config{
 		N: *n, Workers: *workers, SSDRoot: *ssdRoot, Drives: *drives,
@@ -49,6 +55,7 @@ func main() {
 		DisableVerify: *noVerify, ReadErrRate: *injectRead, FlipBitRate: *injectFlip,
 		FaultSeed:  *faultSeed,
 		DisableCSE: *noCSE, ResultCacheBytes: *cacheMB << 20,
+		ConcurrentSessions: *concurrent,
 	}
 	writes := "write-behind"
 	if *syncWrites {

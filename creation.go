@@ -139,9 +139,34 @@ func (s *Session) FromDense(d *dense.Dense) (*FM, error) {
 	return s.bigFM(m), nil
 }
 
+// rowsShapeErr validates row slices destined for a matrix: at least one
+// row, all rows the same width (dense.FromRows panics on ragged input; the
+// public creation surface reports it as a typed error instead).
+func rowsShapeErr(op string, rows [][]float64) error {
+	if len(rows) == 0 {
+		return errf(op, nil, "no rows")
+	}
+	w := len(rows[0])
+	for i, r := range rows {
+		if len(r) != w {
+			return errf(op, nil, "ragged rows: row %d has %d values, row 0 has %d", i, len(r), w)
+		}
+	}
+	return nil
+}
+
+// TryFromRows builds a tall matrix from row slices, reporting ragged or
+// empty input as a typed error.
+func (s *Session) TryFromRows(rows [][]float64) (*FM, error) {
+	if err := rowsShapeErr("from.rows", rows); err != nil {
+		return nil, err
+	}
+	return s.FromDense(dense.FromRows(rows))
+}
+
 // FromRows builds a tall matrix from row slices.
 func (s *Session) FromRows(rows [][]float64) (*FM, error) {
-	return s.FromDense(dense.FromRows(rows))
+	return s.TryFromRows(rows)
 }
 
 // FromVec builds an n×1 tall matrix from a slice.
@@ -153,9 +178,18 @@ func (s *Session) FromVec(v []float64) (*FM, error) {
 // initial cluster centers or model weights).
 func (s *Session) Small(d *dense.Dense) *FM { return s.smallFM(d) }
 
-// SmallFromRows builds a small FM from row slices.
+// TrySmallFromRows builds a small FM from row slices, reporting ragged or
+// empty input as a typed error.
+func (s *Session) TrySmallFromRows(rows [][]float64) (*FM, error) {
+	if err := rowsShapeErr("small.from.rows", rows); err != nil {
+		return nil, err
+	}
+	return s.smallFM(dense.FromRows(rows)), nil
+}
+
+// SmallFromRows is TrySmallFromRows's panicking shorthand.
 func (s *Session) SmallFromRows(rows [][]float64) *FM {
-	return s.smallFM(dense.FromRows(rows))
+	return must(s.TrySmallFromRows(rows))
 }
 
 // LoadCSV reads a delimiter-separated text file of numbers into a tall

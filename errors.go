@@ -1,0 +1,74 @@
+package flashr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Error is the typed error every malformed-input failure on the public
+// surface reports. The Try* variants return it; the panicking shorthands
+// (Add, MatMul, Sweep, …) panic with the same *Error value — mirroring R,
+// where shape and type misuse stops the script — so a recovered panic
+// message is byte-identical to the error the Try* twin would have returned:
+//
+//	out, err := flashr.TryAdd(a, b)   // err is *flashr.Error on misuse
+//	out := flashr.Add(a, b)           // panics with that same *Error
+//
+// Runtime failures that are not input mistakes (I/O errors, cancelled
+// contexts) pass through the Try* variants unwrapped.
+type Error struct {
+	// Op names the public operation that rejected its input ("add", "%*%",
+	// "sweep", …), in the R-flavored spelling of the paper's Tables 1–2.
+	Op string
+	// Shapes holds the operand dimensions the operation saw — [rows, cols]
+	// per operand, in argument order — when shapes are part of the story.
+	Shapes [][2]int64
+	// Reason says what was wrong.
+	Reason string
+}
+
+func (e *Error) Error() string {
+	var b strings.Builder
+	b.WriteString("flashr: ")
+	b.WriteString(e.Op)
+	b.WriteString(": ")
+	b.WriteString(e.Reason)
+	if len(e.Shapes) > 0 {
+		b.WriteString(" [")
+		for i, sh := range e.Shapes {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%dx%d", sh[0], sh[1])
+		}
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+// errf builds a *Error with a formatted reason.
+func errf(op string, shapes [][2]int64, format string, args ...any) *Error {
+	return &Error{Op: op, Shapes: shapes, Reason: fmt.Sprintf(format, args...)}
+}
+
+// shapesOf collects operand shapes for error reports.
+func shapesOf(xs ...*FM) [][2]int64 {
+	out := make([][2]int64, 0, len(xs))
+	for _, x := range xs {
+		if x == nil {
+			continue
+		}
+		r, c := x.dims()
+		out = append(out, [2]int64{r, c})
+	}
+	return out
+}
+
+// must unwraps a Try* result for the panicking shorthand. The panic value
+// is the error itself, so recover()'d messages match the Try* error text.
+func must(f *FM, err error) *FM {
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

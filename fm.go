@@ -1,7 +1,7 @@
 package flashr
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/core"
 	"repro/internal/dense"
@@ -59,7 +59,7 @@ func (x *FM) resolveSmall() (*dense.Dense, error) {
 		x.trans = false
 		return d, nil
 	}
-	return nil, fmt.Errorf("flashr: big matrix where small expected")
+	return nil, errf("resolve", shapesOf(x), "big matrix where small expected")
 }
 
 // mustSmall is resolveSmall for internal call sites that already checked.
@@ -133,13 +133,21 @@ func (x *FM) T() *FM {
 
 // Materialize forces evaluation of the matrix (R's materialize in Table 3).
 // Pending sinks sharing the partition dimension materialize in the same
-// pass.
+// pass. It is MaterializeCtx with context.Background(); prefer
+// MaterializeCtx in code that must honor cancellation.
 func (x *FM) Materialize() error {
+	return x.MaterializeCtx(context.Background())
+}
+
+// MaterializeCtx is Materialize with cancellation: the session's pending
+// pass runs under ctx, and a cancelled ctx aborts it (including while the
+// pass waits for admission on a busy engine) with ctx.Err().
+func (x *FM) MaterializeCtx(ctx context.Context) error {
 	if x.big != nil {
 		if x.big.Materialized() {
 			return nil
 		}
-		return x.s.flush(x.big)
+		return x.s.flushCtx(ctx, x.big)
 	}
 	_, err := x.resolveSmall()
 	return err
@@ -196,7 +204,7 @@ func (x *FM) AsVector() ([]float64, error) {
 func (x *FM) Float() (float64, error) {
 	r, c := x.dims()
 	if r != 1 || c != 1 {
-		return 0, fmt.Errorf("flashr: Float on %dx%d matrix", r, c)
+		return 0, errf("float", [][2]int64{{r, c}}, "not a 1x1 matrix")
 	}
 	d, err := x.AsDense()
 	if err != nil {
@@ -222,7 +230,7 @@ func (x *FM) Element(i, j int64) (float64, error) {
 		return 0, err
 	}
 	if i < 0 || i >= int64(d.R) || j < 0 || j >= int64(d.C) {
-		return 0, fmt.Errorf("flashr: element (%d,%d) out of %dx%d", i, j, d.R, d.C)
+		return 0, errf("element", nil, "(%d,%d) out of %dx%d", i, j, d.R, d.C)
 	}
 	return d.At(int(i), int(j)), nil
 }
@@ -237,7 +245,7 @@ func (x *FM) SetElement(i, j int64, v float64) error {
 			i, j = j, i
 		}
 		if i < 0 || i >= x.big.NRow() || j < 0 || j >= int64(x.big.NCol()) {
-			return fmt.Errorf("flashr: SetElement (%d,%d) out of %dx%d", i, j, x.big.NRow(), x.big.NCol())
+			return errf("set.element", nil, "(%d,%d) out of %dx%d", i, j, x.big.NRow(), x.big.NCol())
 		}
 		if err := x.Materialize(); err != nil {
 			return err
@@ -249,7 +257,7 @@ func (x *FM) SetElement(i, j int64, v float64) error {
 		return err
 	}
 	if i < 0 || i >= int64(d.R) || j < 0 || j >= int64(d.C) {
-		return fmt.Errorf("flashr: SetElement (%d,%d) out of %dx%d", i, j, d.R, d.C)
+		return errf("set.element", nil, "(%d,%d) out of %dx%d", i, j, d.R, d.C)
 	}
 	d.Set(int(i), int(j), v)
 	return nil
@@ -260,7 +268,7 @@ func (x *FM) SetElement(i, j int64, v float64) error {
 func (x *FM) promote() (*core.Mat, error) {
 	if x.big != nil {
 		if x.trans {
-			return nil, fmt.Errorf("flashr: operation not supported on transposed large matrix; transpose is consumed by %%*%%/crossprod")
+			return nil, errf("promote", shapesOf(x), "operation not supported on transposed large matrix; transpose is consumed by %%*%%/crossprod")
 		}
 		return x.big, nil
 	}

@@ -24,6 +24,7 @@ import (
 	"runtime/debug"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -89,6 +90,9 @@ type Config struct {
 	// ResultCacheBytes bounds the sub-DAG result cache (0 = engine default,
 	// negative = cache off with unification kept on).
 	ResultCacheBytes int64
+	// ConcurrentSessions is the session count for the "concurrent"
+	// experiment (0 = 4).
+	ConcurrentSessions int
 }
 
 // Defaults fills unset fields.
@@ -973,9 +977,141 @@ func CSE(cfg Config) ([]Row, error) {
 	}, nil
 }
 
+// Concurrent measures multi-session materialization: N sessions sharing one
+// EM engine each run logistic regression on a private dataset, first
+// back-to-back (serial reference) and then all at once from a barrier start.
+// Rows report the serial and concurrent wall times plus one row per session
+// with its own duration and attributed read throughput — the per-pass stats
+// the engine's arbiter and the fair-queued SAFS reader account for.
+func Concurrent(cfg Config) ([]Row, error) {
+	cfg = cfg.Defaults()
+	nSess := cfg.ConcurrentSessions
+	if nSess <= 0 {
+		nSess = 4
+	}
+	n := cfg.N / 2
+	if n < 4096 {
+		n = 4096
+	}
+	ss, err := cfg.openSessions(flashr.Options{})
+	if err != nil {
+		return nil, err
+	}
+	defer ss.close(cfg)
+
+	type unit struct {
+		s    *flashr.Session
+		x, y *flashr.FM
+	}
+	// Distinct seeds per session and per phase keep the shared result cache
+	// from serving one phase's passes to the other.
+	open := func(tag string, seedOff int64) ([]unit, error) {
+		units := make([]unit, nSess)
+		for i := range units {
+			cs, err := flashr.NewSession(
+				flashr.WithSharedEngine(ss.em),
+				flashr.WithOwner(fmt.Sprintf("%s-%d", tag, i)))
+			if err != nil {
+				return nil, err
+			}
+			x, y, err := workload.Criteo(cs, n, cfg.Seed+seedOff+int64(i))
+			if err != nil {
+				return nil, err
+			}
+			units[i] = unit{s: cs, x: x, y: y}
+		}
+		return units, nil
+	}
+	runLogistic := func(u unit) error {
+		_, err := ml.LogisticRegressionLBFGS(u.s, u.x, u.y, ml.LogisticOptions{MaxIter: cfg.Iters, Tol: 1e-12})
+		return err
+	}
+
+	serial, err := open("serial", 10_000)
+	if err != nil {
+		return nil, err
+	}
+	serialSec, err := timeIt(func() error {
+		for _, u := range serial {
+			if err := runLogistic(u); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	for _, u := range serial {
+		freeAll(u.x, u.y)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("concurrent serial reference: %w", err)
+	}
+
+	conc, err := open("sess", 20_000)
+	if err != nil {
+		return nil, err
+	}
+	durs := make([]time.Duration, nSess)
+	errs := make([]error, nSess)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := range conc {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			t0 := time.Now()
+			errs[i] = runLogistic(conc[i])
+			durs[i] = time.Since(t0)
+		}(i)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	concSec := time.Since(t0).Seconds()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("concurrent session %d: %w", i, err)
+		}
+	}
+
+	params := fmt.Sprintf("n=%d sessions=%d iters=%d (EM)", n, nSess, cfg.Iters)
+	minD, maxD := durs[0], durs[0]
+	var aggRead int64
+	rows := []Row{{
+		Experiment: "conc", Algorithm: "logistic", System: "serial",
+		Params: params, Seconds: serialSec, Normalized: 1,
+		Extra: fmt.Sprintf("%d sessions back-to-back", nSess),
+	}}
+	for i, u := range conc {
+		if durs[i] < minD {
+			minD = durs[i]
+		}
+		if durs[i] > maxD {
+			maxD = durs[i]
+		}
+		st := u.s.TotalMaterializeStats()
+		aggRead += st.BytesRead
+		rows = append(rows, Row{
+			Experiment: "conc", Algorithm: "logistic", System: u.s.Owner(),
+			Params: params, Seconds: durs[i].Seconds(), Normalized: durs[i].Seconds() / concSec,
+			Extra: fmt.Sprintf("read=%.1fMB/s passes=%d %s",
+				float64(st.BytesRead)/(1<<20)/durs[i].Seconds(), st.Passes, ioExtra(st)),
+		})
+		freeAll(u.x, u.y)
+	}
+	fair := float64(maxD) / float64(minD)
+	rows = append(rows, Row{
+		Experiment: "conc", Algorithm: "logistic", System: "concurrent",
+		Params: params, Seconds: concSec, Normalized: concSec / serialSec,
+		Extra: fmt.Sprintf("speedup=%.2fx fairness=%.2f agg-read=%.1fMB/s",
+			serialSec/concSec, fair, float64(aggRead)/(1<<20)/concSec),
+	})
+	return rows, nil
+}
+
 // Experiments lists the runnable experiment names.
 func Experiments() []string {
-	return []string{"fig7a", "fig7b", "fig8", "fig9", "fig10", "table4", "table6", "cse"}
+	return []string{"fig7a", "fig7b", "fig8", "fig9", "fig10", "table4", "table6", "cse", "concurrent"}
 }
 
 // Run dispatches an experiment by name ("all" runs everything).
@@ -997,6 +1133,8 @@ func Run(name string, cfg Config) ([]Row, error) {
 		return Table6(cfg)
 	case "cse":
 		return CSE(cfg)
+	case "concurrent":
+		return Concurrent(cfg)
 	case "all":
 		var all []Row
 		for _, e := range Experiments() {

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/numa"
+)
+
+// PassOptions identifies and weights one materialization pass for the
+// engine's admission arbiter and the array's fair queueing.
+type PassOptions struct {
+	// Owner labels the session/client the pass runs for. Queued passes are
+	// admitted FIFO within an owner and round-robin across owners, so one
+	// chatty client cannot starve the others of admission slots.
+	Owner string
+	// Weight is the pass's share of SAFS bandwidth relative to other active
+	// passes (values < 1 mean 1).
+	Weight int
+}
+
+// passTicket is one queued admission request.
+type passTicket struct {
+	owner   string
+	mem     int64
+	ready   chan struct{}
+	granted bool
+}
+
+// passArbiter is the engine's pass-admission layer: it bounds in-flight
+// materialization passes and reserves each admitted pass's estimated buffer
+// footprint against the NUMA topology's chunk-pool budget, so concurrent
+// passes cannot oversubscribe memory. Waiters queue FIFO per owner and are
+// granted round-robin across owners.
+type passArbiter struct {
+	topo *numa.Topology
+	max  int
+
+	mu       sync.Mutex
+	inFlight int
+	queues   map[string][]*passTicket
+	order    []string // owners with queued tickets, in arrival order
+	rrPos    int
+}
+
+func newPassArbiter(topo *numa.Topology, max int) *passArbiter {
+	if max < 1 {
+		max = 1
+	}
+	return &passArbiter{topo: topo, max: max, queues: make(map[string][]*passTicket)}
+}
+
+// admitLocked claims a slot and a memory reservation for a pass needing mem
+// bytes, or reports false. A pass that would be alone on the engine is
+// always admitted — its reservation is forced past the budget if necessary —
+// so an oversized pass runs by itself instead of deadlocking.
+func (a *passArbiter) admitLocked(mem int64) bool {
+	if a.inFlight >= a.max {
+		return false
+	}
+	if a.inFlight == 0 {
+		a.topo.ForceReserve(mem)
+		a.inFlight++
+		return true
+	}
+	if !a.topo.TryReserve(mem) {
+		return false
+	}
+	a.inFlight++
+	return true
+}
+
+// acquire blocks until the pass is admitted or ctx is cancelled. On success
+// the returned release function must be called exactly once when the pass
+// finishes; on cancellation the ticket is withdrawn (and a grant that raced
+// with the cancellation is handed back).
+func (a *passArbiter) acquire(ctx context.Context, owner string, mem int64) (func(), error) {
+	release := func() { a.release(mem) }
+	a.mu.Lock()
+	// Admit immediately only when nobody is queued ahead of us; otherwise a
+	// small pass could leapfrog the whole queue forever.
+	if len(a.order) == 0 && a.admitLocked(mem) {
+		a.mu.Unlock()
+		return release, nil
+	}
+	t := &passTicket{owner: owner, mem: mem, ready: make(chan struct{})}
+	if _, ok := a.queues[owner]; !ok {
+		a.order = append(a.order, owner)
+	}
+	a.queues[owner] = append(a.queues[owner], t)
+	a.mu.Unlock()
+
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case <-t.ready:
+		return release, nil
+	case <-done:
+		a.mu.Lock()
+		if t.granted {
+			// The grant raced with the cancellation: we hold a slot and a
+			// reservation; hand both back before reporting the cancel.
+			a.mu.Unlock()
+			release()
+			return nil, ctx.Err()
+		}
+		a.removeTicketLocked(t)
+		a.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// release returns a pass's slot and reservation, then grants as many queued
+// tickets as now fit.
+func (a *passArbiter) release(mem int64) {
+	a.mu.Lock()
+	a.inFlight--
+	a.topo.ReleaseMem(mem)
+	a.grantLocked()
+	a.mu.Unlock()
+}
+
+// grantLocked admits queued tickets round-robin across owners (FIFO within
+// an owner) until no head-of-queue ticket fits.
+func (a *passArbiter) grantLocked() {
+	for a.grantOneLocked() {
+	}
+}
+
+// grantOneLocked scans owners round-robin starting at rrPos and admits the
+// first head-of-queue ticket that fits, leaving rrPos on the owner after the
+// granted one (so repeated grants rotate across owners instead of draining
+// whichever owner the scan happens to start on). Reports false when no
+// queued ticket can be admitted.
+func (a *passArbiter) grantOneLocked() bool {
+	// Reap owners whose queues drained (cancelled tickets).
+	for i := 0; i < len(a.order); {
+		if len(a.queues[a.order[i]]) == 0 {
+			a.dropOwnerLocked(i)
+		} else {
+			i++
+		}
+	}
+	n := len(a.order)
+	if n == 0 {
+		a.rrPos = 0
+		return false
+	}
+	if a.rrPos >= n {
+		a.rrPos = 0
+	}
+	for k := 0; k < n; k++ {
+		i := (a.rrPos + k) % n
+		owner := a.order[i]
+		q := a.queues[owner]
+		t := q[0]
+		if !a.admitLocked(t.mem) {
+			continue
+		}
+		q[0] = nil
+		a.queues[owner] = q[1:]
+		if len(a.queues[owner]) == 0 {
+			a.dropOwnerLocked(i)
+			a.rrPos = i // the owner after the granted one shifted into i
+			if a.rrPos >= len(a.order) {
+				a.rrPos = 0
+			}
+		} else {
+			a.rrPos = (i + 1) % n
+		}
+		t.granted = true
+		close(t.ready)
+		return true
+	}
+	return false
+}
+
+// dropOwnerLocked removes the owner at order index i, keeping rrPos stable.
+func (a *passArbiter) dropOwnerLocked(i int) {
+	owner := a.order[i]
+	delete(a.queues, owner)
+	a.order = append(a.order[:i], a.order[i+1:]...)
+	if a.rrPos > i {
+		a.rrPos--
+	}
+}
+
+// removeTicketLocked withdraws a still-queued ticket (ctx cancellation).
+func (a *passArbiter) removeTicketLocked(t *passTicket) {
+	q := a.queues[t.owner]
+	for i, qt := range q {
+		if qt == t {
+			a.queues[t.owner] = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	if len(a.queues[t.owner]) == 0 {
+		for i, o := range a.order {
+			if o == t.owner {
+				a.dropOwnerLocked(i)
+				break
+			}
+		}
+	}
+}
+
+// queued reports how many tickets are waiting for admission (tests).
+func (a *passArbiter) queued() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, q := range a.queues {
+		n += len(q)
+	}
+	return n
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/numa"
+)
+
+// TestArbiterBoundsInFlight hammers the arbiter from many goroutines and
+// asserts the number of concurrently admitted passes never exceeds max.
+func TestArbiterBoundsInFlight(t *testing.T) {
+	const max = 3
+	a := newPassArbiter(numa.NewTopology(2, 0), max)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			owner := string(rune('a' + i%5))
+			release, err := a.acquire(context.Background(), owner, 1<<20)
+			if err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			release()
+		}(i)
+	}
+	wg.Wait()
+	if p := peak.Load(); p > max {
+		t.Fatalf("peak in-flight %d exceeds max %d", p, max)
+	}
+	if q := a.queued(); q != 0 {
+		t.Fatalf("tickets still queued after all released: %d", q)
+	}
+}
+
+// TestArbiterRoundRobinAcrossOwners fills the single slot, queues three
+// tickets from owner A then one from owner B, and checks grants alternate
+// A, B, A, A — round-robin across owners, FIFO within one.
+func TestArbiterRoundRobinAcrossOwners(t *testing.T) {
+	a := newPassArbiter(numa.NewTopology(1, 0), 1)
+	blocker, err := a.acquire(context.Background(), "hog", 0)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+
+	var mu sync.Mutex
+	var got []string
+	var wg sync.WaitGroup
+	waitQueued := func(n int) {
+		deadline := time.Now().Add(2 * time.Second)
+		for a.queued() < n {
+			if time.Now().After(deadline) {
+				t.Fatalf("queue never reached %d tickets", n)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	// Enqueue one at a time so arrival order is deterministic.
+	for i, owner := range []string{"A", "A", "A", "B"} {
+		wg.Add(1)
+		owner := owner
+		go func() {
+			defer wg.Done()
+			release, err := a.acquire(context.Background(), owner, 0)
+			if err != nil {
+				t.Errorf("acquire(%s): %v", owner, err)
+				return
+			}
+			mu.Lock()
+			got = append(got, owner)
+			mu.Unlock()
+			release()
+		}()
+		waitQueued(i + 1)
+	}
+
+	blocker()
+	wg.Wait()
+	want := []string{"A", "B", "A", "A"}
+	if len(got) != len(want) {
+		t.Fatalf("granted %d passes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestArbiterCancelWhileQueued cancels a queued acquire and checks the
+// ticket is withdrawn and ctx.Err() is surfaced.
+func TestArbiterCancelWhileQueued(t *testing.T) {
+	a := newPassArbiter(numa.NewTopology(1, 0), 1)
+	blocker, err := a.acquire(context.Background(), "hog", 0)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(ctx, "victim", 0)
+		errc <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for a.queued() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("ticket never queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("acquire after cancel = %v, want context.Canceled", err)
+	}
+	if q := a.queued(); q != 0 {
+		t.Fatalf("cancelled ticket still queued: %d", q)
+	}
+	blocker()
+	// The slot must still be usable.
+	release, err := a.acquire(context.Background(), "next", 0)
+	if err != nil {
+		t.Fatalf("acquire after cancel: %v", err)
+	}
+	release()
+}
+
+// TestArbiterMemoryBudget checks a second pass that does not fit the
+// topology's budget waits until the first releases, while a pass that is
+// alone is force-admitted even when oversized.
+func TestArbiterMemoryBudget(t *testing.T) {
+	topo := numa.NewTopology(1, 0)
+	topo.SetMemBudget(100)
+	a := newPassArbiter(topo, 4)
+
+	// Oversized pass admitted when alone (ForceReserve path).
+	release1, err := a.acquire(context.Background(), "big", 150)
+	if err != nil {
+		t.Fatalf("acquire oversized: %v", err)
+	}
+	if got := topo.MemReserved(); got != 150 {
+		t.Fatalf("reserved = %d, want 150", got)
+	}
+
+	// A second pass cannot fit and must queue.
+	admitted := make(chan struct{})
+	go func() {
+		release2, err := a.acquire(context.Background(), "small", 50)
+		if err != nil {
+			t.Errorf("acquire small: %v", err)
+			close(admitted)
+			return
+		}
+		close(admitted)
+		release2()
+	}()
+	select {
+	case <-admitted:
+		t.Fatal("second pass admitted despite exhausted budget")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	release1()
+	select {
+	case <-admitted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("second pass never admitted after release")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for topo.MemReserved() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("reserved = %d after all releases, want 0", topo.MemReserved())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestArbiterNoLeapfrog verifies a small pass arriving while others queue
+// does not jump the queue even though it would fit.
+func TestArbiterNoLeapfrog(t *testing.T) {
+	topo := numa.NewTopology(1, 0)
+	topo.SetMemBudget(100)
+	a := newPassArbiter(topo, 4)
+	release1, err := a.acquire(context.Background(), "first", 80)
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	// Queue a pass that does not fit.
+	var order []string
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		release, err := a.acquire(context.Background(), "blockedBig", 90)
+		if err != nil {
+			t.Errorf("acquire blockedBig: %v", err)
+			return
+		}
+		mu.Lock()
+		order = append(order, "blockedBig")
+		mu.Unlock()
+		release()
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for a.queued() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("big ticket never queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	// A tiny pass that would fit must still queue behind it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		release, err := a.acquire(context.Background(), "tiny", 20)
+		if err != nil {
+			t.Errorf("acquire tiny: %v", err)
+			return
+		}
+		mu.Lock()
+		order = append(order, "tiny")
+		mu.Unlock()
+		release()
+	}()
+	for a.queued() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("tiny ticket never queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	release1()
+	wg.Wait()
+	if len(order) != 2 || order[0] != "blockedBig" {
+		t.Fatalf("grant order %v, want [blockedBig tiny]", order)
+	}
+}

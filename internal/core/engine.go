@@ -97,7 +97,22 @@ type Config struct {
 	// (0 = DefaultResultCacheBytes; negative disables the cache while
 	// keeping within-pass CSE unification on).
 	ResultCacheBytes int64
+	// MaxConcurrentPasses bounds materialization passes running at once on
+	// this engine (0 = DefaultMaxConcurrentPasses, negative = 1). Excess
+	// passes queue in the admission arbiter: FIFO per owner, round-robin
+	// across owners.
+	MaxConcurrentPasses int
+	// PassMemBudget caps the summed buffer-footprint reservations of
+	// concurrently admitted passes, in bytes, against the NUMA chunk pools
+	// (0 = unlimited). A pass that would run alone is admitted even when it
+	// exceeds the budget, so oversized work degrades to serial execution
+	// instead of deadlocking.
+	PassMemBudget int64
 }
+
+// DefaultMaxConcurrentPasses bounds in-flight passes when
+// Config.MaxConcurrentPasses is zero.
+const DefaultMaxConcurrentPasses = 4
 
 // Stats counts engine activity.
 type Stats struct {
@@ -118,6 +133,13 @@ type Engine struct {
 	statsMu  sync.Mutex
 	lastMat  MaterializeStats
 	totalMat MaterializeStats
+
+	// arb admits concurrent passes; planMu serializes the (cheap) plan and
+	// cache-publication phases of each pass so the intern table, the result
+	// cache, and per-Mat store attachment stay coherent while the (long)
+	// execution phases overlap freely.
+	arb    *passArbiter
+	planMu sync.Mutex
 
 	// cons interns structural node signatures (nil when Config.DisableCSE);
 	// rcache is the cross-materialize result cache keyed on them (nil when
@@ -179,7 +201,17 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.ResultCacheBytes == 0 {
 		cfg.ResultCacheBytes = DefaultResultCacheBytes
 	}
+	if cfg.MaxConcurrentPasses == 0 {
+		cfg.MaxConcurrentPasses = DefaultMaxConcurrentPasses
+	}
+	if cfg.MaxConcurrentPasses < 1 {
+		cfg.MaxConcurrentPasses = 1
+	}
+	if cfg.PassMemBudget > 0 {
+		cfg.Topo.SetMemBudget(cfg.PassMemBudget)
+	}
 	e := &Engine{cfg: cfg}
+	e.arb = newPassArbiter(cfg.Topo, cfg.MaxConcurrentPasses)
 	if !cfg.DisableCSE {
 		e.cons = newConsTable(DefaultConsTableBytes)
 		if cfg.ResultCacheBytes > 0 {
@@ -333,9 +365,21 @@ func (e *Engine) Materialize(talls []*Mat, sinks []*Sink) error {
 }
 
 // MaterializeCtx is Materialize with cancellation: when ctx is cancelled the
-// pass aborts, in-flight write-behind jobs drain, buffer pools stay
-// consistent, and ctx.Err() is returned.
+// pass aborts (queued passes withdraw from the admission arbiter), in-flight
+// write-behind jobs drain, buffer pools stay consistent, and ctx.Err() is
+// returned.
 func (e *Engine) MaterializeCtx(ctx context.Context, talls []*Mat, sinks []*Sink) error {
+	_, err := e.MaterializePass(ctx, talls, sinks, PassOptions{})
+	return err
+}
+
+// MaterializePass is the concurrent-session materialization entry point: the
+// pass waits for admission (bounded in-flight passes, per-pass memory
+// reservation), runs with its SAFS I/O fair-queued under the pass's weight,
+// and returns the pass's own observability record — exact per-pass
+// attribution even while other passes run on the same engine and array.
+func (e *Engine) MaterializePass(ctx context.Context, talls []*Mat, sinks []*Sink, opts PassOptions) (MaterializeStats, error) {
+	ms := MaterializeStats{Fuse: e.cfg.Fuse, SyncWrites: e.cfg.SyncWrites, Owner: opts.Owner}
 	// Drop already-materialized targets.
 	var mt []*Mat
 	for _, m := range talls {
@@ -350,23 +394,66 @@ func (e *Engine) MaterializeCtx(ctx context.Context, talls []*Mat, sinks []*Sink
 		}
 	}
 	if len(mt) == 0 && len(sk) == 0 {
-		return nil
+		return ms, nil
 	}
-	ms := MaterializeStats{Fuse: e.cfg.Fuse, SyncWrites: e.cfg.SyncWrites}
+	release, err := e.arb.acquire(ctx, opts.Owner, e.estimatePassBytes(mt, sk))
+	if err != nil {
+		return ms, err
+	}
+	defer release()
 	t0 := time.Now()
-	err := e.materialize(ctx, mt, sk, &ms)
+	err = e.materialize(ctx, mt, sk, &ms, opts)
 	ms.Wall = time.Since(t0)
 	e.statsMu.Lock()
 	e.lastMat = ms
 	e.totalMat.Add(ms)
 	e.statsMu.Unlock()
-	return err
+	return ms, err
+}
+
+// estimatePassBytes approximates a pass's peak buffer footprint for the
+// admission reservation: per worker, one I/O partition of every leaf and
+// every tall target, plus the write-behind queue's in-flight output
+// partitions. The walk is bounded — an estimate feeding a soft admission
+// budget does not justify traversing a pathological DAG forever.
+func (e *Engine) estimatePassBytes(talls []*Mat, sinks []*Sink) int64 {
+	const maxVisit = 1 << 14
+	seen := make(map[uint64]bool)
+	var leafCols, tallCols int64
+	var visit func(m *Mat)
+	visit = func(m *Mat) {
+		if m == nil || seen[m.id] || len(seen) >= maxVisit {
+			return
+		}
+		seen[m.id] = true
+		if m.Materialized() {
+			leafCols += int64(m.ncol)
+			return
+		}
+		visit(m.a)
+		visit(m.b)
+	}
+	for _, m := range talls {
+		tallCols += int64(m.ncol)
+		visit(m)
+	}
+	for _, s := range sinks {
+		visit(s.a)
+		visit(s.b)
+	}
+	perPart := int64(e.cfg.PartRows) * 8
+	return perPart * (int64(e.cfg.Workers)*(leafCols+tallCols) +
+		int64(e.cfg.WriteBehindDepth)*tallCols)
 }
 
 // materialize runs one materialization: cache-serves and CSE-unifies what it
 // can, executes the remaining DAG, and (only on a fully successful pass)
-// inserts the fresh results into the result cache.
-func (e *Engine) materialize(ctx context.Context, mt []*Mat, sk []*Sink, ms *MaterializeStats) error {
+// inserts the fresh results into the result cache. The plan phase (intern
+// table, cache lookups, DAG construction) and the publication phase (cache
+// inserts, duplicate-sink payloads) run under planMu; only the execution
+// phase between them overlaps with other passes.
+func (e *Engine) materialize(ctx context.Context, mt []*Mat, sk []*Sink, ms *MaterializeStats, opts PassOptions) error {
+	e.planMu.Lock()
 	var sc *sigCtx
 	if e.cons != nil {
 		// Reset the intern table between passes once it outgrows its budget.
@@ -409,32 +496,47 @@ func (e *Engine) materialize(ctx context.Context, mt []*Mat, sk []*Sink, ms *Mat
 	}
 	d, err := e.buildDAG(mt, sk, sc, ms)
 	if err != nil {
+		e.planMu.Unlock()
 		return err
 	}
 	if e.rcache != nil && sc != nil {
 		// Misses are the cache candidates this pass has to compute.
 		ms.CacheMisses += int64(len(d.talls) + len(d.sinks))
 	}
-	if len(d.talls) > 0 || len(d.sinks) > 0 {
-		if err := e.validateDAG(d); err != nil {
-			return err
+	var validateErr error
+	run := len(d.talls) > 0 || len(d.sinks) > 0
+	if run {
+		validateErr = e.validateDAG(d)
+	}
+	e.planMu.Unlock()
+	if validateErr != nil {
+		return validateErr
+	}
+	if run {
+		// The pass identity ties the execution phase's SAFS traffic to this
+		// materialization for fair queueing and exact attribution.
+		var pass *safs.Pass
+		if e.cfg.FS != nil {
+			pass = e.cfg.FS.RegisterPass(opts.Weight)
 		}
 		e.stats.DAGs.Add(1)
 		if e.cfg.Fuse == FuseNone {
-			err = e.runUnfused(ctx, d, ms)
+			err = e.runUnfused(ctx, d, ms, pass)
 		} else {
-			err = e.runFused(ctx, d, e.cfg.Fuse, ms)
+			err = e.runFused(ctx, d, e.cfg.Fuse, ms, pass)
 		}
 		if err != nil {
 			return err
 		}
-		if e.rcache != nil && sc != nil {
-			e.insertResults(d, sc, ms)
-		}
+	}
+	e.planMu.Lock()
+	if run && e.rcache != nil && sc != nil {
+		e.insertResults(d, sc, ms)
 	}
 	for _, pair := range dupSinks {
 		pair[0].publishPayload(pair[1].payload())
 	}
+	e.planMu.Unlock()
 	return nil
 }
 
@@ -734,7 +836,7 @@ func (e *Engine) validateDAG(d *dag) error {
 // runUnfused materializes every non-leaf node separately in topological
 // order, then evaluates sinks over materialized inputs — one parallel pass
 // and one intermediate matrix per operation.
-func (e *Engine) runUnfused(ctx context.Context, d *dag, ms *MaterializeStats) error {
+func (e *Engine) runUnfused(ctx context.Context, d *dag, ms *MaterializeStats, pass *safs.Pass) error {
 	for _, m := range d.nodes {
 		if m.Materialized() || m.kind == opConst {
 			continue
@@ -744,7 +846,7 @@ func (e *Engine) runUnfused(ctx context.Context, d *dag, ms *MaterializeStats) e
 			return err
 		}
 		sd.nrow = d.nrow
-		if err := e.runFused(ctx, sd, FuseMem, ms); err != nil {
+		if err := e.runFused(ctx, sd, FuseMem, ms, pass); err != nil {
 			return err
 		}
 	}
@@ -756,7 +858,7 @@ func (e *Engine) runUnfused(ctx context.Context, d *dag, ms *MaterializeStats) e
 			return err
 		}
 		sd.nrow = d.nrow
-		if err := e.runFused(ctx, sd, FuseMem, ms); err != nil {
+		if err := e.runFused(ctx, sd, FuseMem, ms, pass); err != nil {
 			return err
 		}
 	}

@@ -32,11 +32,19 @@ type runState struct {
 	fuse      FuseLevel
 	nparts    int
 	chunkRows int
-	outStores []matrix.Store // per tall target
-	leafSlots []int          // slots of store-backed nodes
-	tasks     []taskRange
-	taskNext  atomic.Int64
-	cum       *cumCoord
+	outStores []matrix.Store // per tall target (originals, published on success)
+	// writeStores are pass-tagged views of outStores: partition writes go
+	// through them so the array queues and attributes the I/O to this pass.
+	writeStores []matrix.Store
+	leafSlots   []int // slots of store-backed nodes
+	// leafPass[slot] is the pass-tagged view of a leaf's store (nil for
+	// non-leaf slots); workers read and prefetch through these.
+	leafPass []matrix.Store
+	// pass is this run's SAFS identity (nil without an array).
+	pass     *safs.Pass
+	tasks    []taskRange
+	taskNext atomic.Int64
+	cum      *cumCoord
 	// wb is the bounded write-behind queue for tall-output partitions
 	// (nil under Config.SyncWrites).
 	wb *safs.WriteBack
@@ -115,19 +123,18 @@ func (rs *runState) fail(err error) {
 // the queue at a barrier before returning — so a write failure, like any
 // compute failure, always surfaces here. ms accumulates the pass's
 // observability counters.
-func (e *Engine) runFused(ctx context.Context, d *dag, fuse FuseLevel, ms *MaterializeStats) error {
+func (e *Engine) runFused(ctx context.Context, d *dag, fuse FuseLevel, ms *MaterializeStats, pass *safs.Pass) error {
 	e.stats.Passes.Add(1)
-	// Integrity counters live on the array and are cumulative; diff them
-	// around the pass to attribute this pass's share. (Passes on one engine
-	// run serially, so the delta is exact.)
-	var fs0 safs.Stats
-	if e.cfg.FS != nil {
-		fs0 = e.cfg.FS.Stats()
-	}
-	rs := &runState{e: e, d: d, fuse: fuse, outPool: make(map[int][][]float64)}
+	// Integrity counters are attributed through the pass identity's own
+	// counters (not by diffing the array-wide totals, which would misattribute
+	// under concurrent passes). Snapshot around the run since FuseNone reuses
+	// one pass across several runFused calls.
+	p0 := pass.Stats()
+	rs := &runState{e: e, d: d, fuse: fuse, pass: pass, outPool: make(map[int][][]float64)}
 	rs.nparts = matrix.NumParts(d.nrow, e.cfg.PartRows)
 	rs.chunkRows = e.chunkRowsFor(d, fuse)
 	rs.outStores = make([]matrix.Store, len(d.talls))
+	rs.writeStores = make([]matrix.Store, len(d.talls))
 	freeOut := func() {
 		for _, st := range rs.outStores {
 			if st != nil {
@@ -153,10 +160,13 @@ func (e *Engine) runFused(ctx context.Context, d *dag, fuse FuseLevel, ms *Mater
 			st = e.testStoreWrap(st)
 		}
 		rs.outStores[i] = st
+		rs.writeStores[i] = matrix.StoreWithPass(st, pass)
 	}
+	rs.leafPass = make([]matrix.Store, len(d.nodes))
 	for slot, m := range d.nodes {
 		if m.Materialized() {
 			rs.leafSlots = append(rs.leafSlots, slot)
+			rs.leafPass[slot] = matrix.StoreWithPass(unwrapStore(m.Store()), pass)
 		}
 	}
 	if len(d.cums) > 0 {
@@ -250,13 +260,13 @@ func (e *Engine) runFused(ctx context.Context, d *dag, fuse FuseLevel, ms *Mater
 	ms.WriteTime += time.Duration(rs.syncWriteNs.Load())
 	ms.BytesWritten += rs.syncBytes.Load()
 	ms.PrefetchAbandoned += rs.prefAbandoned.Load()
-	if e.cfg.FS != nil {
-		fs1 := e.cfg.FS.Stats()
-		ms.ChecksumFailures += fs1.ChecksumFailures - fs0.ChecksumFailures
-		ms.IORetries += fs1.Retries - fs0.Retries
-		ms.RecoveredReads += fs1.RecoveredReads - fs0.RecoveredReads
-		ms.RecoveredWrites += fs1.RecoveredWrites - fs0.RecoveredWrites
-		ms.VerifyTime += fs1.VerifyTime - fs0.VerifyTime
+	if pass != nil {
+		p1 := pass.Stats()
+		ms.ChecksumFailures += p1.ChecksumFailures - p0.ChecksumFailures
+		ms.IORetries += p1.Retries - p0.Retries
+		ms.RecoveredReads += p1.RecoveredReads - p0.RecoveredReads
+		ms.RecoveredWrites += p1.RecoveredWrites - p0.RecoveredWrites
+		ms.VerifyTime += p1.VerifyTime - p0.VerifyTime
 	}
 
 	if rs.err != nil {
@@ -274,11 +284,13 @@ func (e *Engine) runFused(ctx context.Context, d *dag, fuse FuseLevel, ms *Mater
 	for si, s := range d.sinks {
 		rs.global[si].finish(s)
 	}
-	// Publish tall-target stores.
+	// Publish tall-target stores. attachStore refuses a target another pass
+	// beat us to (possible only when passes share a node); the loser frees
+	// its redundant store rather than clobbering the winner's.
 	for i, m := range d.talls {
-		m.mu.Lock()
-		m.store = rs.outStores[i]
-		m.mu.Unlock()
+		if !m.attachStore(rs.outStores[i]) {
+			rs.outStores[i].Free()
+		}
 	}
 	return nil
 }
@@ -514,7 +526,7 @@ func (w *worker) prefetch(p int) {
 	pf := &prefetched{bufs: make(map[int][]float64)}
 	for _, slot := range w.rs.leafSlots {
 		m := w.rs.d.nodes[slot]
-		st, ok := unwrapStore(m.Store()).(*matrix.SAFSStore)
+		st, ok := w.rs.leafPass[slot].(*matrix.SAFSStore)
 		if !ok {
 			continue
 		}
@@ -593,7 +605,7 @@ func (w *worker) processPartition(p int) error {
 			rs.bytesRead.Add(int64(rows*m.ncol) * 8)
 			continue
 		}
-		st := unwrapStore(m.Store())
+		st := rs.leafPass[slot]
 		// Zero-copy fast path for row-major in-memory partitions.
 		if ms, ok := st.(*matrix.MemStore); ok {
 			if ref, ok := ms.PartRef(p); ok {
@@ -665,7 +677,7 @@ func (w *worker) processPartition(p int) error {
 	for i, m := range rs.d.talls {
 		buf := outBufs[i]
 		n := rows * m.ncol
-		st := rs.outStores[i]
+		st := rs.writeStores[i]
 		mid := m.id
 		if rs.wb != nil {
 			rs.wb.Enqueue(n*8, func() error {

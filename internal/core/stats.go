@@ -18,6 +18,9 @@ import (
 // spent inside the SAFS token-bucket); under SyncWrites the two collapse to
 // the same value because compute waits out every write.
 type MaterializeStats struct {
+	// Owner labels the session/client the pass ran for (PassOptions.Owner;
+	// empty for untagged passes).
+	Owner string
 	// Fuse is the fusion level the materialization ran at.
 	Fuse FuseLevel
 	// SyncWrites records whether the synchronous-write escape hatch was on.
@@ -94,6 +97,9 @@ type MaterializeStats struct {
 // Add accumulates o into s (numeric fields sum; Fuse and SyncWrites take
 // o's values so a running total reflects the latest configuration).
 func (s *MaterializeStats) Add(o MaterializeStats) {
+	if o.Owner != "" {
+		s.Owner = o.Owner
+	}
 	s.Fuse = o.Fuse
 	s.SyncWrites = o.SyncWrites
 	s.Wall += o.Wall
@@ -158,6 +164,9 @@ func (s MaterializeStats) Sub(o MaterializeStats) MaterializeStats {
 // String renders a compact single-line summary for benchmark output.
 func (s MaterializeStats) String() string {
 	var b strings.Builder
+	if s.Owner != "" {
+		fmt.Fprintf(&b, "owner=%s ", s.Owner)
+	}
 	fmt.Fprintf(&b, "fuse=%s wall=%s passes=%d parts=%d", s.Fuse, round(s.Wall), s.Passes, s.Parts)
 	fmt.Fprintf(&b, " read=%s written=%s", mib(s.BytesRead), mib(s.BytesWritten))
 	fmt.Fprintf(&b, " pf=%d/%d rwait=%s", s.PrefetchHits, s.PrefetchMisses, round(s.ReadWait))

@@ -1,0 +1,33 @@
+package matrix
+
+import "repro/internal/safs"
+
+// StoreWithPass returns a view of st whose SAFS-backed I/O is fair-queued
+// under and attributed to the given pass. In-memory stores are returned
+// unchanged (their traffic never reaches the array), and a nil pass returns
+// st itself. Views never own underlying files, so freeing a view is a no-op
+// for the original's data.
+func StoreWithPass(st Store, p *safs.Pass) Store {
+	if p == nil || st == nil {
+		return st
+	}
+	switch s := st.(type) {
+	case *SAFSStore:
+		return s.WithPass(p)
+	case *BlockedStore:
+		blocks := make([]Store, len(s.blocks))
+		changed := false
+		for i, b := range s.blocks {
+			blocks[i] = StoreWithPass(b, p)
+			if blocks[i] != b {
+				changed = true
+			}
+		}
+		if !changed {
+			return s
+		}
+		return &BlockedStore{blocks: blocks, nrow: s.nrow, ncol: s.ncol}
+	default:
+		return st
+	}
+}

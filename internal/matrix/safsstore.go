@@ -18,6 +18,24 @@ type SAFSStore struct {
 	ncol     int
 	partRows int
 	owned    bool // whether Free removes the file
+
+	// pass tags this store's I/O for fair queueing and per-pass attribution
+	// (nil = untagged). Set only on WithPass views.
+	pass *safs.Pass
+}
+
+// WithPass returns a view of the store whose I/O is fair-queued under and
+// attributed to the given pass. The view never owns the file — Free on it is
+// a no-op — so a pass-scoped view can be dropped without touching the
+// original store's data.
+func (s *SAFSStore) WithPass(p *safs.Pass) *SAFSStore {
+	if p == nil {
+		return s
+	}
+	v := *s
+	v.owned = false
+	v.pass = p
+	return &v
 }
 
 // NewSAFSStore creates a new striped file sized for an nrow×ncol matrix.
@@ -106,7 +124,7 @@ func (s *SAFSStore) ReadPart(i int, dst []float64) error {
 	if len(dst) < n {
 		return fmt.Errorf("matrix: ReadPart %d: buffer %d < %d", i, len(dst), n)
 	}
-	return s.file.ReadAt(asBytes(dst[:n]), s.PartOffset(i))
+	return s.file.ReadAtPass(asBytes(dst[:n]), s.PartOffset(i), s.pass)
 }
 
 // ReadPartAsync schedules an asynchronous read of partition i into dst and
@@ -119,7 +137,7 @@ func (s *SAFSStore) ReadPartAsync(i int, dst []float64, tag int, done chan<- saf
 	if len(dst) < n {
 		return fmt.Errorf("matrix: ReadPartAsync %d: buffer %d < %d", i, len(dst), n)
 	}
-	s.file.ReadAsync(asBytes(dst[:n]), s.PartOffset(i), tag, done)
+	s.file.ReadAsyncPass(asBytes(dst[:n]), s.PartOffset(i), tag, done, s.pass)
 	return nil
 }
 
@@ -149,7 +167,7 @@ func (s *SAFSStore) WritePart(i int, src []float64) error {
 	if len(src) < n {
 		return fmt.Errorf("matrix: WritePart %d: buffer %d < %d", i, len(src), n)
 	}
-	return s.file.WriteAt(asBytes(src[:n]), s.PartOffset(i))
+	return s.file.WriteAtPass(asBytes(src[:n]), s.PartOffset(i), s.pass)
 }
 
 // Free removes the file from the array if this store created it.

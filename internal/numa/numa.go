@@ -33,6 +33,14 @@ type Topology struct {
 
 	localAcc  atomic.Int64
 	remoteAcc atomic.Int64
+
+	// Reservation ledger: budget is the byte ceiling concurrent passes may
+	// reserve against the chunk pools (0 = unlimited); reserved is the sum of
+	// grants outstanding. Guarded by memMu — reservations are rare (one per
+	// admitted pass), so a mutex beats juggling CAS loops.
+	memMu    sync.Mutex
+	budget   int64
+	reserved int64
 }
 
 // NewTopology creates a simulated topology with the given number of NUMA
@@ -110,6 +118,71 @@ func (t *Topology) Stats() (local, remote int64) {
 func (t *Topology) ResetStats() {
 	t.localAcc.Store(0)
 	t.remoteAcc.Store(0)
+}
+
+// SetMemBudget installs the byte ceiling that concurrent materialization
+// passes may reserve against this topology's chunk pools (0 = unlimited).
+// Lowering the budget below the bytes already reserved only affects future
+// reservations; outstanding grants are never revoked.
+func (t *Topology) SetMemBudget(bytes int64) {
+	t.memMu.Lock()
+	t.budget = bytes
+	t.memMu.Unlock()
+}
+
+// MemBudget returns the configured reservation ceiling (0 = unlimited).
+func (t *Topology) MemBudget() int64 {
+	t.memMu.Lock()
+	defer t.memMu.Unlock()
+	return t.budget
+}
+
+// TryReserve attempts to reserve bytes of chunk-pool headroom for a pass.
+// It succeeds when the topology has no budget or the grant fits; the caller
+// must pair a success with ReleaseMem.
+func (t *Topology) TryReserve(bytes int64) bool {
+	if bytes < 0 {
+		bytes = 0
+	}
+	t.memMu.Lock()
+	defer t.memMu.Unlock()
+	if t.budget > 0 && t.reserved+bytes > t.budget {
+		return false
+	}
+	t.reserved += bytes
+	return true
+}
+
+// ForceReserve records a reservation even when it overshoots the budget —
+// the admission path uses this for a pass that is alone on the engine, so an
+// oversized pass can always run (it just runs by itself).
+func (t *Topology) ForceReserve(bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	t.memMu.Lock()
+	t.reserved += bytes
+	t.memMu.Unlock()
+}
+
+// ReleaseMem returns a reservation made by TryReserve or ForceReserve.
+func (t *Topology) ReleaseMem(bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	t.memMu.Lock()
+	t.reserved -= bytes
+	if t.reserved < 0 {
+		t.reserved = 0
+	}
+	t.memMu.Unlock()
+}
+
+// MemReserved returns the bytes currently reserved by admitted passes.
+func (t *Topology) MemReserved() int64 {
+	t.memMu.Lock()
+	defer t.memMu.Unlock()
+	return t.reserved
 }
 
 // PoolStats reports, per node, how many chunks are currently idle in the

@@ -1,0 +1,187 @@
+package safs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPassAttributionExact drives two tagged passes concurrently and checks
+// that the per-pass counters partition the array-wide delta exactly — the
+// property that lets the engine report per-pass MaterializeStats without
+// diffing global counters around a region.
+func TestPassAttributionExact(t *testing.T) {
+	fs, err := OpenTempDir(t.TempDir(), 3, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	const size = 3 << 20
+	f, err := fs.Create("attr", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := fs.Stats()
+
+	pa := fs.RegisterPass(1)
+	pb := fs.RegisterPass(2)
+	errc := make(chan error, 2)
+	run := func(p *Pass, seed int64) {
+		buf := make([]byte, 200_000)
+		for i := 0; i < 20; i++ {
+			off := (seed*131 + int64(i)*977_777) % (size - int64(len(buf)))
+			if err := f.WriteAtPass(buf[:100_000+i*1000], off, p); err != nil {
+				errc <- err
+				return
+			}
+			if err := f.ReadAtPass(buf[:50_000+i*2000], off, p); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}
+	go run(pa, 1)
+	go run(pb, 2)
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	delta := fs.Stats()
+	delta.BytesRead -= before.BytesRead
+	delta.BytesWritten -= before.BytesWritten
+	delta.Reads -= before.Reads
+	delta.Writes -= before.Writes
+	sa, sb := pa.Stats(), pb.Stats()
+	if got := sa.BytesRead + sb.BytesRead; got != delta.BytesRead {
+		t.Errorf("bytes read: passes sum to %d, array delta %d", got, delta.BytesRead)
+	}
+	if got := sa.BytesWritten + sb.BytesWritten; got != delta.BytesWritten {
+		t.Errorf("bytes written: passes sum to %d, array delta %d", got, delta.BytesWritten)
+	}
+	if got := sa.Reads + sb.Reads; got != delta.Reads {
+		t.Errorf("reads: passes sum to %d, array delta %d", got, delta.Reads)
+	}
+	if got := sa.Writes + sb.Writes; got != delta.Writes {
+		t.Errorf("writes: passes sum to %d, array delta %d", got, delta.Writes)
+	}
+	if sa.BytesRead == 0 || sb.BytesRead == 0 {
+		t.Errorf("both passes should have read bytes attributed: %d, %d", sa.BytesRead, sb.BytesRead)
+	}
+}
+
+// TestDRRInterleavesPasses builds a backlog for pass A on a single drive
+// (injected per-piece latency keeps the worker busy), then queues pass B.
+// The old FIFO drive queue would finish every A request before the first B;
+// weighted deficit round robin must interleave, so B's first completion has
+// to land before A's last.
+func TestDRRInterleavesPasses(t *testing.T) {
+	fs, err := OpenTempDir(t.TempDir(), 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	f, err := fs.Create("drr", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the checksum-free read path before injecting latency.
+	buf := make([]byte, 4096)
+	if err := f.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	fs.InjectFaults(&Faults{Latency: 20 * time.Millisecond})
+	defer fs.InjectFaults(nil)
+
+	pa := fs.RegisterPass(1)
+	pb := fs.RegisterPass(1)
+	const perPass = 6
+	done := make(chan Request, 2*perPass)
+	bufs := make([][]byte, 2*perPass)
+	for i := range bufs {
+		// One DRR quantum per request, so each round-robin visit serves one
+		// request and interleaving shows at request granularity.
+		bufs[i] = make([]byte, drrQuantum)
+	}
+	for i := 0; i < perPass; i++ {
+		f.ReadAsyncPass(bufs[i], 0, i, done, pa)
+	}
+	// Let the worker pick up A's backlog before B arrives, so a FIFO queue
+	// would be committed to serving A first.
+	time.Sleep(50 * time.Millisecond)
+	for i := 0; i < perPass; i++ {
+		f.ReadAsyncPass(bufs[perPass+i], 0, 100+i, done, pb)
+	}
+
+	firstB, lastA := -1, -1
+	for i := 0; i < 2*perPass; i++ {
+		r := <-done
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.Tag >= 100 {
+			if firstB < 0 {
+				firstB = i
+			}
+		} else {
+			lastA = i
+		}
+	}
+	if firstB > lastA {
+		t.Fatalf("no interleaving: first pass-B completion at %d, last pass-A at %d", firstB, lastA)
+	}
+}
+
+// TestWeightedDRRFavorsHeavierPass checks that with a 3:1 weight ratio and
+// both passes continuously backlogged, the heavier pass finishes its batch
+// first even though it was queued second.
+func TestWeightedDRRFavorsHeavierPass(t *testing.T) {
+	fs, err := OpenTempDir(t.TempDir(), 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	f, err := fs.Create("wdrr", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	if err := f.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	fs.InjectFaults(&Faults{Latency: 10 * time.Millisecond})
+	defer fs.InjectFaults(nil)
+
+	light := fs.RegisterPass(1)
+	heavy := fs.RegisterPass(3)
+	const perPass = 8
+	done := make(chan Request, 2*perPass)
+	bufs := make([][]byte, 2*perPass)
+	for i := range bufs {
+		bufs[i] = make([]byte, drrQuantum)
+	}
+	for i := 0; i < perPass; i++ {
+		f.ReadAsyncPass(bufs[i], 0, i, done, light)
+	}
+	time.Sleep(30 * time.Millisecond)
+	for i := 0; i < perPass; i++ {
+		f.ReadAsyncPass(bufs[perPass+i], 0, 100+i, done, heavy)
+	}
+	lastHeavy, lastLight := -1, -1
+	for i := 0; i < 2*perPass; i++ {
+		r := <-done
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.Tag >= 100 {
+			lastHeavy = i
+		} else {
+			lastLight = i
+		}
+	}
+	if lastHeavy > lastLight {
+		t.Fatalf("weight-3 pass finished at %d, after weight-1 pass at %d", lastHeavy, lastLight)
+	}
+}

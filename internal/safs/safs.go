@@ -104,6 +104,9 @@ type FS struct {
 	statsMu sync.Mutex
 	stats   Stats
 
+	// passSeq issues array-unique pass identifiers (RegisterPass).
+	passSeq atomic.Int64
+
 	faults atomic.Pointer[Faults]
 
 	// Integrity counters (atomic: bumped from per-drive workers).
@@ -271,7 +274,7 @@ func (fs *FS) Close() error {
 	fs.reqWG.Wait()
 	var first error
 	for _, d := range fs.drives {
-		close(d.reqCh)
+		d.shutdown()
 		d.wg.Wait()
 		if err := d.close(); err != nil && first == nil {
 			first = err
@@ -574,18 +577,29 @@ func (f *File) segOffset(off int64) (driveID int, segOff int64, contig int64) {
 // blocks until every per-drive piece completes; pieces on different drives
 // proceed in parallel, each throttled by its drive's token bucket.
 func (f *File) ReadAt(p []byte, off int64) error {
-	return f.rw(p, off, false)
+	return f.rw(p, off, false, nil)
 }
 
 // WriteAt writes len(p) bytes at offset off; blocking semantics mirror
 // ReadAt.
 func (f *File) WriteAt(p []byte, off int64) error {
-	return f.rw(p, off, true)
+	return f.rw(p, off, true, nil)
 }
 
-func (f *File) rw(p []byte, off int64, write bool) error {
+// ReadAtPass is ReadAt with the I/O attributed to (and fair-queued under)
+// the given pass. A nil pass is equivalent to ReadAt.
+func (f *File) ReadAtPass(p []byte, off int64, pass *Pass) error {
+	return f.rw(p, off, false, pass)
+}
+
+// WriteAtPass is WriteAt with the I/O attributed to the given pass.
+func (f *File) WriteAtPass(p []byte, off int64, pass *Pass) error {
+	return f.rw(p, off, true, pass)
+}
+
+func (f *File) rw(p []byte, off int64, write bool, pass *Pass) error {
 	done := make(chan Request, 1)
-	f.submit(p, off, write, false, 0, done)
+	f.submit(p, off, write, false, 0, done, pass)
 	return (<-done).Err
 }
 
@@ -623,6 +637,7 @@ type completion struct {
 	done  chan<- Request
 	tag   int
 	write bool
+	pass  *Pass
 
 	errMu sync.Mutex
 	err   error
@@ -638,6 +653,15 @@ func (c *completion) finish(err error, nbytes int) {
 		c.errMu.Unlock()
 	} else {
 		c.fs.account(int64(nbytes), c.write)
+		if c.pass != nil {
+			if c.write {
+				c.pass.bytesWritten.Add(int64(nbytes))
+				c.pass.writes.Add(1)
+			} else {
+				c.pass.bytesRead.Add(int64(nbytes))
+				c.pass.reads.Add(1)
+			}
+		}
 	}
 	if c.n.Add(-1) == 0 {
 		c.errMu.Lock()
@@ -667,7 +691,7 @@ func (f *File) pieces(p []byte, off int64, write bool, comp *completion) []ioReq
 			sLen = rem
 		}
 		reqs = append(reqs, ioReq{
-			drive: id, name: f.name, buf: p[:n], off: segOff, write: write, comp: comp,
+			drive: id, name: f.name, buf: p[:n], off: segOff, write: write, comp: comp, pass: comp.pass,
 			stripe: sIdx, stripeOff: int64(f.ordinals[sIdx]) * stripe, stripeLen: int(sLen), meta: f.meta,
 		})
 		p = p[n:]
@@ -680,13 +704,13 @@ func (f *File) pieces(p []byte, off int64, write bool, comp *completion) []ioReq
 // pieces to the per-drive workers. When async is set the (possibly blocking)
 // queue sends happen on a helper goroutine so the caller returns
 // immediately; errors still arrive on done.
-func (f *File) submit(p []byte, off int64, write, async bool, tag int, done chan<- Request) {
+func (f *File) submit(p []byte, off int64, write, async bool, tag int, done chan<- Request, pass *Pass) {
 	if off < 0 || off+int64(len(p)) > f.size {
 		done <- Request{Err: fmt.Errorf("safs: %s out of range [%d,%d) in %q of size %d",
 			verb(write), off, off+int64(len(p)), f.name, f.size), Tag: tag}
 		return
 	}
-	comp := &completion{fs: f.fs, done: done, tag: tag, write: write}
+	comp := &completion{fs: f.fs, done: done, tag: tag, write: write, pass: pass}
 	if len(p) == 0 {
 		// Zero-length request: complete immediately, nothing to queue.
 		done <- Request{Tag: tag}
@@ -706,7 +730,7 @@ func (f *File) submit(p []byte, off int64, write, async bool, tag int, done chan
 	f.fs.mu.Unlock()
 	enqueue := func() {
 		for _, r := range reqs {
-			f.fs.drives[r.drive].reqCh <- r
+			f.fs.drives[r.drive].enqueue(r)
 		}
 	}
 	if async {
@@ -721,14 +745,25 @@ func (f *File) submit(p []byte, off int64, write, async bool, tag int, done chan
 // completion arrives. Each stripe-spanning piece is queued to its drive's
 // worker, so one request proceeds in parallel across drives.
 func (f *File) ReadAsync(p []byte, off int64, tag int, done chan<- Request) {
-	f.submit(p, off, false, true, tag, done)
+	f.submit(p, off, false, true, tag, done, nil)
 }
 
 // WriteAsync schedules an asynchronous write; semantics mirror ReadAsync.
 // The caller hands the buffer to the array until the completion arrives —
 // the engine's write-behind queue relies on this ownership transfer.
 func (f *File) WriteAsync(p []byte, off int64, tag int, done chan<- Request) {
-	f.submit(p, off, true, true, tag, done)
+	f.submit(p, off, true, true, tag, done, nil)
+}
+
+// ReadAsyncPass is ReadAsync with the I/O fair-queued under and attributed
+// to the given pass; a nil pass uses the drive's default queue.
+func (f *File) ReadAsyncPass(p []byte, off int64, tag int, done chan<- Request, pass *Pass) {
+	f.submit(p, off, false, true, tag, done, pass)
+}
+
+// WriteAsyncPass is WriteAsync with pass attribution.
+func (f *File) WriteAsyncPass(p []byte, off int64, tag int, done chan<- Request, pass *Pass) {
+	f.submit(p, off, true, true, tag, done, pass)
 }
 
 // ioReq is one stripe-granular I/O request queued to a drive worker.
@@ -739,6 +774,9 @@ type ioReq struct {
 	off   int64 // offset within the drive's segment file
 	write bool
 	comp  *completion
+	// pass tags the request for fair queueing and attribution (nil = the
+	// drive's default queue, pass id 0).
+	pass *Pass
 
 	// Integrity context: the global stripe this piece lives in, where that
 	// stripe starts in the segment, how many of its bytes are valid in the
@@ -749,18 +787,48 @@ type ioReq struct {
 	meta      *fileMeta
 }
 
+// passQueue is one pass's FIFO of pending requests on one drive, plus its
+// deficit-round-robin state. Queues are materialized on a pass's first
+// request and dropped when they drain, so the scheduler's round only ever
+// walks passes with work pending (the "active list" of classic DRR).
+type passQueue struct {
+	reqs    []ioReq
+	weight  int
+	deficit int
+}
+
+// drrQuantum is the byte credit added per DRR round per unit of weight.
+// A quarter stripe: small enough that a weight-1 pass interleaves within a
+// stripe-heavy burst from a heavier pass, large enough that any single
+// stripe piece (≤ 1 MiB) becomes affordable within a handful of rounds.
+const drrQuantum = 256 << 10
+
 // drive is one simulated SSD: a directory holding one segment file per
-// striped file, token buckets modelling its read and write bandwidth, and a
-// bounded request queue served by a dedicated I/O worker goroutine — the
-// per-SSD I/O thread of the real SAFS. Queue depth bounds the requests a
-// drive buffers before callers feel backpressure.
+// striped file, token buckets modelling its read and write bandwidth, and
+// per-pass request queues served by a dedicated I/O worker goroutine — the
+// per-SSD I/O thread of the real SAFS. The worker picks the next request by
+// weighted deficit round robin over the active passes, so concurrent
+// materialization passes share the drive's bandwidth in proportion to their
+// weights instead of first-come-first-served. Queue depth bounds the
+// requests each pass buffers on a drive before its submitters feel
+// backpressure (per-pass, so a backed-up pass cannot block another pass's
+// submissions).
 type drive struct {
 	id      int
 	dir     string
 	readTB  *tokenBucket
 	writeTB *tokenBucket
-	reqCh   chan ioReq
 	wg      sync.WaitGroup
+
+	// qmu guards the queue map and DRR state; qcond wakes the worker when
+	// work arrives and submitters when depth frees up or a queue drains.
+	qmu     sync.Mutex
+	qcond   *sync.Cond
+	queues  map[int64]*passQueue
+	order   []int64 // active passes in arrival order; rrPos indexes it
+	rrPos   int
+	closing bool
+	depth   int
 
 	// scratch is the worker-private full-stripe buffer for checksum
 	// verification and partial-stripe read-modify-checksum cycles.
@@ -773,30 +841,150 @@ type drive struct {
 }
 
 func newDrive(id int, dir string, readMBps, writeMBps float64, depth int) (*drive, error) {
-	d := &drive{id: id, dir: dir, open: make(map[string]*os.File)}
+	d := &drive{id: id, dir: dir, depth: depth, open: make(map[string]*os.File), queues: make(map[int64]*passQueue)}
+	d.qcond = sync.NewCond(&d.qmu)
 	if readMBps > 0 {
 		d.readTB = newTokenBucket(readMBps * 1024 * 1024)
 	}
 	if writeMBps > 0 {
 		d.writeTB = newTokenBucket(writeMBps * 1024 * 1024)
 	}
-	d.reqCh = make(chan ioReq, depth)
 	d.wg.Add(1)
 	go d.serve()
 	return d, nil
 }
 
-// serve is the drive's I/O worker: it drains the request queue in FIFO
-// order (preserving the sequential, merge-friendly access pattern the
-// engine's dispatch produces) until the channel is closed at FS shutdown.
+// passKey maps a request's pass to its queue key (nil pass shares queue 0).
+func passKey(p *Pass) (int64, int) {
+	if p == nil {
+		return 0, 1
+	}
+	return p.id, p.weight
+}
+
+// enqueue adds one request to its pass's queue on this drive, blocking while
+// that pass already has depth requests pending here (per-pass backpressure).
+func (d *drive) enqueue(r ioReq) {
+	key, weight := passKey(r.pass)
+	d.qmu.Lock()
+	for {
+		// The queue may be created, drained, and deleted between waits, so
+		// re-fetch it each iteration.
+		q := d.queues[key]
+		if q == nil || len(q.reqs) < d.depth {
+			break
+		}
+		d.qcond.Wait()
+	}
+	q := d.queues[key]
+	if q == nil {
+		// A pass (re)joins the active list with zero deficit — rejoining
+		// grants no credit for time spent idle, the classic DRR rule that
+		// keeps the scheme fair to continuously-backlogged passes.
+		q = &passQueue{weight: weight}
+		d.queues[key] = q
+		d.order = append(d.order, key)
+	}
+	q.reqs = append(q.reqs, r)
+	d.qmu.Unlock()
+	d.qcond.Broadcast()
+}
+
+// serve is the drive's I/O worker. Requests within one pass stay FIFO
+// (preserving the sequential, merge-friendly access pattern the engine's
+// dispatch produces); across passes the worker interleaves by weighted DRR.
 // Because one goroutine owns all I/O on this drive, per-stripe operations —
 // including the read-modify-checksum cycle of partial-stripe writes — are
 // naturally serialized.
 func (d *drive) serve() {
 	defer d.wg.Done()
-	for r := range d.reqCh {
+	for {
+		r, ok := d.nextReq()
+		if !ok {
+			return
+		}
 		r.comp.finish(d.process(r), len(r.buf))
 	}
+}
+
+// nextReq blocks until a request is schedulable or the drive is shutting
+// down (shutdown happens only after the FS has drained all submissions, so
+// closing implies the queues are empty).
+func (d *drive) nextReq() (ioReq, bool) {
+	d.qmu.Lock()
+	defer d.qmu.Unlock()
+	for {
+		if r, ok := d.popDRR(); ok {
+			// A slot freed in r's queue; wake any submitter blocked on depth.
+			d.qcond.Broadcast()
+			return r, true
+		}
+		if d.closing {
+			return ioReq{}, false
+		}
+		d.qcond.Wait()
+	}
+}
+
+// popDRR removes and returns the next request under weighted deficit round
+// robin. Caller holds qmu. Returns false when every queue is empty.
+func (d *drive) popDRR() (ioReq, bool) {
+	// Drop drained queues from the active list first so deficit top-ups only
+	// reach passes with work pending.
+	live := d.order[:0]
+	for _, key := range d.order {
+		if q := d.queues[key]; q != nil && len(q.reqs) > 0 {
+			live = append(live, key)
+		} else {
+			delete(d.queues, key)
+		}
+	}
+	d.order = live
+	if len(d.order) == 0 {
+		d.rrPos = 0
+		return ioReq{}, false
+	}
+	if d.rrPos >= len(d.order) {
+		d.rrPos = 0
+	}
+	for {
+		for i := 0; i < len(d.order); i++ {
+			idx := (d.rrPos + i) % len(d.order)
+			q := d.queues[d.order[idx]]
+			cost := len(q.reqs[0].buf)
+			if q.deficit < cost {
+				continue
+			}
+			q.deficit -= cost
+			r := q.reqs[0]
+			q.reqs[0] = ioReq{} // release buffer/completion references
+			q.reqs = q.reqs[1:]
+			if len(q.reqs) == 0 {
+				// A pass leaves the active list with its surplus forfeited;
+				// the queue itself is reaped on the next popDRR.
+				q.deficit = 0
+				d.rrPos = (idx + 1) % len(d.order)
+			} else {
+				d.rrPos = idx
+			}
+			return r, true
+		}
+		// No queue head is affordable: run one DRR round, crediting every
+		// active pass in proportion to its weight.
+		for _, key := range d.order {
+			q := d.queues[key]
+			q.deficit += drrQuantum * q.weight
+		}
+	}
+}
+
+// shutdown wakes the worker for exit. The FS calls this only after reqWG
+// has drained, so the queues are empty by the time closing is observed.
+func (d *drive) shutdown() {
+	d.qmu.Lock()
+	d.closing = true
+	d.qmu.Unlock()
+	d.qcond.Broadcast()
 }
 
 // process runs one piece with bounded retry and exponential backoff.
@@ -809,6 +997,9 @@ func (d *drive) process(r ioReq) error {
 	for attempt := 0; attempt <= fs.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
 			fs.retries.Add(1)
+			if r.pass != nil {
+				r.pass.retries.Add(1)
+			}
 			backoff := fs.cfg.RetryBackoff << (attempt - 1)
 			if backoff > time.Second {
 				backoff = time.Second
@@ -824,8 +1015,14 @@ func (d *drive) process(r ioReq) error {
 			if attempt > 0 {
 				if r.write {
 					fs.recoveredWrites.Add(1)
+					if r.pass != nil {
+						r.pass.recoveredWrites.Add(1)
+					}
 				} else {
 					fs.recoveredReads.Add(1)
+					if r.pass != nil {
+						r.pass.recoveredReads.Add(1)
+					}
 				}
 			}
 			return nil
@@ -900,9 +1097,16 @@ func (d *drive) readPiece(fs *FS, r ioReq) error {
 	}
 	t0 := time.Now()
 	got := crc32.Checksum(sc, crcTable)
-	fs.verifyNs.Add(time.Since(t0).Nanoseconds())
+	dt := time.Since(t0).Nanoseconds()
+	fs.verifyNs.Add(dt)
+	if r.pass != nil {
+		r.pass.verifyNs.Add(dt)
+	}
 	if got != want {
 		fs.checksumFails.Add(1)
+		if r.pass != nil {
+			r.pass.checksumFails.Add(1)
+		}
 		return &ChecksumError{Want: want, Got: got}
 	}
 	copy(r.buf, sc[r.off-r.stripeOff:])
@@ -944,7 +1148,11 @@ func (d *drive) writePiece(fs *FS, r ioReq) error {
 		copy(sc[r.off-r.stripeOff:], r.buf)
 		crc = crc32.Checksum(sc, crcTable)
 	}
-	fs.verifyNs.Add(time.Since(t0).Nanoseconds())
+	dt := time.Since(t0).Nanoseconds()
+	fs.verifyNs.Add(dt)
+	if r.pass != nil {
+		r.pass.verifyNs.Add(dt)
+	}
 	if flt == nil || !d.roll(flt.Seed, flt.DropWriteRate) {
 		if _, err := f.WriteAt(r.buf, r.off); err != nil {
 			return err

@@ -1,12 +1,19 @@
 package flashr
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/dense"
 )
+
+// Every operation in this file comes in two spellings: TryXxx returns
+// (*FM, error) and reports malformed input as a *Error; Xxx is the R-style
+// panicking shorthand, implemented as must(TryXxx(...)), whose panic value
+// is that same *Error. Use the Try* forms in long-running services, the
+// short forms in scripts and algorithms (as the paper's R code would).
 
 // operand normalizes an argument that may be an *FM or a Go number.
 type operand struct {
@@ -15,66 +22,88 @@ type operand struct {
 	isNum  bool
 }
 
-func asOperand(v any) operand {
+func tryAsOperand(op string, v any) (operand, error) {
 	switch t := v.(type) {
 	case *FM:
-		return operand{fm: t}
+		return operand{fm: t}, nil
 	case float64:
-		return operand{scalar: t, isNum: true}
+		return operand{scalar: t, isNum: true}, nil
 	case int:
-		return operand{scalar: float64(t), isNum: true}
+		return operand{scalar: float64(t), isNum: true}, nil
 	case int64:
-		return operand{scalar: float64(t), isNum: true}
+		return operand{scalar: float64(t), isNum: true}, nil
 	default:
-		panic(fmt.Sprintf("flashr: operand type %T (want *FM, float64 or int)", v))
+		return operand{}, errf(op, nil, "operand type %T (want *FM, float64 or int)", v)
 	}
 }
 
-// binOp implements every elementwise binary R function of Table 2: it
+// tryBinOp implements every elementwise binary R function of Table 2: it
 // dispatches on operand classes (big/small/scalar) and stays lazy whenever a
 // big matrix is involved.
-func binOp(x, y any, f *core.Binary) *FM {
-	a, b := asOperand(x), asOperand(y)
+func tryBinOp(op string, x, y any, f *core.Binary) (*FM, error) {
+	a, err := tryAsOperand(op, x)
+	if err != nil {
+		return nil, err
+	}
+	b, err := tryAsOperand(op, y)
+	if err != nil {
+		return nil, err
+	}
 	switch {
 	case a.isNum && b.isNum:
-		panic("flashr: binary op needs at least one matrix")
+		return nil, errf(op, nil, "binary op needs at least one matrix")
 	case a.isNum:
-		return scalarOp(b.fm, a.scalar, f, true)
+		return tryScalarOp(b.fm, a.scalar, f, true)
 	case b.isNum:
-		return scalarOp(a.fm, b.scalar, f, false)
+		return tryScalarOp(a.fm, b.scalar, f, false)
 	}
 	xa, yb := a.fm, b.fm
 	if xa.s != yb.s {
-		panic("flashr: operands belong to different sessions")
+		return nil, errf(op, nil, "operands belong to different sessions")
 	}
 	s := xa.s
 	// 1×1 operands degrade to scalars.
 	if r, c := yb.dims(); r == 1 && c == 1 && !yb.isBig() {
-		return scalarOp(xa, yb.mustSmall().Data[0], f, false)
+		d, err := yb.resolveSmall()
+		if err != nil {
+			return nil, err
+		}
+		return tryScalarOp(xa, d.Data[0], f, false)
 	}
 	if r, c := xa.dims(); r == 1 && c == 1 && !xa.isBig() {
-		return scalarOp(yb, xa.mustSmall().Data[0], f, true)
+		d, err := xa.resolveSmall()
+		if err != nil {
+			return nil, err
+		}
+		return tryScalarOp(yb, d.Data[0], f, true)
 	}
 	ar, ac := xa.dims()
 	br, bc := yb.dims()
 	if ar != br || ac != bc {
-		panic(fmt.Sprintf("flashr: elementwise op on %dx%d and %dx%d", ar, ac, br, bc))
+		return nil, errf(op, shapesOf(xa, yb), "elementwise shape mismatch")
 	}
 	switch {
 	case !xa.isBig() && !yb.isBig():
-		da, db := xa.mustSmall(), yb.mustSmall()
+		da, err := xa.resolveSmall()
+		if err != nil {
+			return nil, err
+		}
+		db, err := yb.resolveSmall()
+		if err != nil {
+			return nil, err
+		}
 		out := dense.New(da.R, da.C)
 		for i := range out.Data {
 			out.Data[i] = f.F(da.Data[i], db.Data[i])
 		}
-		return s.smallFM(out)
+		return s.smallFM(out), nil
 	case xa.isBig() && yb.isBig():
 		if xa.trans != yb.trans {
-			panic("flashr: elementwise op mixing a transposed and a non-transposed large matrix")
+			return nil, errf(op, shapesOf(xa, yb), "elementwise op mixing a transposed and a non-transposed large matrix")
 		}
 		out := s.bigFM(core.Mapply(xa.big, yb.big, f))
 		out.trans = xa.trans
-		return out
+		return out, nil
 	default:
 		// One big, one small with the same logical shape: promote the
 		// small one into the engine.
@@ -85,26 +114,29 @@ func binOp(x, y any, f *core.Binary) *FM {
 			swapped = true
 		}
 		if big.trans {
-			panic("flashr: elementwise op between transposed large matrix and small matrix")
+			return nil, errf(op, shapesOf(xa, yb), "elementwise op between transposed large matrix and small matrix")
 		}
 		pm, err := small.promote()
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		if swapped {
-			return s.bigFM(core.Mapply(pm, big.big, f))
+			return s.bigFM(core.Mapply(pm, big.big, f)), nil
 		}
-		return s.bigFM(core.Mapply(big.big, pm, f))
+		return s.bigFM(core.Mapply(big.big, pm, f)), nil
 	}
 }
 
-func scalarOp(x *FM, sc float64, f *core.Binary, scalarLeft bool) *FM {
+func tryScalarOp(x *FM, sc float64, f *core.Binary, scalarLeft bool) (*FM, error) {
 	if x.isBig() {
 		out := x.s.bigFM(core.MapplyScalar(x.big, sc, f, scalarLeft))
 		out.trans = x.trans
-		return out
+		return out, nil
 	}
-	d := x.mustSmall()
+	d, err := x.resolveSmall()
+	if err != nil {
+		return nil, err
+	}
 	out := dense.New(d.R, d.C)
 	for i, v := range d.Data {
 		if scalarLeft {
@@ -113,83 +145,143 @@ func scalarOp(x *FM, sc float64, f *core.Binary, scalarLeft bool) *FM {
 			out.Data[i] = f.F(v, sc)
 		}
 	}
-	return x.s.smallFM(out)
+	return x.s.smallFM(out), nil
 }
 
-// Add is R's "+" (elementwise; either argument may be a scalar).
-func Add(x, y any) *FM { return binOp(x, y, core.BinAdd) }
+// TryAdd is R's "+" (elementwise; either argument may be a scalar).
+func TryAdd(x, y any) (*FM, error) { return tryBinOp("add", x, y, core.BinAdd) }
 
-// Sub is R's "-".
-func Sub(x, y any) *FM { return binOp(x, y, core.BinSub) }
+// Add is TryAdd's panicking shorthand.
+func Add(x, y any) *FM { return must(TryAdd(x, y)) }
 
-// Mul is R's "*" (Hadamard product).
-func Mul(x, y any) *FM { return binOp(x, y, core.BinMul) }
+// TrySub is R's "-".
+func TrySub(x, y any) (*FM, error) { return tryBinOp("sub", x, y, core.BinSub) }
 
-// Div is R's "/".
-func Div(x, y any) *FM { return binOp(x, y, core.BinDiv) }
+// Sub is TrySub's panicking shorthand.
+func Sub(x, y any) *FM { return must(TrySub(x, y)) }
 
-// Pow is R's "^".
-func Pow(x, y any) *FM { return binOp(x, y, core.BinPow) }
+// TryMul is R's "*" (Hadamard product).
+func TryMul(x, y any) (*FM, error) { return tryBinOp("mul", x, y, core.BinMul) }
 
-// Mod is R's "%%".
-func Mod(x, y any) *FM { return binOp(x, y, core.BinMod) }
+// Mul is TryMul's panicking shorthand.
+func Mul(x, y any) *FM { return must(TryMul(x, y)) }
 
-// Pmin is R's pmin.
-func Pmin(x, y any) *FM { return binOp(x, y, core.BinPmin) }
+// TryDiv is R's "/".
+func TryDiv(x, y any) (*FM, error) { return tryBinOp("div", x, y, core.BinDiv) }
 
-// Pmax is R's pmax.
-func Pmax(x, y any) *FM { return binOp(x, y, core.BinPmax) }
+// Div is TryDiv's panicking shorthand.
+func Div(x, y any) *FM { return must(TryDiv(x, y)) }
 
-// Eq is R's "==" (1/0 valued result).
-func Eq(x, y any) *FM { return binOp(x, y, core.BinEq) }
+// TryPow is R's "^".
+func TryPow(x, y any) (*FM, error) { return tryBinOp("pow", x, y, core.BinPow) }
 
-// Ne is R's "!=".
-func Ne(x, y any) *FM { return binOp(x, y, core.BinNe) }
+// Pow is TryPow's panicking shorthand.
+func Pow(x, y any) *FM { return must(TryPow(x, y)) }
 
-// Lt is R's "<".
-func Lt(x, y any) *FM { return binOp(x, y, core.BinLt) }
+// TryMod is R's "%%".
+func TryMod(x, y any) (*FM, error) { return tryBinOp("mod", x, y, core.BinMod) }
 
-// Le is R's "<=".
-func Le(x, y any) *FM { return binOp(x, y, core.BinLe) }
+// Mod is TryMod's panicking shorthand.
+func Mod(x, y any) *FM { return must(TryMod(x, y)) }
 
-// Gt is R's ">".
-func Gt(x, y any) *FM { return binOp(x, y, core.BinGt) }
+// TryPmin is R's pmin.
+func TryPmin(x, y any) (*FM, error) { return tryBinOp("pmin", x, y, core.BinPmin) }
 
-// Ge is R's ">=".
-func Ge(x, y any) *FM { return binOp(x, y, core.BinGe) }
+// Pmin is TryPmin's panicking shorthand.
+func Pmin(x, y any) *FM { return must(TryPmin(x, y)) }
 
-// And is R's "&".
-func And(x, y any) *FM { return binOp(x, y, core.BinAnd) }
+// TryPmax is R's pmax.
+func TryPmax(x, y any) (*FM, error) { return tryBinOp("pmax", x, y, core.BinPmax) }
 
-// Or is R's "|".
-func Or(x, y any) *FM { return binOp(x, y, core.BinOr) }
+// Pmax is TryPmax's panicking shorthand.
+func Pmax(x, y any) *FM { return must(TryPmax(x, y)) }
 
-// Mapply is the binary GenOp with a named predefined function (Table 1).
-func Mapply(x, y any, fname string) *FM {
+// TryEq is R's "==" (1/0 valued result).
+func TryEq(x, y any) (*FM, error) { return tryBinOp("eq", x, y, core.BinEq) }
+
+// Eq is TryEq's panicking shorthand.
+func Eq(x, y any) *FM { return must(TryEq(x, y)) }
+
+// TryNe is R's "!=".
+func TryNe(x, y any) (*FM, error) { return tryBinOp("ne", x, y, core.BinNe) }
+
+// Ne is TryNe's panicking shorthand.
+func Ne(x, y any) *FM { return must(TryNe(x, y)) }
+
+// TryLt is R's "<".
+func TryLt(x, y any) (*FM, error) { return tryBinOp("lt", x, y, core.BinLt) }
+
+// Lt is TryLt's panicking shorthand.
+func Lt(x, y any) *FM { return must(TryLt(x, y)) }
+
+// TryLe is R's "<=".
+func TryLe(x, y any) (*FM, error) { return tryBinOp("le", x, y, core.BinLe) }
+
+// Le is TryLe's panicking shorthand.
+func Le(x, y any) *FM { return must(TryLe(x, y)) }
+
+// TryGt is R's ">".
+func TryGt(x, y any) (*FM, error) { return tryBinOp("gt", x, y, core.BinGt) }
+
+// Gt is TryGt's panicking shorthand.
+func Gt(x, y any) *FM { return must(TryGt(x, y)) }
+
+// TryGe is R's ">=".
+func TryGe(x, y any) (*FM, error) { return tryBinOp("ge", x, y, core.BinGe) }
+
+// Ge is TryGe's panicking shorthand.
+func Ge(x, y any) *FM { return must(TryGe(x, y)) }
+
+// TryAnd is R's "&".
+func TryAnd(x, y any) (*FM, error) { return tryBinOp("and", x, y, core.BinAnd) }
+
+// And is TryAnd's panicking shorthand.
+func And(x, y any) *FM { return must(TryAnd(x, y)) }
+
+// TryOr is R's "|".
+func TryOr(x, y any) (*FM, error) { return tryBinOp("or", x, y, core.BinOr) }
+
+// Or is TryOr's panicking shorthand.
+func Or(x, y any) *FM { return must(TryOr(x, y)) }
+
+// TryMapply is the binary GenOp with a named predefined function (Table 1).
+func TryMapply(x, y any, fname string) (*FM, error) {
 	f, err := core.LookupBinary(fname)
 	if err != nil {
-		panic(err)
+		return nil, errf("mapply", nil, "unknown binary function %q", fname)
 	}
-	return binOp(x, y, f)
+	return tryBinOp("mapply", x, y, f)
 }
 
-func unOp(x *FM, f *core.Unary) *FM {
+// Mapply is TryMapply's panicking shorthand.
+func Mapply(x, y any, fname string) *FM { return must(TryMapply(x, y, fname)) }
+
+func tryUnOp(x *FM, f *core.Unary) (*FM, error) {
 	if x.isBig() {
 		out := x.s.bigFM(core.Sapply(x.big, f))
 		out.trans = x.trans
-		return out
+		return out, nil
 	}
-	return x.s.smallFM(x.mustSmall().Apply(f.F))
+	d, err := x.resolveSmall()
+	if err != nil {
+		return nil, err
+	}
+	return x.s.smallFM(d.Apply(f.F)), nil
 }
 
-// Sapply is the unary GenOp with a named predefined function.
-func Sapply(x *FM, fname string) *FM {
+func unOp(x *FM, f *core.Unary) *FM { return must(tryUnOp(x, f)) }
+
+// TrySapply is the unary GenOp with a named predefined function.
+func TrySapply(x *FM, fname string) (*FM, error) {
 	f, err := core.LookupUnary(fname)
 	if err != nil {
-		panic(err)
+		return nil, errf("sapply", nil, "unknown unary function %q", fname)
 	}
-	return unOp(x, f)
+	return tryUnOp(x, f)
 }
+
+// Sapply is TrySapply's panicking shorthand.
+func Sapply(x *FM, fname string) *FM { return must(TrySapply(x, fname)) }
 
 // Neg is unary "-".
 func Neg(x *FM) *FM { return unOp(x, core.UnaryNeg) }
@@ -230,25 +322,33 @@ func Sigmoid(x *FM) *FM { return unOp(x, core.UnarySigmoid) }
 // Square computes x*x.
 func Square(x *FM) *FM { return unOp(x, core.UnarySquare) }
 
-// aggF builds the full-matrix aggregation, lazily for big matrices.
-func aggF(x *FM, f *core.AggFunc) *FM {
+// tryAggF builds the full-matrix aggregation, lazily for big matrices.
+func tryAggF(x *FM, f *core.AggFunc) (*FM, error) {
 	if x.isBig() {
-		return x.s.sinkFM(core.Agg(x.big, f))
+		return x.s.sinkFM(core.Agg(x.big, f)), nil
 	}
-	d := x.mustSmall()
+	d, err := x.resolveSmall()
+	if err != nil {
+		return nil, err
+	}
 	acc := f.Init
 	acc = f.StepV(acc, d.Data)
-	return x.s.smallFM(dense.FromSlice(1, 1, []float64{acc}))
+	return x.s.smallFM(dense.FromSlice(1, 1, []float64{acc})), nil
 }
 
-// Agg is agg(A, f) from Table 1: a scalar fold with a named function.
-func Agg(x *FM, fname string) *FM {
+func aggF(x *FM, f *core.AggFunc) *FM { return must(tryAggF(x, f)) }
+
+// TryAgg is agg(A, f) from Table 1: a scalar fold with a named function.
+func TryAgg(x *FM, fname string) (*FM, error) {
 	f, err := core.LookupAgg(fname)
 	if err != nil {
-		panic(err)
+		return nil, errf("agg", nil, "unknown aggregation function %q", fname)
 	}
-	return aggF(x, f)
+	return tryAggF(x, f)
 }
+
+// Agg is TryAgg's panicking shorthand.
+func Agg(x *FM, fname string) *FM { return must(TryAgg(x, fname)) }
 
 // Sum is R's sum; the result is a lazy 1×1 matrix (force with Float or
 // AsVector, as the paper's examples do).
@@ -274,7 +374,7 @@ func Mean(x *FM) *FM { return Div(Sum(x), float64(x.Length())) }
 
 // RowSums aggregates every row; on a tall matrix this keeps the partition
 // dimension (an n×1 tall matrix).
-func RowSums(x *FM) *FM { return aggRowF(x, core.AggSum) }
+func RowSums(x *FM) *FM { return must(tryAggRowF(x, core.AggSum)) }
 
 // RowMeans is R's rowMeans.
 func RowMeans(x *FM) *FM {
@@ -284,7 +384,7 @@ func RowMeans(x *FM) *FM {
 
 // ColSums aggregates every column; on a tall matrix the result is a sink
 // (1×p, held in memory).
-func ColSums(x *FM) *FM { return aggColF(x, core.AggSum) }
+func ColSums(x *FM) *FM { return must(tryAggColF(x, core.AggSum)) }
 
 // ColMeans is R's colMeans.
 func ColMeans(x *FM) *FM {
@@ -292,48 +392,60 @@ func ColMeans(x *FM) *FM {
 	return Div(ColSums(x), float64(r))
 }
 
-// AggRow is agg.row(A, f) with a named function.
-func AggRow(x *FM, fname string) *FM {
+// TryAggRow is agg.row(A, f) with a named function.
+func TryAggRow(x *FM, fname string) (*FM, error) {
 	f, err := core.LookupAgg(fname)
 	if err != nil {
-		panic(err)
+		return nil, errf("agg.row", nil, "unknown aggregation function %q", fname)
 	}
-	return aggRowF(x, f)
+	return tryAggRowF(x, f)
 }
 
-// AggCol is agg.col(A, f) with a named function.
-func AggCol(x *FM, fname string) *FM {
+// AggRow is TryAggRow's panicking shorthand.
+func AggRow(x *FM, fname string) *FM { return must(TryAggRow(x, fname)) }
+
+// TryAggCol is agg.col(A, f) with a named function.
+func TryAggCol(x *FM, fname string) (*FM, error) {
 	f, err := core.LookupAgg(fname)
 	if err != nil {
-		panic(err)
+		return nil, errf("agg.col", nil, "unknown aggregation function %q", fname)
 	}
-	return aggColF(x, f)
+	return tryAggColF(x, f)
 }
 
-func aggRowF(x *FM, f *core.AggFunc) *FM {
+// AggCol is TryAggCol's panicking shorthand.
+func AggCol(x *FM, fname string) *FM { return must(TryAggCol(x, fname)) }
+
+func tryAggRowF(x *FM, f *core.AggFunc) (*FM, error) {
 	if x.isBig() {
 		if x.trans {
 			// Rows of the transpose are columns of the original.
-			return x.s.sinkFM(core.AggCol(x.big, f)).T()
+			return x.s.sinkFM(core.AggCol(x.big, f)).T(), nil
 		}
-		return x.s.bigFM(core.AggRow(x.big, f))
+		return x.s.bigFM(core.AggRow(x.big, f)), nil
 	}
-	d := x.mustSmall()
+	d, err := x.resolveSmall()
+	if err != nil {
+		return nil, err
+	}
 	out := dense.New(d.R, 1)
 	for i := 0; i < d.R; i++ {
 		out.Data[i] = f.StepV(f.Init, d.Row(i))
 	}
-	return x.s.smallFM(out)
+	return x.s.smallFM(out), nil
 }
 
-func aggColF(x *FM, f *core.AggFunc) *FM {
+func tryAggColF(x *FM, f *core.AggFunc) (*FM, error) {
 	if x.isBig() {
 		if x.trans {
-			return x.s.bigFM(core.AggRow(x.big, f)).T()
+			return x.s.bigFM(core.AggRow(x.big, f)).T(), nil
 		}
-		return x.s.sinkFM(core.AggCol(x.big, f))
+		return x.s.sinkFM(core.AggCol(x.big, f)), nil
 	}
-	d := x.mustSmall()
+	d, err := x.resolveSmall()
+	if err != nil {
+		return nil, err
+	}
 	out := dense.New(1, d.C)
 	for j := 0; j < d.C; j++ {
 		acc := f.Init
@@ -342,80 +454,102 @@ func aggColF(x *FM, f *core.AggFunc) *FM {
 		}
 		out.Data[j] = acc
 	}
-	return x.s.smallFM(out)
+	return x.s.smallFM(out), nil
 }
 
-// RowWhichMin returns the 0-based index of each row's minimum (R's
+// TryRowWhichMin returns the 0-based index of each row's minimum (R's
 // which.min per row, shifted to 0-based so the result feeds GroupByRow
 // directly).
-func RowWhichMin(x *FM) *FM {
+func TryRowWhichMin(x *FM) (*FM, error) {
 	if !x.isBig() || x.trans {
-		panic("flashr: RowWhichMin needs a non-transposed large matrix")
+		return nil, errf("row.which.min", shapesOf(x), "needs a non-transposed large matrix")
 	}
-	return x.s.bigFM(core.WhichMinRow(x.big))
+	return x.s.bigFM(core.WhichMinRow(x.big)), nil
 }
 
-// RowWhichMax returns the 0-based index of each row's maximum.
-func RowWhichMax(x *FM) *FM {
+// RowWhichMin is TryRowWhichMin's panicking shorthand.
+func RowWhichMin(x *FM) *FM { return must(TryRowWhichMin(x)) }
+
+// TryRowWhichMax returns the 0-based index of each row's maximum.
+func TryRowWhichMax(x *FM) (*FM, error) {
 	if !x.isBig() || x.trans {
-		panic("flashr: RowWhichMax needs a non-transposed large matrix")
+		return nil, errf("row.which.max", shapesOf(x), "needs a non-transposed large matrix")
 	}
-	return x.s.bigFM(core.WhichMaxRow(x.big))
+	return x.s.bigFM(core.WhichMaxRow(x.big)), nil
 }
 
-// GroupByRow is groupby.row(A, B, f): rows of x grouped by the n×1 label
+// RowWhichMax is TryRowWhichMax's panicking shorthand.
+func RowWhichMax(x *FM) *FM { return must(TryRowWhichMax(x)) }
+
+// TryGroupByRow is groupby.row(A, B, f): rows of x grouped by the n×1 label
 // matrix (0-based labels in [0,k)) and aggregated per column into a k×p sink.
-func GroupByRow(x, labels *FM, k int, fname string) *FM {
+func TryGroupByRow(x, labels *FM, k int, fname string) (*FM, error) {
 	f, err := core.LookupAgg(fname)
 	if err != nil {
-		panic(err)
+		return nil, errf("groupby.row", nil, "unknown aggregation function %q", fname)
 	}
 	if !x.isBig() || x.trans {
-		panic("flashr: GroupByRow needs a non-transposed large matrix")
+		return nil, errf("groupby.row", shapesOf(x), "needs a non-transposed large matrix")
 	}
 	lb, err := labels.promote()
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
-	return x.s.sinkFM(core.GroupByRow(x.big, lb, k, f))
+	return x.s.sinkFM(core.GroupByRow(x.big, lb, k, f)), nil
 }
 
-// GroupByCol is groupby.col(A, B, f): columns grouped by labels[j] ∈ [0,k),
-// aggregated within each row; the n×k result keeps the partition dimension.
-func GroupByCol(x *FM, labels []int, k int, fname string) *FM {
+// GroupByRow is TryGroupByRow's panicking shorthand.
+func GroupByRow(x, labels *FM, k int, fname string) *FM {
+	return must(TryGroupByRow(x, labels, k, fname))
+}
+
+// TryGroupByCol is groupby.col(A, B, f): columns grouped by labels[j] ∈
+// [0,k), aggregated within each row; the n×k result keeps the partition
+// dimension.
+func TryGroupByCol(x *FM, labels []int, k int, fname string) (*FM, error) {
 	f, err := core.LookupAgg(fname)
 	if err != nil {
-		panic(err)
+		return nil, errf("groupby.col", nil, "unknown aggregation function %q", fname)
 	}
 	if !x.isBig() || x.trans {
-		panic("flashr: GroupByCol needs a non-transposed large matrix")
+		return nil, errf("groupby.col", shapesOf(x), "needs a non-transposed large matrix")
 	}
-	return x.s.bigFM(core.GroupByCol(x.big, labels, k, f))
+	return x.s.bigFM(core.GroupByCol(x.big, labels, k, f)), nil
 }
 
-// InnerProd is the generalized matrix multiplication GenOp: x (tall n×p)
+// GroupByCol is TryGroupByCol's panicking shorthand.
+func GroupByCol(x *FM, labels []int, k int, fname string) *FM {
+	return must(TryGroupByCol(x, labels, k, fname))
+}
+
+// TryInnerProd is the generalized matrix multiplication GenOp: x (tall n×p)
 // against a small matrix y (p×m), with named f1/f2 (e.g. "euclidean", "+"
 // computes squared distances as in the paper's k-means).
-func InnerProd(x, y *FM, f1name, f2name string) *FM {
+func TryInnerProd(x, y *FM, f1name, f2name string) (*FM, error) {
 	f1, err := core.LookupBinary(f1name)
 	if err != nil {
-		panic(err)
+		return nil, errf("inner.prod", nil, "unknown binary function %q", f1name)
 	}
 	f2, err := core.LookupBinary(f2name)
 	if err != nil {
-		panic(err)
+		return nil, errf("inner.prod", nil, "unknown binary function %q", f2name)
 	}
 	if !x.isBig() || x.trans {
-		panic("flashr: InnerProd needs a non-transposed large left operand")
+		return nil, errf("inner.prod", shapesOf(x, y), "needs a non-transposed large left operand")
 	}
 	d, err := y.resolveSmall()
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
-	return x.s.bigFM(core.InnerProd(x.big, d, f1, f2))
+	return x.s.bigFM(core.InnerProd(x.big, d, f1, f2)), nil
 }
 
-// MatMul is R's %*%. Supported operand shapes mirror how the paper's
+// InnerProd is TryInnerProd's panicking shorthand.
+func InnerProd(x, y *FM, f1name, f2name string) *FM {
+	return must(TryInnerProd(x, y, f1name, f2name))
+}
+
+// TryMatMul is R's %*%. Supported operand shapes mirror how the paper's
 // algorithms use multiplication on tall data:
 //
 //   - big %*% small           → streaming inner product (n×m tall result)
@@ -426,59 +560,72 @@ func InnerProd(x, y *FM, f1name, f2name string) *FM {
 //
 // Float matrices use the BLAS kernel; integer matrices use the generalized
 // inner-product GenOp, per Table 2.
-func MatMul(x, y *FM) *FM {
+func TryMatMul(x, y *FM) (*FM, error) {
+	const op = "%*%"
 	s := x.s
 	switch {
 	case x.isBig() && !x.trans:
 		// Right operand must be small (p×m).
 		d, err := y.resolveSmall()
 		if err != nil {
-			panic(fmt.Sprintf("flashr: %%*%% of two tall matrices is t(A)%%*%%B-shaped only: %v", err))
+			return nil, errf(op, shapesOf(x, y), "of two tall matrices is t(A)%%*%%B-shaped only")
 		}
 		if int64(d.R) != x.NCol() {
-			panic(fmt.Sprintf("flashr: %%*%% dims %dx%d by %dx%d", x.NRow(), x.NCol(), d.R, d.C))
+			return nil, errf(op, shapesOf(x, y), "dimension mismatch")
 		}
-		return s.bigFM(core.InnerProd(x.big, d, mmF1(x), mmF2(x)))
+		return s.bigFM(core.InnerProd(x.big, d, mmF1(x), mmF2(x))), nil
 	case x.isBig() && x.trans:
 		// t(A) %*% B with B tall: crossprod sink.
 		if y.isBig() && !y.trans {
 			if x.big.NRow() != y.big.NRow() {
-				panic("flashr: crossprod row mismatch")
+				return nil, errf(op, shapesOf(x, y), "crossprod row mismatch")
 			}
-			return s.sinkFM(core.CrossProd(x.big, y.big, mmF1(x), mmF2(x)))
+			return s.sinkFM(core.CrossProd(x.big, y.big, mmF1(x), mmF2(x))), nil
 		}
 		if !y.isBig() {
-			d := y.mustSmall()
+			d, err := y.resolveSmall()
+			if err != nil {
+				return nil, err
+			}
 			if int64(d.R) != x.big.NRow() {
-				panic(fmt.Sprintf("flashr: %%*%% dims %dx%d by %dx%d", x.NRow(), x.NCol(), d.R, d.C))
+				return nil, errf(op, shapesOf(x, y), "dimension mismatch")
 			}
 			// t(A) %*% small: promote the small right operand.
 			pm, err := y.promote()
 			if err != nil {
-				panic(err)
+				return nil, err
 			}
-			return s.sinkFM(core.CrossProd(x.big, pm, mmF1(x), mmF2(x)))
+			return s.sinkFM(core.CrossProd(x.big, pm, mmF1(x), mmF2(x))), nil
 		}
-		panic("flashr: t(A) %*% t(B) on two tall matrices not supported")
+		return nil, errf(op, shapesOf(x, y), "t(A) %%*%% t(B) on two tall matrices not supported")
 	default:
 		// Small left operand.
-		da := x.mustSmall()
+		da, err := x.resolveSmall()
+		if err != nil {
+			return nil, err
+		}
 		if !y.isBig() {
-			db := y.mustSmall()
-			if da.C != db.R {
-				panic(fmt.Sprintf("flashr: %%*%% dims %dx%d by %dx%d", da.R, da.C, db.R, db.C))
+			db, err := y.resolveSmall()
+			if err != nil {
+				return nil, err
 			}
-			return s.smallFM(dense.MatMul(da, db))
+			if da.C != db.R {
+				return nil, errf(op, shapesOf(x, y), "dimension mismatch")
+			}
+			return s.smallFM(dense.MatMul(da, db)), nil
 		}
 		if y.trans {
 			// small(m×p) %*% t(big n×p) = t( big %*% t(small) ): stream.
 			ip := core.InnerProd(y.big, da.T(), mmF1(y), mmF2(y))
 			out := s.bigFM(ip)
-			return out.T()
+			return out.T(), nil
 		}
-		panic("flashr: small %*% tall is shape-invalid")
+		return nil, errf(op, shapesOf(x, y), "small %%*%% tall is shape-invalid")
 	}
 }
+
+// MatMul is TryMatMul's panicking shorthand.
+func MatMul(x, y *FM) *FM { return must(TryMatMul(x, y)) }
 
 // mmF1/mmF2 select the multiply kernel per Table 2: BLAS (nil) for floats,
 // the generalized GenOp for integer matrices.
@@ -496,70 +643,90 @@ func mmF2(x *FM) *core.Binary {
 	return nil
 }
 
-// CrossProd computes t(x) %*% x (R's crossprod), a p×p sink on tall input.
-func CrossProd(x *FM) *FM { return CrossProd2(x, x) }
+// TryCrossProd computes t(x) %*% x (R's crossprod), a p×p sink on tall input.
+func TryCrossProd(x *FM) (*FM, error) { return TryCrossProd2(x, x) }
 
-// CrossProd2 computes t(x) %*% y.
-func CrossProd2(x, y *FM) *FM {
+// CrossProd is TryCrossProd's panicking shorthand.
+func CrossProd(x *FM) *FM { return must(TryCrossProd(x)) }
+
+// TryCrossProd2 computes t(x) %*% y.
+func TryCrossProd2(x, y *FM) (*FM, error) {
 	if x.isBig() && y.isBig() && !x.trans && !y.trans {
-		return x.s.sinkFM(core.CrossProd(x.big, y.big, mmF1(x), mmF2(x)))
+		if x.big.NRow() != y.big.NRow() {
+			return nil, errf("crossprod", shapesOf(x, y), "row mismatch")
+		}
+		return x.s.sinkFM(core.CrossProd(x.big, y.big, mmF1(x), mmF2(x))), nil
 	}
-	return MatMul(x.T(), y)
+	return TryMatMul(x.T(), y)
 }
 
-// Sweep is R's sweep(x, margin, v, f): margin 2 sweeps a length-p vector
+// CrossProd2 is TryCrossProd2's panicking shorthand.
+func CrossProd2(x, y *FM) *FM { return must(TryCrossProd2(x, y)) }
+
+// TrySweep is R's sweep(x, margin, v, f): margin 2 sweeps a length-p vector
 // along every row; margin 1 sweeps a length-n vector (an n×1 matrix,
 // possibly tall) down every column.
-func Sweep(x *FM, margin int, v *FM, fname string) *FM {
+func TrySweep(x *FM, margin int, v *FM, fname string) (*FM, error) {
 	f, err := core.LookupBinary(fname)
 	if err != nil {
-		panic(err)
+		return nil, errf("sweep", nil, "unknown binary function %q", fname)
+	}
+	if margin != 1 && margin != 2 {
+		return nil, errf("sweep", shapesOf(x, v), "margin must be 1 or 2, got %d", margin)
 	}
 	if !x.isBig() {
-		d := x.mustSmall()
-		vd := v.mustSmall()
-		switch margin {
-		case 2:
-			return x.s.smallFM(d.SweepRows(vd.Data, f.F))
-		case 1:
-			return x.s.smallFM(d.SweepCols(vd.Data, f.F))
+		d, err := x.resolveSmall()
+		if err != nil {
+			return nil, err
 		}
-		panic("flashr: sweep margin must be 1 or 2")
-	}
-	if x.trans {
-		panic("flashr: sweep on transposed large matrix")
-	}
-	switch margin {
-	case 2:
 		vd, err := v.resolveSmall()
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
-		return x.s.bigFM(core.MapplyRowVec(x.big, vd.Data, f, false))
-	case 1:
-		vb, err := v.promote()
-		if err != nil {
-			panic(err)
+		if margin == 2 {
+			return x.s.smallFM(d.SweepRows(vd.Data, f.F)), nil
 		}
-		return x.s.bigFM(core.MapplyColVec(x.big, vb, f, false))
+		return x.s.smallFM(d.SweepCols(vd.Data, f.F)), nil
 	}
-	panic("flashr: sweep margin must be 1 or 2")
+	if x.trans {
+		return nil, errf("sweep", shapesOf(x, v), "sweep on transposed large matrix")
+	}
+	if margin == 2 {
+		vd, err := v.resolveSmall()
+		if err != nil {
+			return nil, err
+		}
+		return x.s.bigFM(core.MapplyRowVec(x.big, vd.Data, f, false)), nil
+	}
+	vb, err := v.promote()
+	if err != nil {
+		return nil, err
+	}
+	return x.s.bigFM(core.MapplyColVec(x.big, vb, f, false)), nil
 }
 
-// CumCol is the cumulative GenOp down each column (R's cumsum semantics per
-// column on a matrix) with a named function.
-func CumCol(x *FM, fname string) *FM {
+// Sweep is TrySweep's panicking shorthand.
+func Sweep(x *FM, margin int, v *FM, fname string) *FM {
+	return must(TrySweep(x, margin, v, fname))
+}
+
+// TryCumCol is the cumulative GenOp down each column (R's cumsum semantics
+// per column on a matrix) with a named function.
+func TryCumCol(x *FM, fname string) (*FM, error) {
 	f, err := core.LookupAgg(fname)
 	if err != nil {
-		panic(err)
+		return nil, errf("cum.col", nil, "unknown aggregation function %q", fname)
 	}
 	if x.isBig() {
 		if x.trans {
-			return x.s.bigFM(core.CumRow(x.big, f)).T()
+			return x.s.bigFM(core.CumRow(x.big, f)).T(), nil
 		}
-		return x.s.bigFM(core.CumCol(x.big, f))
+		return x.s.bigFM(core.CumCol(x.big, f)), nil
 	}
-	d := x.mustSmall()
+	d, err := x.resolveSmall()
+	if err != nil {
+		return nil, err
+	}
 	out := dense.New(d.R, d.C)
 	run := make([]float64, d.C)
 	for j := range run {
@@ -571,92 +738,128 @@ func CumCol(x *FM, fname string) *FM {
 			out.Set(i, j, run[j])
 		}
 	}
-	return x.s.smallFM(out)
+	return x.s.smallFM(out), nil
 }
 
-// CumRow is the cumulative GenOp along each row.
-func CumRow(x *FM, fname string) *FM {
+// CumCol is TryCumCol's panicking shorthand.
+func CumCol(x *FM, fname string) *FM { return must(TryCumCol(x, fname)) }
+
+// TryCumRow is the cumulative GenOp along each row.
+func TryCumRow(x *FM, fname string) (*FM, error) {
 	f, err := core.LookupAgg(fname)
 	if err != nil {
-		panic(err)
+		return nil, errf("cum.row", nil, "unknown aggregation function %q", fname)
 	}
 	if x.isBig() {
 		if x.trans {
-			return x.s.bigFM(core.CumCol(x.big, f)).T()
+			return x.s.bigFM(core.CumCol(x.big, f)).T(), nil
 		}
-		return x.s.bigFM(core.CumRow(x.big, f))
+		return x.s.bigFM(core.CumRow(x.big, f)), nil
 	}
-	return CumCol(x.T(), fname).T()
+	out, err := TryCumCol(x.T(), fname)
+	if err != nil {
+		return nil, err
+	}
+	return out.T(), nil
 }
+
+// CumRow is TryCumRow's panicking shorthand.
+func CumRow(x *FM, fname string) *FM { return must(TryCumRow(x, fname)) }
 
 // Cumsum on a one-column matrix (R's cumsum on a vector).
 func Cumsum(x *FM) *FM { return CumCol(x, "+") }
 
-// GetCols selects columns (R's x[, idx]); on tall matrices this is a
+// TryGetCols selects columns (R's x[, idx]); on tall matrices this is a
 // virtual view whose blocked storage reads only the touched column blocks.
-func GetCols(x *FM, cols []int) *FM {
+func TryGetCols(x *FM, cols []int) (*FM, error) {
+	_, nc := x.dims()
+	for _, c := range cols {
+		if c < 0 || int64(c) >= nc {
+			return nil, errf("get.cols", shapesOf(x), "column %d out of range [0,%d)", c, nc)
+		}
+	}
 	if x.isBig() {
 		if x.trans {
-			panic("flashr: GetCols on transposed large matrix (select rows instead)")
+			return nil, errf("get.cols", shapesOf(x), "on transposed large matrix (select rows instead)")
 		}
-		return x.s.bigFM(core.Cols(x.big, cols))
+		return x.s.bigFM(core.Cols(x.big, cols)), nil
 	}
-	d := x.mustSmall()
+	d, err := x.resolveSmall()
+	if err != nil {
+		return nil, err
+	}
 	out := dense.New(d.R, len(cols))
 	for i := 0; i < d.R; i++ {
 		for j, c := range cols {
 			out.Set(i, j, d.At(i, c))
 		}
 	}
-	return x.s.smallFM(out)
+	return x.s.smallFM(out), nil
 }
+
+// GetCols is TryGetCols's panicking shorthand.
+func GetCols(x *FM, cols []int) *FM { return must(TryGetCols(x, cols)) }
 
 // GetCol selects a single column as an n×1 matrix.
 func GetCol(x *FM, j int) *FM { return GetCols(x, []int{j}) }
 
-// Cbind concatenates matrices column-wise (R's cbind).
-func Cbind(xs ...*FM) *FM {
+// TryCbind concatenates matrices column-wise (R's cbind).
+func TryCbind(xs ...*FM) (*FM, error) {
 	if len(xs) == 0 {
-		panic("flashr: cbind of nothing")
+		return nil, errf("cbind", nil, "cbind of nothing")
 	}
 	out := xs[0]
 	for _, x := range xs[1:] {
-		out = cbind2(out, x)
+		var err error
+		out, err = tryCbind2(out, x)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return out
+	return out, nil
 }
 
-func cbind2(x, y *FM) *FM {
+// Cbind is TryCbind's panicking shorthand.
+func Cbind(xs ...*FM) *FM { return must(TryCbind(xs...)) }
+
+func tryCbind2(x, y *FM) (*FM, error) {
+	if x.NRow() != y.NRow() {
+		return nil, errf("cbind", shapesOf(x, y), "row mismatch")
+	}
 	if x.isBig() || y.isBig() {
 		xb, err := x.promote()
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		yb, err := y.promote()
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
-		return x.s.bigFM(core.Cbind2(xb, yb))
+		return x.s.bigFM(core.Cbind2(xb, yb)), nil
 	}
-	dx, dy := x.mustSmall(), y.mustSmall()
-	if dx.R != dy.R {
-		panic("flashr: cbind row mismatch")
+	dx, err := x.resolveSmall()
+	if err != nil {
+		return nil, err
+	}
+	dy, err := y.resolveSmall()
+	if err != nil {
+		return nil, err
 	}
 	out := dense.New(dx.R, dx.C+dy.C)
 	for i := 0; i < dx.R; i++ {
 		copy(out.Row(i)[:dx.C], dx.Row(i))
 		copy(out.Row(i)[dx.C:], dy.Row(i))
 	}
-	return x.s.smallFM(out)
+	return x.s.smallFM(out), nil
 }
 
-// Rbind concatenates matrices row-wise (R's rbind). Tall operands are
+// TryRbind concatenates matrices row-wise (R's rbind). Tall operands are
 // materialized and copied into a fresh store (the paper treats large matrix
 // modification as out of scope, citing TileDB-style fragments as future
 // work; a copy preserves semantics).
-func Rbind(xs ...*FM) *FM {
+func TryRbind(xs ...*FM) (*FM, error) {
 	if len(xs) == 0 {
-		panic("flashr: rbind of nothing")
+		return nil, errf("rbind", nil, "rbind of nothing")
 	}
 	s := xs[0].s
 	anyBig := false
@@ -664,7 +867,7 @@ func Rbind(xs ...*FM) *FM {
 	cols := xs[0].NCol()
 	for _, x := range xs {
 		if x.NCol() != cols {
-			panic("flashr: rbind column mismatch")
+			return nil, errf("rbind", shapesOf(xs...), "column mismatch")
 		}
 		totalRows += x.NRow()
 		anyBig = anyBig || x.isBig()
@@ -672,18 +875,21 @@ func Rbind(xs ...*FM) *FM {
 	if !anyBig {
 		rows := make([][]float64, 0, totalRows)
 		for _, x := range xs {
-			d := x.mustSmall()
+			d, err := x.resolveSmall()
+			if err != nil {
+				return nil, err
+			}
 			for i := 0; i < d.R; i++ {
 				rows = append(rows, d.Row(i))
 			}
 		}
-		return s.smallFM(dense.FromRows(rows))
+		return s.smallFM(dense.FromRows(rows)), nil
 	}
 	parts := make([]*dense.Dense, len(xs))
 	for i, x := range xs {
 		d, err := x.AsDense()
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		parts[i] = d
 	}
@@ -693,37 +899,52 @@ func Rbind(xs ...*FM) *FM {
 		copy(big.Data[off:], d.Data)
 		off += len(d.Data)
 	}
-	out, err := s.FromDense(big)
-	if err != nil {
-		panic(err)
-	}
-	return out
+	return s.FromDense(big)
 }
 
-// SetCols is the functional form of R's `x[, cols] <- v`: it returns x with
-// the given columns replaced by the columns of v. On tall matrices the
+// Rbind is TryRbind's panicking shorthand.
+func Rbind(xs ...*FM) *FM { return must(TryRbind(xs...)) }
+
+// TrySetCols is the functional form of R's `x[, cols] <- v`: it returns x
+// with the given columns replaced by the columns of v. On tall matrices the
 // result is a virtual matrix constructed on the fly (§3.1 of the paper); no
 // copy of x is materialized.
-func SetCols(x *FM, cols []int, v *FM) *FM {
+func TrySetCols(x *FM, cols []int, v *FM) (*FM, error) {
+	_, nc := x.dims()
+	for _, c := range cols {
+		if c < 0 || int64(c) >= nc {
+			return nil, errf("set.cols", shapesOf(x, v), "column %d out of range [0,%d)", c, nc)
+		}
+	}
 	if x.isBig() {
 		if x.trans {
-			panic("flashr: SetCols on transposed large matrix")
+			return nil, errf("set.cols", shapesOf(x, v), "on transposed large matrix")
 		}
 		vb, err := v.promote()
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
-		return x.s.bigFM(core.SetCols(x.big, vb, cols))
+		return x.s.bigFM(core.SetCols(x.big, vb, cols)), nil
 	}
-	d := x.mustSmall().Clone()
-	vd := v.mustSmall()
+	d, err := x.resolveSmall()
+	if err != nil {
+		return nil, err
+	}
+	vd, err := v.resolveSmall()
+	if err != nil {
+		return nil, err
+	}
+	d = d.Clone()
 	for i := 0; i < d.R; i++ {
 		for j, c := range cols {
 			d.Set(i, c, vd.At(i, j))
 		}
 	}
-	return x.s.smallFM(d)
+	return x.s.smallFM(d), nil
 }
+
+// SetCols is TrySetCols's panicking shorthand.
+func SetCols(x *FM, cols []int, v *FM) *FM { return must(TrySetCols(x, cols, v)) }
 
 // GroupBy is the generalized element groupby of Table 1: elements of x are
 // grouped by value and folded with the named aggregation per group. Output
@@ -731,11 +952,11 @@ func SetCols(x *FM, cols []int, v *FM) *FM {
 func GroupBy(x *FM, fname string) (keys, folds []float64, err error) {
 	f, err := core.LookupAgg(fname)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, errf("groupby", nil, "unknown aggregation function %q", fname)
 	}
 	if x.isBig() {
 		g := core.GroupByVal(x.big, f)
-		if err := x.s.eng.Materialize(nil, []*core.Sink{g}); err != nil {
+		if err := x.s.materializeNow(context.Background(), nil, []*core.Sink{g}); err != nil {
 			return nil, nil, err
 		}
 		k, v := g.GroupByValResult()
@@ -772,7 +993,7 @@ func GetRows(x *FM, idx []int64) (*dense.Dense, error) {
 	r, c := x.dims()
 	for _, i := range idx {
 		if i < 0 || i >= r {
-			return nil, fmt.Errorf("flashr: row %d out of range [0,%d)", i, r)
+			return nil, errf("get.rows", shapesOf(x), "row %d out of range [0,%d)", i, r)
 		}
 	}
 	if !x.isBig() || x.trans {
@@ -844,7 +1065,7 @@ func Unique(x *FM) ([]float64, error) {
 func TableOf(x *FM) (keys []float64, counts []int64, err error) {
 	if x.isBig() {
 		t := core.Table(x.big)
-		if err := x.s.eng.Materialize(nil, []*core.Sink{t}); err != nil {
+		if err := x.s.materializeNow(context.Background(), nil, []*core.Sink{t}); err != nil {
 			return nil, nil, err
 		}
 		k, c := t.TableResult()

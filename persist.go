@@ -1,6 +1,7 @@
 package flashr
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -77,11 +78,22 @@ func (m matrixMeta) metaFileNames(name string) []string {
 // SaveNamed materializes x and stores it under the given name on the
 // session's SSD array (EM sessions only), with a metadata sidecar; reopen
 // with OpenNamed — from this session or a later one over the same drives.
+//
+// Deprecated: prefer SaveNamedCtx, which honors cancellation; SaveNamed is
+// SaveNamedCtx with context.Background().
 func (s *Session) SaveNamed(x *FM, name string) error {
+	return s.SaveNamedCtx(context.Background(), x, name)
+}
+
+// SaveNamedCtx is SaveNamed under ctx: the materialization pass, and the
+// partition-by-partition copy onto the array, both stop with ctx.Err() when
+// ctx is cancelled (a partially written name is overwritten by the next
+// save).
+func (s *Session) SaveNamedCtx(ctx context.Context, x *FM, name string) error {
 	if s.fs == nil {
 		return fmt.Errorf("flashr: SaveNamed needs a session with an SSD array")
 	}
-	if err := x.Materialize(); err != nil {
+	if err := x.MaterializeCtx(ctx); err != nil {
 		return err
 	}
 	if !x.isBig() {
@@ -93,7 +105,7 @@ func (s *Session) SaveNamed(x *FM, name string) error {
 		if err != nil {
 			return err
 		}
-		return s.SaveNamed(big, name)
+		return s.SaveNamedCtx(ctx, big, name)
 	}
 	if x.trans {
 		return fmt.Errorf("flashr: SaveNamed of a transposed view; save the base matrix")
@@ -134,6 +146,9 @@ func (s *Session) SaveNamed(x *FM, name string) error {
 	}
 	buf := make([]float64, partRows*ncol)
 	for p := 0; p < src.NumParts(); p++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		rows := matrix.PartRowsOf(nrow, partRows, p)
 		if err := src.ReadPart(p, buf[:rows*ncol]); err != nil {
 			return err
@@ -287,7 +302,17 @@ func (s *Session) SetNamed(x *FM, name string) error {
 // sidecar has no checksums for are reported as skipped, not corrupt. The
 // scan reads segment bytes directly — no token bucket, no retries — so it is
 // off the simulated bandwidth budget.
+//
+// Deprecated: prefer VerifyNamedCtx, which honors cancellation; VerifyNamed
+// is VerifyNamedCtx with context.Background().
 func (s *Session) VerifyNamed(name string) ([]safs.VerifyReport, error) {
+	return s.VerifyNamedCtx(context.Background(), name)
+}
+
+// VerifyNamedCtx is VerifyNamed under ctx: the scrub stops between files
+// with ctx.Err() when ctx is cancelled, returning the reports completed so
+// far.
+func (s *Session) VerifyNamedCtx(ctx context.Context, name string) ([]safs.VerifyReport, error) {
 	if s.fs == nil {
 		return nil, fmt.Errorf("flashr: VerifyNamed needs a session with an SSD array")
 	}
@@ -305,6 +330,9 @@ func (s *Session) VerifyNamed(name string) ([]safs.VerifyReport, error) {
 	}
 	var reports []safs.VerifyReport
 	for _, fname := range meta.metaFileNames(name) {
+		if err := ctx.Err(); err != nil {
+			return reports, err
+		}
 		f, err := s.fs.OpenFile(fname)
 		if err != nil {
 			return reports, err

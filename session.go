@@ -15,9 +15,17 @@
 // is forced (as.vector/as.matrix, element access, unique/table) or when
 // Materialize is called. A Session selects in-memory (FlashR-IM) or SSD
 // (FlashR-EM) execution and the operation-fusion level.
+//
+// Sessions may share one engine: NewSession(WithSharedEngine(parent), ...)
+// builds a session whose materialization passes run on parent's engine and
+// SSD array, admitted by the engine's pass arbiter and fair-queued against
+// the other sessions' I/O. Each session keeps its own pending-sink batch,
+// owner label, bandwidth weight, and MaterializeStats, so concurrent
+// sessions get exact per-session attribution.
 package flashr
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -28,7 +36,14 @@ import (
 	"repro/internal/safs"
 )
 
-// Options configures a Session.
+// Options configures a Session. It is itself an Option, so both
+// constructor styles work:
+//
+//	s, err := flashr.NewSession(flashr.Options{Workers: 8, EM: true, SSDDirs: dirs})
+//	s, err := flashr.NewSession(flashr.WithWorkers(8), flashr.WithEM(dirs...))
+//
+// When an Options value is combined with functional options, it replaces
+// the whole base configuration, so pass it first.
 type Options struct {
 	// Workers is the number of evaluation goroutines (0 = GOMAXPROCS).
 	Workers int
@@ -76,6 +91,107 @@ type Options struct {
 	// (0 = core.DefaultResultCacheBytes; negative disables the cache while
 	// keeping within-pass CSE unification on).
 	ResultCacheBytes int64
+	// Owner labels this session's materialization passes for per-pass
+	// stats attribution and fair admission on a shared engine.
+	Owner string
+	// PassWeight is this session's share of SAFS bandwidth relative to
+	// other sessions on the same engine (values < 1 mean 1).
+	PassWeight int
+	// MaxConcurrentPasses bounds materialization passes running at once on
+	// this session's engine (0 = core.DefaultMaxConcurrentPasses; 1
+	// serializes passes as before the pass arbiter existed).
+	MaxConcurrentPasses int
+	// PassMemBudget is the byte ceiling concurrent passes may reserve
+	// against the NUMA chunk pools (0 = unlimited). An oversized pass is
+	// still admitted when it is alone on the engine.
+	PassMemBudget int64
+}
+
+// Option configures NewSession. Options (the struct) and the With*
+// functions both implement it.
+type Option interface{ applyOption(*sessionConfig) }
+
+// sessionConfig is the resolved constructor configuration.
+type sessionConfig struct {
+	opts   Options
+	shared *Session
+}
+
+func (o Options) applyOption(c *sessionConfig) { c.opts = o }
+
+type optionFunc func(*sessionConfig)
+
+func (f optionFunc) applyOption(c *sessionConfig) { f(c) }
+
+// WithWorkers sets the number of evaluation goroutines.
+func WithWorkers(n int) Option { return optionFunc(func(c *sessionConfig) { c.opts.Workers = n }) }
+
+// WithFuse selects the operation-fusion level.
+func WithFuse(f FuseLevel) Option { return optionFunc(func(c *sessionConfig) { c.opts.Fuse = f }) }
+
+// WithEM selects SSD-backed execution (FlashR-EM) over the given drive
+// directories.
+func WithEM(ssdDirs ...string) Option {
+	return optionFunc(func(c *sessionConfig) { c.opts.EM = true; c.opts.SSDDirs = ssdDirs })
+}
+
+// WithBandwidth throttles the SSD array's aggregate read/write bandwidth in
+// MB/s (0 = unthrottled).
+func WithBandwidth(readMBps, writeMBps float64) Option {
+	return optionFunc(func(c *sessionConfig) {
+		c.opts.ReadMBps = readMBps
+		c.opts.WriteMBps = writeMBps
+	})
+}
+
+// WithSyncWrites disables the write-behind pipeline.
+func WithSyncWrites() Option {
+	return optionFunc(func(c *sessionConfig) { c.opts.SyncWrites = true })
+}
+
+// WithoutCSE turns off hash-consing and the sub-DAG result cache.
+func WithoutCSE() Option {
+	return optionFunc(func(c *sessionConfig) { c.opts.DisableCSE = true })
+}
+
+// WithResultCacheBytes bounds the cross-materialize result cache.
+func WithResultCacheBytes(n int64) Option {
+	return optionFunc(func(c *sessionConfig) { c.opts.ResultCacheBytes = n })
+}
+
+// WithOwner labels the session's passes for stats attribution and fair
+// admission.
+func WithOwner(owner string) Option {
+	return optionFunc(func(c *sessionConfig) { c.opts.Owner = owner })
+}
+
+// WithPassWeight sets the session's share of SAFS bandwidth relative to
+// other sessions on the same engine.
+func WithPassWeight(w int) Option {
+	return optionFunc(func(c *sessionConfig) { c.opts.PassWeight = w })
+}
+
+// WithMaxConcurrentPasses bounds materialization passes in flight on the
+// session's engine.
+func WithMaxConcurrentPasses(n int) Option {
+	return optionFunc(func(c *sessionConfig) { c.opts.MaxConcurrentPasses = n })
+}
+
+// WithPassMemBudget sets the byte ceiling concurrent passes may reserve
+// against the NUMA chunk pools.
+func WithPassMemBudget(bytes int64) Option {
+	return optionFunc(func(c *sessionConfig) { c.opts.PassMemBudget = bytes })
+}
+
+// WithSharedEngine makes the new session run on parent's engine and SSD
+// array instead of building its own. Engine-level options (workers, fusion,
+// drives, bandwidth, partition height, …) are fixed by the parent and
+// ignored here; session-level options (WithOwner, WithPassWeight) still
+// apply. Matrices remain tied to the engine, so FMs may flow between
+// sessions sharing one; closing a shared session never closes the parent's
+// array or drops its result cache.
+func WithSharedEngine(parent *Session) Option {
+	return optionFunc(func(c *sessionConfig) { c.shared = parent })
 }
 
 // FuseLevel aliases the engine's fusion-level type for Options.Fuse.
@@ -96,6 +212,12 @@ type Session struct {
 	eng *core.Engine
 	fs  *safs.FS
 
+	// owner and weight tag every materialization pass this session submits;
+	// sharedEng marks a session built with WithSharedEngine.
+	owner     string
+	weight    int
+	sharedEng bool
+
 	mu      sync.Mutex
 	pending []*core.Sink
 	ownsFS  bool
@@ -103,6 +225,12 @@ type Session struct {
 	// so SetNamed can invalidate cached results built over them when the
 	// name's files are overwritten.
 	named map[string][]*core.Mat
+
+	// Session-local stats: the record of the session's own passes, distinct
+	// from the engine-lifetime totals when several sessions share an engine.
+	statsMu  sync.Mutex
+	lastMat  MaterializeStats
+	totalMat MaterializeStats
 }
 
 // noteNamed records that m is backed by the named matrix's files.
@@ -115,41 +243,61 @@ func (s *Session) noteNamed(name string, m *core.Mat) {
 	s.mu.Unlock()
 }
 
-// NewSession builds a session from options.
-func NewSession(opts Options) (*Session, error) {
+// NewSession builds a session from options: a full Options struct, With*
+// functional options, or a mix (Options first — it replaces the whole base
+// configuration).
+func NewSession(opts ...Option) (*Session, error) {
+	var c sessionConfig
+	for _, o := range opts {
+		if o != nil {
+			o.applyOption(&c)
+		}
+	}
+	o := c.opts
+	if c.shared != nil {
+		return &Session{
+			eng:       c.shared.eng,
+			fs:        c.shared.fs,
+			sharedEng: true,
+			owner:     o.Owner,
+			weight:    o.PassWeight,
+		}, nil
+	}
 	var fs *safs.FS
 	var err error
-	if len(opts.SSDDirs) > 0 {
+	if len(o.SSDDirs) > 0 {
 		fs, err = safs.Open(safs.Config{
-			Drives:        opts.SSDDirs,
-			ReadMBps:      opts.ReadMBps,
-			WriteMBps:     opts.WriteMBps,
-			MaxRetries:    opts.MaxIORetries,
-			RetryBackoff:  opts.IORetryBackoff,
-			DisableVerify: opts.DisableVerify,
+			Drives:        o.SSDDirs,
+			ReadMBps:      o.ReadMBps,
+			WriteMBps:     o.WriteMBps,
+			MaxRetries:    o.MaxIORetries,
+			RetryBackoff:  o.IORetryBackoff,
+			DisableVerify: o.DisableVerify,
 		})
 		if err != nil {
 			return nil, err
 		}
-	} else if opts.EM {
+	} else if o.EM {
 		return nil, fmt.Errorf("flashr: EM session requires SSDDirs")
 	}
 	var topo *numa.Topology
-	if opts.NumaNodes > 0 {
-		topo = numa.NewTopology(opts.NumaNodes, 0)
+	if o.NumaNodes > 0 {
+		topo = numa.NewTopology(o.NumaNodes, 0)
 	}
 	eng, err := core.NewEngine(core.Config{
-		Workers:          opts.Workers,
-		Fuse:             opts.Fuse,
-		Topo:             topo,
-		FS:               fs,
-		EM:               opts.EM,
-		PartRows:         opts.PartRows,
-		PcacheBytes:      opts.PcacheBytes,
-		SyncWrites:       opts.SyncWrites,
-		WriteBehindDepth: opts.WriteBehindDepth,
-		DisableCSE:       opts.DisableCSE,
-		ResultCacheBytes: opts.ResultCacheBytes,
+		Workers:             o.Workers,
+		Fuse:                o.Fuse,
+		Topo:                topo,
+		FS:                  fs,
+		EM:                  o.EM,
+		PartRows:            o.PartRows,
+		PcacheBytes:         o.PcacheBytes,
+		SyncWrites:          o.SyncWrites,
+		WriteBehindDepth:    o.WriteBehindDepth,
+		DisableCSE:          o.DisableCSE,
+		ResultCacheBytes:    o.ResultCacheBytes,
+		MaxConcurrentPasses: o.MaxConcurrentPasses,
+		PassMemBudget:       o.PassMemBudget,
 	})
 	if err != nil {
 		if fs != nil {
@@ -157,7 +305,7 @@ func NewSession(opts Options) (*Session, error) {
 		}
 		return nil, err
 	}
-	return &Session{eng: eng, fs: fs, ownsFS: fs != nil}, nil
+	return &Session{eng: eng, fs: fs, ownsFS: fs != nil, owner: o.Owner, weight: o.PassWeight}, nil
 }
 
 // NewMemSession builds an in-memory session (FlashR-IM) with default
@@ -173,21 +321,31 @@ func NewMemSession() *Session {
 // Engine exposes the underlying execution engine (benchmarks and tests).
 func (s *Session) Engine() *core.Engine { return s.eng }
 
+// Owner returns the session's pass-attribution label.
+func (s *Session) Owner() string { return s.owner }
+
 // MaterializeStats aliases the engine's per-materialization observability
 // record (I/O volume, prefetch hit rate, write-queue stall vs. write time,
 // phase wall times).
 type MaterializeStats = core.MaterializeStats
 
-// LastMaterializeStats returns the record of the session's most recent
-// materialization pass.
+// LastMaterializeStats returns the record of this session's most recent
+// materialization pass. On a shared engine this is the session's own pass,
+// not whichever pass the engine ran last.
 func (s *Session) LastMaterializeStats() MaterializeStats {
-	return s.eng.LastMaterializeStats()
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.lastMat
 }
 
 // TotalMaterializeStats returns the session-lifetime accumulated record;
-// snapshot before and after a region and Sub the two to attribute I/O.
+// snapshot before and after a region and Sub the two to attribute I/O. On a
+// shared engine the per-session totals of every session sum to the engine's
+// total (Engine().TotalMaterializeStats()).
 func (s *Session) TotalMaterializeStats() MaterializeStats {
-	return s.eng.TotalMaterializeStats()
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.totalMat
 }
 
 // Wrap adopts an existing engine matrix (e.g. a leaf over a store opened
@@ -199,8 +357,12 @@ func (s *Session) Wrap(m *core.Mat) *FM { return s.bigFM(m) }
 func (s *Session) FS() *safs.FS { return s.fs }
 
 // Close drops the session's result cache and releases the SSD array if the
-// session owns one.
+// session owns one. Closing a session built with WithSharedEngine touches
+// neither the shared engine's cache nor its array.
 func (s *Session) Close() error {
+	if s.sharedEng {
+		return nil
+	}
 	s.eng.FlushResultCache()
 	if s.ownsFS && s.fs != nil {
 		return s.fs.Close()
@@ -215,9 +377,37 @@ func (s *Session) deferSink(k *core.Sink) {
 	s.mu.Unlock()
 }
 
+// Flush materializes every pending sink now. It is FlushCtx with
+// context.Background(); prefer FlushCtx in code that must honor
+// cancellation.
+func (s *Session) Flush() error { return s.FlushCtx(context.Background()) }
+
+// FlushCtx materializes every pending sink under ctx: the session's batch
+// runs as one admission-arbitrated pass per partition dimension, and a
+// cancelled ctx aborts the remaining passes with ctx.Err().
+func (s *Session) FlushCtx(ctx context.Context) error { return s.flushCtx(ctx) }
+
+// materializeNow submits one pass to the engine under this session's owner
+// label and bandwidth weight, and folds the pass's record into the
+// session-local stats.
+func (s *Session) materializeNow(ctx context.Context, talls []*core.Mat, sinks []*core.Sink) error {
+	ms, err := s.eng.MaterializePass(ctx, talls, sinks, core.PassOptions{Owner: s.owner, Weight: s.weight})
+	if ms.Wall > 0 { // an empty pass (nothing to run) leaves no record
+		s.statsMu.Lock()
+		s.lastMat = ms
+		s.totalMat.Add(ms)
+		s.statsMu.Unlock()
+	}
+	return err
+}
+
 // flush materializes every pending sink (plus the given tall targets),
 // grouping by partition dimension so each group is one fused pass.
 func (s *Session) flush(talls ...*core.Mat) error {
+	return s.flushCtx(context.Background(), talls...)
+}
+
+func (s *Session) flushCtx(ctx context.Context, talls ...*core.Mat) error {
 	s.mu.Lock()
 	pend := s.pending
 	s.pending = nil
@@ -256,7 +446,7 @@ func (s *Session) flush(talls ...*core.Mat) error {
 		g.talls = append(g.talls, m)
 	}
 	for _, g := range groups {
-		if err := s.eng.Materialize(g.talls, g.sinks); err != nil {
+		if err := s.materializeNow(ctx, g.talls, g.sinks); err != nil {
 			return err
 		}
 	}
@@ -275,7 +465,7 @@ func (s *Session) forceSink(k *core.Sink) (*dense.Dense, error) {
 		}
 		if !k.Done() {
 			// The sink was created outside the pending list (defensive).
-			if err := s.eng.Materialize(nil, []*core.Sink{k}); err != nil {
+			if err := s.materializeNow(context.Background(), nil, []*core.Sink{k}); err != nil {
 				return nil, err
 			}
 		}
