@@ -16,6 +16,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 
@@ -42,6 +44,9 @@ func main() {
 		noCSE      = flag.Bool("no-cse", false, "disable structural hash-consing and the sub-DAG result cache")
 		cacheMB    = flag.Int64("cache-mb", 0, "sub-DAG result cache budget in MiB (0=engine default, negative=cache off, CSE on)")
 		concurrent = flag.Int("concurrent", 0, "run the concurrent multi-session experiment with N sessions sharing one engine (shorthand for -experiment concurrent)")
+		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON file of every materialization pass (load in chrome://tracing or Perfetto)")
+		metrics    = flag.Bool("metrics", false, "dump expfmt metrics from each experiment's EM session before it closes")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this address while the benchmark runs")
 	)
 	flag.Parse()
 	if *concurrent > 0 && *experiment == "all" {
@@ -56,6 +61,23 @@ func main() {
 		FaultSeed:  *faultSeed,
 		DisableCSE: *noCSE, ResultCacheBytes: *cacheMB << 20,
 		ConcurrentSessions: *concurrent,
+	}
+	if *tracePath != "" {
+		cfg.Trace = &benchmark.TraceSink{}
+	}
+	if *metrics {
+		cfg.MetricsTo = os.Stdout
+	}
+	if *debugAddr != "" {
+		// net/http/pprof registered its handlers on the default mux above;
+		// add /metrics next to them.
+		http.Handle("/metrics", benchmark.LiveMetricsHandler())
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "flashr-bench: debug server: %v\n", err)
+			}
+		}()
+		fmt.Printf("debug server on %s (/metrics, /debug/pprof/)\n", *debugAddr)
 	}
 	writes := "write-behind"
 	if *syncWrites {
@@ -81,4 +103,11 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(benchmark.Format(rows))
+	if cfg.Trace != nil {
+		if err := cfg.Trace.WriteChromeFile(*tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "flashr-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote execution trace to %s\n", *tracePath)
+	}
 }

@@ -27,6 +27,7 @@ func main() {
 		ssdRoot = flag.String("ssd-root", "", "store on a simulated SSD array under this directory")
 		drives  = flag.Int("drives", 4, "simulated SSD count")
 		csvPath = flag.String("csv", "", "also write the feature matrix as CSV to this path")
+		metrics = flag.Bool("metrics", false, "dump expfmt metrics for the generation run before exiting")
 	)
 	flag.Parse()
 
@@ -91,6 +92,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote CSV to %s\n", *csvPath)
+	}
+	if *metrics {
+		fmt.Println()
+		if _, err := s.Metrics().WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
 	}
 }
 

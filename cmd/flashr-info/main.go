@@ -23,6 +23,7 @@ func main() {
 		drives  = flag.Int("drives", 4, "simulated SSD count")
 		name    = flag.String("matrix", "", "named matrix to summarize")
 		verify  = flag.Bool("verify", false, "scrub named matrices against their sidecar checksums (all, or just -matrix); exits 1 on corruption")
+		metrics = flag.Bool("metrics", false, "dump expfmt metrics (engine, SSD array, NUMA) before exiting")
 	)
 	flag.Parse()
 	if *ssdRoot == "" {
@@ -38,6 +39,14 @@ func main() {
 	}
 	defer s.Close()
 	fs := s.FS()
+	dumpMetrics := func() {
+		if *metrics {
+			fmt.Println()
+			if _, err := s.Metrics().WriteTo(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+	}
 
 	if *verify {
 		names := s.ListNamed()
@@ -46,6 +55,7 @@ func main() {
 		}
 		if len(names) == 0 {
 			fmt.Println("no named matrices to verify")
+			dumpMetrics()
 			return
 		}
 		perDrive := make([]int, fs.NumDrives())
@@ -79,6 +89,7 @@ func main() {
 			}
 			os.Exit(1)
 		}
+		dumpMetrics()
 		return
 	}
 
@@ -103,6 +114,7 @@ func main() {
 				}
 			}
 		}
+		dumpMetrics()
 		return
 	}
 
@@ -152,6 +164,7 @@ func main() {
 		ms.NodesExecuted, ms.CSEUnifications, ms.CacheHits, ms.CacheMisses,
 		float64(ms.CacheHitBytes)/(1<<20), ms.CacheEvictions,
 		entries, float64(bytes)/(1<<20))
+	dumpMetrics()
 }
 
 func fatal(err error) {

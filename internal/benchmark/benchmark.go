@@ -15,9 +15,12 @@
 package benchmark
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -33,6 +36,7 @@ import (
 	"repro/internal/dense"
 	"repro/internal/eager"
 	"repro/internal/safs"
+	"repro/internal/trace"
 	"repro/internal/workload"
 	"repro/ml"
 )
@@ -93,6 +97,77 @@ type Config struct {
 	// ConcurrentSessions is the session count for the "concurrent"
 	// experiment (0 = 4).
 	ConcurrentSessions int
+	// Trace, when non-nil, collects execution-span traces from every engine
+	// the experiments open; render the merged result with
+	// TraceSink.WriteChromeFile after the run (flashr-bench -trace).
+	Trace *TraceSink
+	// MetricsTo, when non-nil, receives an expfmt metrics dump from each
+	// experiment's EM session just before its engine closes
+	// (flashr-bench -metrics).
+	MetricsTo io.Writer
+}
+
+// TraceSink accumulates the span traces of every engine the experiments
+// open, so one flashr-bench run — possibly many experiments, each with an
+// IM and an EM engine — yields a single merged Chrome trace file.
+type TraceSink struct {
+	mu    sync.Mutex
+	datas []*trace.Data
+}
+
+func (ts *TraceSink) add(ds ...*trace.Data) {
+	ts.mu.Lock()
+	for _, d := range ds {
+		if d != nil && (len(d.Events) > 0 || len(d.Passes) > 0) {
+			ts.datas = append(ts.datas, d)
+		}
+	}
+	ts.mu.Unlock()
+}
+
+// Datas returns the traces collected so far.
+func (ts *TraceSink) Datas() []*trace.Data {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return append([]*trace.Data(nil), ts.datas...)
+}
+
+// WriteChromeFile renders every collected trace as one Chrome trace_event
+// JSON file and self-validates it: the rendered bytes are parsed back and
+// the span invariants re-checked before anything lands on disk, so a file
+// this returns nil for is known to load in the viewer with well-formed,
+// correctly attributed spans.
+func (ts *TraceSink) WriteChromeFile(path string) error {
+	datas := ts.Datas()
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, datas...); err != nil {
+		return err
+	}
+	parsed, err := trace.ParseChrome(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return fmt.Errorf("benchmark: trace self-validation: %w", err)
+	}
+	if err := trace.Verify(parsed); err != nil {
+		return fmt.Errorf("benchmark: trace self-validation: %w", err)
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// liveMetrics points at the most recently opened experiment's EM-session
+// registry, for the optional flashr-bench -debug-addr endpoint.
+var liveMetrics atomic.Pointer[trace.Registry]
+
+// LiveMetricsHandler serves the metrics registry of the most recently
+// opened experiment sessions (503 until an experiment opens one).
+func LiveMetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		reg := liveMetrics.Load()
+		if reg == nil {
+			http.Error(w, "no experiment sessions open yet", http.StatusServiceUnavailable)
+			return
+		}
+		trace.Handler(reg).ServeHTTP(w, req)
+	})
 }
 
 // Defaults fills unset fields.
@@ -166,15 +241,18 @@ func Format(rows []Row) string {
 
 // sessionSet builds the FlashR sessions an experiment needs.
 type sessionSet struct {
-	im  *flashr.Session
-	em  *flashr.Session
-	dir string
+	im        *flashr.Session
+	em        *flashr.Session
+	dir       string
+	trace     *TraceSink
+	metricsTo io.Writer
 }
 
 func (c Config) openSessions(fuseEM flashr.Options) (*sessionSet, error) {
 	im, err := flashr.NewSession(flashr.Options{
 		Workers: c.Workers, SyncWrites: c.SyncWrites, WriteBehindDepth: c.WriteBehindDepth,
 		DisableCSE: c.DisableCSE, ResultCacheBytes: c.ResultCacheBytes,
+		Owner: "bench-im",
 	})
 	if err != nil {
 		return nil, err
@@ -197,6 +275,7 @@ func (c Config) openSessions(fuseEM flashr.Options) (*sessionSet, error) {
 		SyncWrites: c.SyncWrites, WriteBehindDepth: c.WriteBehindDepth,
 		DisableVerify: c.DisableVerify,
 		DisableCSE:    c.DisableCSE, ResultCacheBytes: c.ResultCacheBytes,
+		Owner: "bench-em",
 	}
 	em, err := flashr.NewSession(opts)
 	if err != nil {
@@ -213,10 +292,21 @@ func (c Config) openSessions(fuseEM flashr.Options) (*sessionSet, error) {
 			FlipBitRate: c.FlipBitRate,
 		})
 	}
-	return &sessionSet{im: im, em: em, dir: dir}, nil
+	if c.Trace != nil {
+		im.Engine().StartTrace()
+		em.Engine().StartTrace()
+	}
+	liveMetrics.Store(em.Metrics())
+	return &sessionSet{im: im, em: em, dir: dir, trace: c.Trace, metricsTo: c.MetricsTo}, nil
 }
 
 func (s *sessionSet) close(cfg Config) {
+	if s.metricsTo != nil {
+		s.em.Metrics().WriteTo(s.metricsTo)
+	}
+	if s.trace != nil {
+		s.trace.add(s.im.Engine().StopTrace(), s.em.Engine().StopTrace())
+	}
 	s.em.Close()
 	if cfg.SSDRoot == "" {
 		os.RemoveAll(s.dir)
@@ -898,11 +988,16 @@ func CSE(cfg Config) ([]Row, error) {
 			SyncWrites: cfg.SyncWrites, WriteBehindDepth: cfg.WriteBehindDepth,
 			DisableVerify: cfg.DisableVerify,
 			DisableCSE:    disable, ResultCacheBytes: cfg.ResultCacheBytes,
+			Owner: map[bool]string{false: "bench-cse-on", true: "bench-cse-off"}[disable],
 		})
 		if err != nil {
 			return res, err
 		}
 		defer s.Close()
+		if cfg.Trace != nil {
+			s.Engine().StartTrace()
+			defer func() { cfg.Trace.add(s.Engine().StopTrace()) }()
+		}
 		x, err := workload.PageGraph(s, n, cfg.Seed)
 		if err != nil {
 			return res, err

@@ -206,7 +206,14 @@ func (a *passArbiter) removeTicketLocked(t *passTicket) {
 	}
 }
 
-// queued reports how many tickets are waiting for admission (tests).
+// running reports the number of admitted, still-running passes (metrics).
+func (a *passArbiter) running() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inFlight
+}
+
+// queued reports how many tickets are waiting for admission (tests, metrics).
 func (a *passArbiter) queued() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +14,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/numa"
 	"repro/internal/safs"
+	"repro/internal/trace"
 )
 
 // FuseLevel selects how aggressively the engine fuses the operations of a
@@ -133,6 +136,14 @@ type Engine struct {
 	statsMu  sync.Mutex
 	lastMat  MaterializeStats
 	totalMat MaterializeStats
+
+	// passSeq numbers every pass for tracing and pprof labels; tracer is the
+	// active span collector (nil = tracing off, the zero-cost path).
+	passSeq atomic.Int64
+	tracer  atomic.Pointer[trace.Tracer]
+
+	metricsOnce sync.Once
+	metrics     *trace.Registry
 
 	// arb admits concurrent passes; planMu serializes the (cheap) plan and
 	// cache-publication phases of each pass so the intern table, the result
@@ -396,18 +407,39 @@ func (e *Engine) MaterializePass(ctx context.Context, talls []*Mat, sinks []*Sin
 	if len(mt) == 0 && len(sk) == 0 {
 		return ms, nil
 	}
+	passID := e.passSeq.Add(1)
+	pt := e.newPassTrace(passID, opts.Owner)
+	pr := passRun{id: passID, owner: opts.Owner, pt: pt}
+	rootSp := pt.rootBuf().Begin(trace.KindPass, passID)
+	admitSp := pt.rootBuf().Begin(trace.KindAdmit, passID)
 	release, err := e.arb.acquire(ctx, opts.Owner, e.estimatePassBytes(mt, sk))
 	if err != nil {
+		pt.rootBuf().End(admitSp)
+		pt.rootBuf().End(rootSp)
+		pt.finish()
 		return ms, err
 	}
+	pt.rootBuf().End(admitSp)
 	defer release()
 	t0 := time.Now()
-	err = e.materialize(ctx, mt, sk, &ms, opts)
+	// Label the orchestrating goroutine (workers label themselves) so CPU
+	// profiles segment by pass and session owner. context.Background().Done()
+	// is nil, so a nil ctx keeps its no-watcher semantics downstream.
+	lctx := ctx
+	if lctx == nil {
+		lctx = context.Background()
+	}
+	pprof.Do(lctx, pprof.Labels("flashr_pass", strconv.FormatInt(passID, 10), "flashr_owner", opts.Owner),
+		func(lctx context.Context) {
+			err = e.materialize(lctx, mt, sk, &ms, opts, pr)
+		})
 	ms.Wall = time.Since(t0)
 	e.statsMu.Lock()
 	e.lastMat = ms
 	e.totalMat.Add(ms)
 	e.statsMu.Unlock()
+	pt.rootBuf().End(rootSp)
+	pt.finish()
 	return ms, err
 }
 
@@ -452,7 +484,8 @@ func (e *Engine) estimatePassBytes(talls []*Mat, sinks []*Sink) int64 {
 // table, cache lookups, DAG construction) and the publication phase (cache
 // inserts, duplicate-sink payloads) run under planMu; only the execution
 // phase between them overlaps with other passes.
-func (e *Engine) materialize(ctx context.Context, mt []*Mat, sk []*Sink, ms *MaterializeStats, opts PassOptions) error {
+func (e *Engine) materialize(ctx context.Context, mt []*Mat, sk []*Sink, ms *MaterializeStats, opts PassOptions, pr passRun) error {
+	lookupSp := pr.pt.rootBuf().Begin(trace.KindCacheLookup, pr.id)
 	e.planMu.Lock()
 	var sc *sigCtx
 	if e.cons != nil {
@@ -497,6 +530,7 @@ func (e *Engine) materialize(ctx context.Context, mt []*Mat, sk []*Sink, ms *Mat
 	d, err := e.buildDAG(mt, sk, sc, ms)
 	if err != nil {
 		e.planMu.Unlock()
+		pr.pt.rootBuf().End(lookupSp)
 		return err
 	}
 	if e.rcache != nil && sc != nil {
@@ -509,6 +543,8 @@ func (e *Engine) materialize(ctx context.Context, mt []*Mat, sk []*Sink, ms *Mat
 		validateErr = e.validateDAG(d)
 	}
 	e.planMu.Unlock()
+	lookupSp.Bytes, lookupSp.N = ms.CacheHitBytes, ms.CacheHits
+	pr.pt.rootBuf().End(lookupSp)
 	if validateErr != nil {
 		return validateErr
 	}
@@ -521,14 +557,15 @@ func (e *Engine) materialize(ctx context.Context, mt []*Mat, sk []*Sink, ms *Mat
 		}
 		e.stats.DAGs.Add(1)
 		if e.cfg.Fuse == FuseNone {
-			err = e.runUnfused(ctx, d, ms, pass)
+			err = e.runUnfused(ctx, d, ms, pass, pr)
 		} else {
-			err = e.runFused(ctx, d, e.cfg.Fuse, ms, pass)
+			err = e.runFused(ctx, d, e.cfg.Fuse, ms, pass, pr)
 		}
 		if err != nil {
 			return err
 		}
 	}
+	pubSp := pr.pt.rootBuf().Begin(trace.KindPublish, pr.id)
 	e.planMu.Lock()
 	if run && e.rcache != nil && sc != nil {
 		e.insertResults(d, sc, ms)
@@ -537,6 +574,7 @@ func (e *Engine) materialize(ctx context.Context, mt []*Mat, sk []*Sink, ms *Mat
 		pair[0].publishPayload(pair[1].payload())
 	}
 	e.planMu.Unlock()
+	pr.pt.rootBuf().End(pubSp)
 	return nil
 }
 
@@ -836,7 +874,7 @@ func (e *Engine) validateDAG(d *dag) error {
 // runUnfused materializes every non-leaf node separately in topological
 // order, then evaluates sinks over materialized inputs — one parallel pass
 // and one intermediate matrix per operation.
-func (e *Engine) runUnfused(ctx context.Context, d *dag, ms *MaterializeStats, pass *safs.Pass) error {
+func (e *Engine) runUnfused(ctx context.Context, d *dag, ms *MaterializeStats, pass *safs.Pass, pr passRun) error {
 	for _, m := range d.nodes {
 		if m.Materialized() || m.kind == opConst {
 			continue
@@ -846,7 +884,7 @@ func (e *Engine) runUnfused(ctx context.Context, d *dag, ms *MaterializeStats, p
 			return err
 		}
 		sd.nrow = d.nrow
-		if err := e.runFused(ctx, sd, FuseMem, ms, pass); err != nil {
+		if err := e.runFused(ctx, sd, FuseMem, ms, pass, pr); err != nil {
 			return err
 		}
 	}
@@ -858,7 +896,7 @@ func (e *Engine) runUnfused(ctx context.Context, d *dag, ms *MaterializeStats, p
 			return err
 		}
 		sd.nrow = d.nrow
-		if err := e.runFused(ctx, sd, FuseMem, ms, pass); err != nil {
+		if err := e.runFused(ctx, sd, FuseMem, ms, pass, pr); err != nil {
 			return err
 		}
 	}

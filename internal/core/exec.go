@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -10,6 +12,7 @@ import (
 	"repro/internal/blas"
 	"repro/internal/matrix"
 	"repro/internal/safs"
+	"repro/internal/trace"
 )
 
 // partInfo describes one I/O partition of the DAG's partition dimension.
@@ -123,7 +126,7 @@ func (rs *runState) fail(err error) {
 // the queue at a barrier before returning — so a write failure, like any
 // compute failure, always surfaces here. ms accumulates the pass's
 // observability counters.
-func (e *Engine) runFused(ctx context.Context, d *dag, fuse FuseLevel, ms *MaterializeStats, pass *safs.Pass) error {
+func (e *Engine) runFused(ctx context.Context, d *dag, fuse FuseLevel, ms *MaterializeStats, pass *safs.Pass, pr passRun) error {
 	e.stats.Passes.Add(1)
 	// Integrity counters are attributed through the pass identity's own
 	// counters (not by diffing the array-wide totals, which would misattribute
@@ -180,6 +183,15 @@ func (e *Engine) runFused(ctx context.Context, d *dag, fuse FuseLevel, ms *Mater
 		// drain barrier, so compute stops producing partitions nobody can
 		// persist.
 		rs.wb = safs.NewWriteBack(e.cfg.WriteBehindDepth, func(err error) { rs.fail(err) })
+		if pr.pt != nil {
+			// One span buffer per write-behind lane; the lane token's channel
+			// round-trip serializes buffer ownership across jobs.
+			laneBufs := make([]*trace.Buf, rs.wb.Lanes())
+			for i := range laneBufs {
+				laneBufs[i] = pr.pt.newBuf(trace.WriterTrack(i))
+			}
+			rs.wb.SetTraceBufs(laneBufs)
+		}
 	}
 
 	nw := e.cfg.Workers
@@ -189,14 +201,18 @@ func (e *Engine) runFused(ctx context.Context, d *dag, fuse FuseLevel, ms *Mater
 	if nw < 1 {
 		nw = 1
 	}
+	// Goroutine labels are per goroutine, so each worker labels itself; CPU
+	// profiles then segment by pass and session owner.
+	labels := pprof.Labels("flashr_pass", strconv.FormatInt(pr.id, 10), "flashr_owner", pr.owner)
 	var wg sync.WaitGroup
 	workers := make([]*worker, nw)
 	for i := 0; i < nw; i++ {
 		workers[i] = newWorker(rs, i, nw)
+		workers[i].buf = pr.pt.newBuf(trace.WorkerTrack(i))
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
-			w.run()
+			pprof.Do(context.Background(), labels, func(context.Context) { w.run() })
 		}(workers[i])
 	}
 	// Cancellation watcher: flips the pass into the failed state so workers
@@ -230,10 +246,12 @@ func (e *Engine) runFused(ctx context.Context, d *dag, fuse FuseLevel, ms *Mater
 	// Drain barrier: every queued write completes (or reports its failure)
 	// before the pass returns and before any store is freed.
 	if rs.wb != nil {
+		drainSp := pr.pt.rootBuf().Begin(trace.KindDrain, pr.id)
 		d0 := time.Now()
 		if err := rs.wb.Drain(); err != nil {
 			rs.fail(err)
 		}
+		pr.pt.rootBuf().End(drainSp)
 		ms.WriteDrain += time.Since(d0)
 		wst := rs.wb.Stats()
 		ms.WriteStall += wst.Stall
@@ -365,6 +383,8 @@ type worker struct {
 	rs   *runState
 	id   int
 	node int // simulated NUMA node this worker is bound to
+	// buf is this worker's span lane (nil when tracing is off).
+	buf  *trace.Buf
 	pool map[int][][]float64
 	memo []entry // indexed by slot
 	used []int   // slots touched in the current chunk
@@ -462,43 +482,44 @@ func (w *worker) run() {
 	if t >= len(w.rs.tasks) {
 		return
 	}
-	tr := w.rs.tasks[t]
-	w.sinks = w.rs.newTaskAccs()
 	// Issue read-ahead for the first partition of the range; each partition
 	// then prefetches its successor before computing.
-	w.prefetch(tr.lo)
-	for {
-		if w.rs.failed.Load() {
-			return
-		}
-		next := -1
-		for p := tr.lo; p < tr.hi; p++ {
-			if w.rs.failed.Load() {
-				return
-			}
-			if p+1 < tr.hi {
-				w.prefetch(p + 1)
-			} else if n := int(w.rs.taskNext.Add(1) - 1); n < len(w.rs.tasks) {
-				// Last partition of the range: claim the next range now and
-				// prefetch across the boundary, so the first partition of
-				// every range after the first is read ahead too (read-ahead
-				// used to stop at super-task boundaries, making it a
-				// guaranteed cold read).
-				next = n
-				w.prefetch(w.rs.tasks[n].lo)
-			}
-			if err := w.processPartition(p); err != nil {
-				w.rs.fail(err)
-				return
-			}
-		}
-		w.rs.commitTask(t, w.sinks)
-		if next < 0 {
-			return
-		}
-		t, tr = next, w.rs.tasks[next]
-		w.sinks = w.rs.newTaskAccs()
+	w.prefetch(w.rs.tasks[t].lo)
+	for t >= 0 && !w.rs.failed.Load() {
+		t = w.runTask(t)
 	}
+}
+
+// runTask processes one scheduler dispatch unit under a super-task span and
+// returns the next claimed task index (-1 when the worker should exit).
+func (w *worker) runTask(t int) (next int) {
+	tr := w.rs.tasks[t]
+	sp := w.buf.Begin(trace.KindSuperTask, int64(t))
+	defer w.buf.End(sp)
+	w.sinks = w.rs.newTaskAccs()
+	next = -1
+	for p := tr.lo; p < tr.hi; p++ {
+		if w.rs.failed.Load() {
+			return -1
+		}
+		if p+1 < tr.hi {
+			w.prefetch(p + 1)
+		} else if n := int(w.rs.taskNext.Add(1) - 1); n < len(w.rs.tasks) {
+			// Last partition of the range: claim the next range now and
+			// prefetch across the boundary, so the first partition of
+			// every range after the first is read ahead too (read-ahead
+			// used to stop at super-task boundaries, making it a
+			// guaranteed cold read).
+			next = n
+			w.prefetch(w.rs.tasks[n].lo)
+		}
+		if err := w.processPartition(p); err != nil {
+			w.rs.fail(err)
+			return -1
+		}
+	}
+	w.rs.commitTask(t, w.sinks)
+	return next
 }
 
 // drainPending waits out every still-pending prefetch and returns its
@@ -590,9 +611,14 @@ func (w *worker) processPartition(p int) error {
 	pi := partInfo{idx: p, rows: rows, startRow: int64(p) * int64(e.cfg.PartRows)}
 	partNode := e.cfg.Topo.NodeOfPart(p)
 
-	// 1. Leaf partitions into memory (prefetched where possible).
+	// 1. Leaf partitions into memory (prefetched where possible). The read
+	// span's Bytes/N mirror the bytesRead and prefetch counters exactly —
+	// zero-copy in-memory references count in neither — which is what the
+	// conservation suite pins.
+	rsp := w.buf.Begin(trace.KindRead, int64(p))
 	pfBufs, err := w.takePrefetched(p)
 	if err != nil {
+		w.buf.End(rsp)
 		return err
 	}
 	for _, slot := range rs.leafSlots {
@@ -603,6 +629,8 @@ func (w *worker) processPartition(p int) error {
 			w.leafOwned[slot] = true
 			rs.prefHits.Add(1)
 			rs.bytesRead.Add(int64(rows*m.ncol) * 8)
+			rsp.Bytes += int64(rows*m.ncol) * 8
+			rsp.N++
 			continue
 		}
 		st := rs.leafPass[slot]
@@ -617,18 +645,24 @@ func (w *worker) processPartition(p int) error {
 		buf := w.get(rows * m.ncol)
 		if err := st.ReadPart(p, buf); err != nil {
 			w.put(buf)
+			w.buf.End(rsp)
 			return fmt.Errorf("core: reading leaf %d partition %d: %w", m.id, p, err)
 		}
 		rs.prefMiss.Add(1)
 		rs.bytesRead.Add(int64(rows*m.ncol) * 8)
+		rsp.Bytes += int64(rows*m.ncol) * 8
+		rsp.N++
 		w.leafBufs[slot] = buf
 		w.leafOwned[slot] = true
 	}
+	w.buf.End(rsp)
 
+	csp := w.buf.Begin(trace.KindCompute, int64(p))
 	// 2. Cumulative carries: wait for partition p's carry vectors (§3.3(j)).
 	if rs.cum != nil {
 		carries, err := rs.cum.wait(p)
 		if err != nil {
+			w.buf.End(csp)
 			return err
 		}
 		for id, c := range carries {
@@ -659,21 +693,28 @@ func (w *worker) processPartition(p int) error {
 			acc.accumulate(w, rs.d.sinkASlot[si], rs.d.sinkBSlot[si], pi, r0, cr)
 		}
 		if len(w.used) != 0 {
+			w.buf.End(csp)
 			return fmt.Errorf("core: %d chunk buffers leaked after chunk eval", len(w.used))
 		}
 		e.stats.Chunks.Add(1)
 		rs.chunks.Add(1)
+		csp.N++
 	}
 
 	// 5. Publish cumulative carries for partition p+1.
 	if rs.cum != nil {
 		rs.cum.publish(p+1, w.cumRun)
 	}
+	w.buf.End(csp)
 
 	// 6. Hand tall-target partitions to the write-behind queue and move on
 	// to the next partition's compute; buffer ownership transfers to the
 	// writer until its release callback returns it to the shared pool.
-	// Under SyncWrites the worker stalls through each write instead.
+	// Under SyncWrites the worker stalls through each write instead. The
+	// worker-side span carries bytes only for synchronous writes; async bytes
+	// land on the writer-lane spans, so summing Bytes over every write-back
+	// span equals BytesWritten with no double counting.
+	wsp := w.buf.Begin(trace.KindWriteBack, int64(p))
 	for i, m := range rs.d.talls {
 		buf := outBufs[i]
 		n := rows * m.ncol
@@ -692,11 +733,14 @@ func (w *worker) processPartition(p int) error {
 		err := st.WritePart(p, buf[:n])
 		rs.syncWriteNs.Add(time.Since(t0).Nanoseconds())
 		rs.syncBytes.Add(int64(n) * 8)
+		wsp.Bytes += int64(n) * 8
 		rs.putOut(buf)
 		if err != nil {
+			w.buf.End(wsp)
 			return fmt.Errorf("core: writing target %d partition %d: %w", mid, p, err)
 		}
 	}
+	w.buf.End(wsp)
 	for _, slot := range rs.leafSlots {
 		if w.leafOwned[slot] {
 			w.put(w.leafBufs[slot])

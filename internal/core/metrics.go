@@ -1,0 +1,84 @@
+package core
+
+import (
+	"repro/internal/trace"
+)
+
+// RegisterStatsMetrics registers a MaterializeStats source as counter
+// families on reg. snap must return a self-consistent snapshot (the engine
+// and session totals do: they are copied under a mutex). The snapshot is
+// taken once per collection via the registry's OnCollect hook, so every
+// family of one scrape comes from the same MaterializeStats value — the fix
+// for torn reads when a scrape races an in-flight pass completing.
+//
+// owner, when non-empty, labels every series (per-session registries).
+func RegisterStatsMetrics(reg *trace.Registry, owner string, snap func() MaterializeStats) {
+	var labels []trace.Label
+	if owner != "" {
+		labels = []trace.Label{{Key: "owner", Value: owner}}
+	}
+	var cur MaterializeStats
+	reg.OnCollect(func() { cur = snap() })
+	for _, c := range []struct {
+		name, help string
+		read       func() float64
+	}{
+		{"flashr_materialize_passes_total", "Parallel materialization passes executed.", func() float64 { return float64(cur.Passes) }},
+		{"flashr_materialize_parts_total", "I/O partitions processed.", func() float64 { return float64(cur.Parts) }},
+		{"flashr_materialize_chunks_total", "Pcache chunks evaluated.", func() float64 { return float64(cur.Chunks) }},
+		{"flashr_materialize_read_bytes_total", "Leaf partition bytes copied into compute buffers.", func() float64 { return float64(cur.BytesRead) }},
+		{"flashr_materialize_written_bytes_total", "Tall-output partition bytes handed to stores.", func() float64 { return float64(cur.BytesWritten) }},
+		{"flashr_materialize_prefetch_hits_total", "Leaf loads served by the read-ahead pipeline.", func() float64 { return float64(cur.PrefetchHits) }},
+		{"flashr_materialize_prefetch_misses_total", "Leaf loads that fell back to synchronous reads.", func() float64 { return float64(cur.PrefetchMisses) }},
+		{"flashr_materialize_prefetch_abandoned_total", "Prefetched partitions drained unconsumed on exit paths.", func() float64 { return float64(cur.PrefetchAbandoned) }},
+		{"flashr_materialize_write_jobs_total", "Partitions routed through the write-behind queue.", func() float64 { return float64(cur.WriteJobs) }},
+		{"flashr_materialize_checksum_failures_total", "Stripe reads failing CRC32C verification, attributed to passes.", func() float64 { return float64(cur.ChecksumFailures) }},
+		{"flashr_materialize_io_retries_total", "SAFS retry attempts attributed to passes.", func() float64 { return float64(cur.IORetries) }},
+		{"flashr_materialize_recovered_reads_total", "Reads recovered within the retry budget, attributed to passes.", func() float64 { return float64(cur.RecoveredReads) }},
+		{"flashr_materialize_recovered_writes_total", "Writes recovered within the retry budget, attributed to passes.", func() float64 { return float64(cur.RecoveredWrites) }},
+		{"flashr_materialize_cse_unifications_total", "Nodes and sinks deduplicated within passes.", func() float64 { return float64(cur.CSEUnifications) }},
+		{"flashr_materialize_nodes_executed_total", "Virtual matrix nodes actually evaluated.", func() float64 { return float64(cur.NodesExecuted) }},
+		{"flashr_materialize_cache_hits_total", "Sub-DAG results served from the result cache.", func() float64 { return float64(cur.CacheHits) }},
+		{"flashr_materialize_cache_misses_total", "Sub-DAG cache candidates this engine had to compute.", func() float64 { return float64(cur.CacheMisses) }},
+		{"flashr_materialize_cache_evictions_total", "Result-cache LRU evictions.", func() float64 { return float64(cur.CacheEvictions) }},
+		{"flashr_materialize_cache_hit_bytes_total", "Result bytes served without recomputation or I/O.", func() float64 { return float64(cur.CacheHitBytes) }},
+		{"flashr_materialize_wall_seconds_total", "End-to-end Materialize wall time.", func() float64 { return cur.Wall.Seconds() }},
+		{"flashr_materialize_read_wait_seconds_total", "Worker time blocked on in-flight prefetch reads.", func() float64 { return cur.ReadWait.Seconds() }},
+		{"flashr_materialize_write_stall_seconds_total", "Compute time blocked handing partitions to the write queue.", func() float64 { return cur.WriteStall.Seconds() }},
+		{"flashr_materialize_write_seconds_total", "Cumulative time inside partition writes.", func() float64 { return cur.WriteTime.Seconds() }},
+		{"flashr_materialize_write_drain_seconds_total", "Time at the end-of-pass write-behind drain barrier.", func() float64 { return cur.WriteDrain.Seconds() }},
+		{"flashr_materialize_verify_seconds_total", "SAFS integrity work attributed to passes.", func() float64 { return cur.VerifyTime.Seconds() }},
+	} {
+		reg.CounterFunc(c.name, c.help, c.read, labels...)
+	}
+}
+
+// Metrics returns the engine's metrics registry, building it on first use:
+// the engine-lifetime MaterializeStats total, scheduler counters, admission
+// gauges, the NUMA topology, and (when attached) the SSD array.
+func (e *Engine) Metrics() *trace.Registry {
+	e.metricsOnce.Do(func() {
+		reg := trace.NewRegistry()
+		RegisterStatsMetrics(reg, "", e.TotalMaterializeStats)
+		reg.CounterFunc("flashr_engine_dags_total", "Fused DAGs executed.",
+			func() float64 { return float64(e.stats.DAGs.Load()) })
+		reg.CounterFunc("flashr_engine_nodes_eval_total", "Node-chunk evaluations.",
+			func() float64 { return float64(e.stats.NodesEval.Load()) })
+		reg.GaugeFunc("flashr_engine_passes_running", "Admitted passes currently executing.",
+			func() float64 { return float64(e.arb.running()) })
+		reg.GaugeFunc("flashr_engine_passes_queued", "Passes waiting for admission.",
+			func() float64 { return float64(e.arb.queued()) })
+		if e.rcache != nil {
+			reg.GaugeFunc("flashr_result_cache_bytes", "Bytes held by the sub-DAG result cache.",
+				func() float64 { _, b := e.rcache.stats(); return float64(b) })
+			reg.GaugeFunc("flashr_result_cache_entries", "Entries in the sub-DAG result cache.",
+				func() float64 { n, _ := e.rcache.stats(); return float64(n) })
+		}
+		e.cfg.Topo.RegisterMetrics(reg)
+		if e.cfg.FS != nil {
+			e.cfg.FS.RegisterMetrics(reg)
+		}
+		e.metrics = reg
+	})
+	return e.metrics
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// passTrace is the per-pass tracing state: the root-lane span buffer plus
+// every lane buffer handed out to workers and write-behind lanes, stitched
+// into the engine tracer when the pass finishes. A nil *passTrace is the
+// disabled state — every method is nil-receiver safe and returns nil Bufs,
+// whose Begin/End are themselves free no-ops.
+type passTrace struct {
+	tr   *trace.Tracer
+	meta trace.PassMeta
+	root *trace.Buf
+
+	mu   sync.Mutex
+	bufs []*trace.Buf
+}
+
+// newPassTrace starts recording one pass. A nil tracer returns nil.
+func (e *Engine) newPassTrace(passID int64, owner string) *passTrace {
+	tr := e.tracer.Load()
+	if tr == nil {
+		return nil
+	}
+	return &passTrace{
+		tr:   tr,
+		meta: trace.PassMeta{Pass: passID, Owner: owner},
+		root: tr.NewBuf(passID, trace.TrackRoot),
+	}
+}
+
+// rootBuf returns the orchestrator-lane buffer (nil when disabled).
+func (pt *passTrace) rootBuf() *trace.Buf {
+	if pt == nil {
+		return nil
+	}
+	return pt.root
+}
+
+// newBuf creates and tracks a lane buffer for this pass.
+func (pt *passTrace) newBuf(track int32) *trace.Buf {
+	if pt == nil {
+		return nil
+	}
+	b := pt.tr.NewBuf(pt.meta.Pass, track)
+	pt.mu.Lock()
+	pt.bufs = append(pt.bufs, b)
+	pt.mu.Unlock()
+	return b
+}
+
+// finish stitches all lane buffers into the tracer. Every lane must have
+// quiesced; the caller guarantees this by finishing only after worker
+// WaitGroups and the write-behind drain barrier.
+func (pt *passTrace) finish() {
+	if pt == nil {
+		return
+	}
+	pt.mu.Lock()
+	bufs := append([]*trace.Buf{pt.root}, pt.bufs...)
+	pt.bufs = nil
+	pt.mu.Unlock()
+	pt.tr.Collect(pt.meta, bufs...)
+}
+
+// passRun carries a pass's identity and tracing state through the
+// materialize → runFused call chain.
+type passRun struct {
+	id    int64
+	owner string
+	pt    *passTrace
+}
+
+// StartTrace enables span recording on the engine. Passes that begin after
+// the call are recorded; it is a no-op if tracing is already on.
+func (e *Engine) StartTrace() {
+	e.tracer.CompareAndSwap(nil, trace.New())
+}
+
+// StopTrace disables recording and returns everything recorded since
+// StartTrace, or nil if tracing was off. Passes still running keep their
+// trace state and are simply dropped at collection, so stopping mid-pass is
+// safe.
+func (e *Engine) StopTrace() *trace.Data {
+	tr := e.tracer.Swap(nil)
+	if tr == nil {
+		return nil
+	}
+	return tr.Data()
+}
+
+// Tracing reports whether span recording is on.
+func (e *Engine) Tracing() bool { return e.tracer.Load() != nil }

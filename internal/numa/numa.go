@@ -15,8 +15,11 @@ package numa
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/trace"
 )
 
 // DefaultChunkBytes is the size of the fixed memory chunks shared among all
@@ -194,6 +197,33 @@ func (t *Topology) PoolStats() (idle, allocated []int) {
 		idle[i], allocated[i] = p.stats()
 	}
 	return idle, allocated
+}
+
+// RegisterMetrics registers the topology's access counters, the reservation
+// ledger, and per-node chunk-pool gauges with a metrics registry.
+func (t *Topology) RegisterMetrics(reg *trace.Registry) {
+	reg.CounterFunc("flashr_numa_local_accesses_total",
+		"Partition accesses served from the worker's own NUMA node.",
+		func() float64 { l, _ := t.Stats(); return float64(l) })
+	reg.CounterFunc("flashr_numa_remote_accesses_total",
+		"Partition accesses crossing NUMA nodes.",
+		func() float64 { _, r := t.Stats(); return float64(r) })
+	reg.GaugeFunc("flashr_numa_mem_budget_bytes",
+		"Reservation ceiling for concurrent passes (0 = unlimited).",
+		func() float64 { return float64(t.MemBudget()) })
+	reg.GaugeFunc("flashr_numa_mem_reserved_bytes",
+		"Bytes currently reserved by admitted passes.",
+		func() float64 { return float64(t.MemReserved()) })
+	for i, p := range t.pools {
+		p := p
+		node := trace.Label{Key: "node", Value: strconv.Itoa(i)}
+		reg.GaugeFunc("flashr_numa_pool_idle_chunks",
+			"Chunks idle in the node's free list.",
+			func() float64 { idle, _ := p.stats(); return float64(idle) }, node)
+		reg.GaugeFunc("flashr_numa_pool_minted_chunks",
+			"Chunks ever allocated fresh on the node.",
+			func() float64 { _, minted := p.stats(); return float64(minted) }, node)
+	}
 }
 
 // chunkPool recycles fixed-size []float64 chunks. Keeping chunks uniform

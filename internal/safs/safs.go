@@ -30,10 +30,13 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // crcTable is the CRC32C (Castagnoli) table used for per-stripe checksums —
@@ -251,6 +254,39 @@ func (fs *FS) Stats() Stats {
 	st.RecoveredWrites = fs.recoveredWrites.Load()
 	st.VerifyTime = time.Duration(fs.verifyNs.Load())
 	return st
+}
+
+// RegisterMetrics registers the array's counters and per-drive histograms
+// with a metrics registry. The Stats snapshot is cached once per collection
+// (OnCollect), so the counter families of one scrape are mutually consistent.
+func (fs *FS) RegisterMetrics(reg *trace.Registry) {
+	var snap Stats
+	reg.OnCollect(func() { snap = fs.Stats() })
+	for _, c := range []struct {
+		name, help string
+		read       func() float64
+	}{
+		{"flashr_safs_read_bytes_total", "Bytes read from the SSD array.", func() float64 { return float64(snap.BytesRead) }},
+		{"flashr_safs_written_bytes_total", "Bytes written to the SSD array.", func() float64 { return float64(snap.BytesWritten) }},
+		{"flashr_safs_reads_total", "Read requests completed by the SSD array.", func() float64 { return float64(snap.Reads) }},
+		{"flashr_safs_writes_total", "Write requests completed by the SSD array.", func() float64 { return float64(snap.Writes) }},
+		{"flashr_safs_checksum_failures_total", "Stripe reads whose CRC32C mismatched.", func() float64 { return float64(snap.ChecksumFailures) }},
+		{"flashr_safs_retries_total", "Retry attempts after transient I/O failures.", func() float64 { return float64(snap.Retries) }},
+		{"flashr_safs_recovered_reads_total", "Reads that failed then succeeded within the retry budget.", func() float64 { return float64(snap.RecoveredReads) }},
+		{"flashr_safs_recovered_writes_total", "Writes that failed then succeeded within the retry budget.", func() float64 { return float64(snap.RecoveredWrites) }},
+		{"flashr_safs_verify_seconds_total", "Cumulative CRC32C and read-modify-checksum time.", func() float64 { return snap.VerifyTime.Seconds() }},
+	} {
+		reg.CounterFunc(c.name, c.help, c.read)
+	}
+	for _, d := range fs.drives {
+		dl := trace.Label{Key: "drive", Value: strconv.Itoa(d.id)}
+		reg.AddHistogram("flashr_safs_request_latency_seconds",
+			"SSD request service latency (queue pop to completion).", d.readLat, dl, trace.Label{Key: "op", Value: "read"})
+		reg.AddHistogram("flashr_safs_request_latency_seconds",
+			"SSD request service latency (queue pop to completion).", d.writeLat, dl, trace.Label{Key: "op", Value: "write"})
+		reg.AddHistogram("flashr_safs_queue_depth",
+			"Queued requests on the drive, sampled at each enqueue.", d.qdepth, dl)
+	}
 }
 
 // InjectFaults installs a fault-injection profile on the array (nil clears
@@ -836,12 +872,36 @@ type drive struct {
 	// frng rolls fault injection for this drive (worker-private).
 	frng *rand.Rand
 
+	// Always-on drive observability (adopted into a metrics registry via
+	// FS.RegisterMetrics): request latency per direction, measured around
+	// process() in the worker loop, and the drive's total queued request
+	// count sampled at every enqueue. Histogram updates are a few atomic adds
+	// per request — noise next to the simulated I/O itself.
+	readLat  *trace.Histogram
+	writeLat *trace.Histogram
+	qdepth   *trace.Histogram
+	queued   int // total requests queued across passes; guarded by qmu
+
 	mu   sync.Mutex
 	open map[string]*os.File
 }
 
+// latencyBuckets spans the simulated-SSD request range: tens of microseconds
+// (unthrottled small pieces) through seconds (throttled + retry backoff).
+func latencyBuckets() []float64 {
+	return []float64{50e-6, 200e-6, 1e-3, 5e-3, 20e-3, 100e-3, 500e-3, 2.5}
+}
+
+// queueDepthBuckets covers 0 through well past the default per-pass depth.
+func queueDepthBuckets() []float64 {
+	return []float64{0, 1, 2, 4, 8, 16, 32, 64}
+}
+
 func newDrive(id int, dir string, readMBps, writeMBps float64, depth int) (*drive, error) {
 	d := &drive{id: id, dir: dir, depth: depth, open: make(map[string]*os.File), queues: make(map[int64]*passQueue)}
+	d.readLat = trace.NewHistogram(latencyBuckets()...)
+	d.writeLat = trace.NewHistogram(latencyBuckets()...)
+	d.qdepth = trace.NewHistogram(queueDepthBuckets()...)
 	d.qcond = sync.NewCond(&d.qmu)
 	if readMBps > 0 {
 		d.readTB = newTokenBucket(readMBps * 1024 * 1024)
@@ -886,7 +946,10 @@ func (d *drive) enqueue(r ioReq) {
 		d.order = append(d.order, key)
 	}
 	q.reqs = append(q.reqs, r)
+	d.queued++
+	depthNow := d.queued
 	d.qmu.Unlock()
+	d.qdepth.Observe(float64(depthNow))
 	d.qcond.Broadcast()
 }
 
@@ -903,7 +966,15 @@ func (d *drive) serve() {
 		if !ok {
 			return
 		}
-		r.comp.finish(d.process(r), len(r.buf))
+		t0 := time.Now()
+		err := d.process(r)
+		lat := time.Since(t0).Seconds()
+		if r.write {
+			d.writeLat.Observe(lat)
+		} else {
+			d.readLat.Observe(lat)
+		}
+		r.comp.finish(err, len(r.buf))
 	}
 }
 
@@ -959,6 +1030,7 @@ func (d *drive) popDRR() (ioReq, bool) {
 			r := q.reqs[0]
 			q.reqs[0] = ioReq{} // release buffer/completion references
 			q.reqs = q.reqs[1:]
+			d.queued--
 			if len(q.reqs) == 0 {
 				// A pass leaves the active list with its surplus forfeited;
 				// the queue itself is reaped on the next popDRR.

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // WriteBack is a bounded write-behind queue: the execution engine hands a
@@ -23,7 +25,14 @@ import (
 // retry/backoff policy all apply identically on both paths; no separate
 // integrity handling lives here.
 type WriteBack struct {
-	slots chan struct{}
+	// lanes holds the free lane tokens 0..depth-1. A job receives a token in
+	// Enqueue and its goroutine returns it on completion, so the token bounds
+	// in-flight writes AND grants exclusive ownership of the lane's trace
+	// buffer — the channel round-trip is the happens-before edge between
+	// successive jobs on one lane.
+	lanes chan int
+	// bufs, when tracing, is one span buffer per lane (indexed by token).
+	bufs  []*trace.Buf
 	wg    sync.WaitGroup
 	onErr func(error)
 
@@ -61,7 +70,24 @@ func NewWriteBack(depth int, onErr func(error)) *WriteBack {
 	if depth <= 0 {
 		depth = DefaultWriteBehindDepth
 	}
-	return &WriteBack{slots: make(chan struct{}, depth), onErr: onErr}
+	wb := &WriteBack{lanes: make(chan int, depth), onErr: onErr}
+	for i := 0; i < depth; i++ {
+		wb.lanes <- i
+	}
+	return wb
+}
+
+// Lanes returns the queue depth (the number of write lanes).
+func (wb *WriteBack) Lanes() int { return cap(wb.lanes) }
+
+// SetTraceBufs attaches one span buffer per lane (len must equal Lanes;
+// entries may be nil). Call before the first Enqueue; each async job then
+// records a write-back span on its lane's buffer.
+func (wb *WriteBack) SetTraceBufs(bufs []*trace.Buf) {
+	if len(bufs) != wb.Lanes() {
+		panic("safs: SetTraceBufs length does not match lane count")
+	}
+	wb.bufs = bufs
 }
 
 // Enqueue schedules one write job of nbytes. write performs the actual
@@ -71,19 +97,27 @@ func NewWriteBack(depth int, onErr func(error)) *WriteBack {
 // in-flight writers always complete.
 func (wb *WriteBack) Enqueue(nbytes int, write func() error, release func()) {
 	t0 := time.Now()
-	wb.slots <- struct{}{}
+	lane := <-wb.lanes
 	if d := time.Since(t0); d > 0 {
 		wb.stallNs.Add(d.Nanoseconds())
 	}
 	wb.jobs.Add(1)
 	wb.bytes.Add(int64(nbytes))
+	var buf *trace.Buf
+	if wb.bufs != nil {
+		buf = wb.bufs[lane]
+	}
 	wb.wg.Add(1)
 	go func() {
 		defer wb.wg.Done()
-		defer func() { <-wb.slots }()
+		defer func() { wb.lanes <- lane }()
+		sp := buf.Begin(trace.KindWriteBack, int64(lane))
+		sp.Bytes = int64(nbytes)
+		sp.N = 1
 		w0 := time.Now()
 		err := write()
 		wb.writeNs.Add(time.Since(w0).Nanoseconds())
+		buf.End(sp)
 		if release != nil {
 			release()
 		}

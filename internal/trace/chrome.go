@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Chrome trace_event export: the JSON Object Format understood by
+// chrome://tracing and Perfetto. Every closed span becomes one complete
+// event (ph "X"); pass identity maps to pid and track to tid, with metadata
+// events naming both, so the viewer shows one process per pass with its
+// lanes as threads and owners in the process names.
+
+// passPidStride separates the pid namespaces of multiple Data values merged
+// into one file (e.g. the IM and EM engines of one benchmark run).
+const passPidStride = 1 << 20
+
+// chromeEvent is one trace_event record.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChrome writes one or more traces as Chrome trace_event JSON. Each
+// Data value gets its own pid namespace so pass ids from different engines
+// cannot collide.
+func WriteChrome(w io.Writer, datas ...*Data) error {
+	var f chromeFile
+	for di, d := range datas {
+		if d == nil {
+			continue
+		}
+		base := int64(di) * passPidStride
+		for _, m := range d.Passes {
+			name := fmt.Sprintf("pass %d", m.Pass)
+			if m.Owner != "" {
+				name += fmt.Sprintf(" owner=%s", m.Owner)
+			}
+			if len(datas) > 1 {
+				name = fmt.Sprintf("engine %d %s", di, name)
+			}
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: base + m.Pass,
+				Args: map[string]any{"name": name, "owner": m.Owner},
+			})
+		}
+		tracks := map[[2]int64]bool{}
+		for _, ev := range d.Events {
+			key := [2]int64{ev.Pass, int64(ev.Track)}
+			if !tracks[key] {
+				tracks[key] = true
+				f.TraceEvents = append(f.TraceEvents, chromeEvent{
+					Name: "thread_name", Ph: "M", Pid: base + ev.Pass, Tid: int64(ev.Track),
+					Args: map[string]any{"name": TrackName(ev.Track)},
+				})
+			}
+			dur := float64(ev.End-ev.Start) / 1e3
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("%s %d", ev.Kind, ev.Arg),
+				Cat:  ev.Kind.String(),
+				Ph:   "X",
+				Ts:   float64(ev.Start) / 1e3,
+				Dur:  &dur,
+				Pid:  base + ev.Pass,
+				Tid:  int64(ev.Track),
+				Args: map[string]any{"arg": ev.Arg, "bytes": ev.Bytes, "n": ev.N},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// ParseChrome reads Chrome trace_event JSON produced by WriteChrome back into
+// a Data, for round-trip validation with Verify. Only single-Data files
+// round-trip pass ids exactly; merged files keep each engine's passes
+// distinct under their pid-stride offsets, so Verify still sees one root
+// per pass.
+func ParseChrome(r io.Reader) (*Data, error) {
+	var f chromeFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("trace: parsing chrome JSON: %w", err)
+	}
+	d := &Data{}
+	seenPass := map[int64]bool{}
+	for _, ce := range f.TraceEvents {
+		pass := ce.Pid
+		switch ce.Ph {
+		case "M":
+			if ce.Name != "process_name" {
+				continue
+			}
+			if seenPass[pass] {
+				continue
+			}
+			seenPass[pass] = true
+			owner, _ := ce.Args["owner"].(string)
+			d.Passes = append(d.Passes, PassMeta{Pass: pass, Owner: owner})
+		case "X":
+			k := KindFromString(ce.Cat)
+			if k == KindInvalid {
+				return nil, fmt.Errorf("trace: event %q has unknown category %q", ce.Name, ce.Cat)
+			}
+			var dur float64
+			if ce.Dur != nil {
+				dur = *ce.Dur
+			}
+			start := int64(math.Round(ce.Ts * 1e3))
+			end := int64(math.Round((ce.Ts + dur) * 1e3))
+			ev := Event{Pass: pass, Track: int32(ce.Tid), Kind: k, Start: start, End: end}
+			if v, ok := ce.Args["arg"].(float64); ok {
+				ev.Arg = int64(v)
+			}
+			if v, ok := ce.Args["bytes"].(float64); ok {
+				ev.Bytes = int64(v)
+			}
+			if v, ok := ce.Args["n"].(float64); ok {
+				ev.N = int64(v)
+			}
+			d.Events = append(d.Events, ev)
+		}
+	}
+	sort.Slice(d.Passes, func(i, j int) bool { return d.Passes[i].Pass < d.Passes[j].Pass })
+	return d, nil
+}

@@ -1,0 +1,351 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSpanHotPathZeroAlloc pins the disabled-tracing hot path at zero
+// allocations: a nil Buf's Begin/End pair must not allocate (ISSUE overhead
+// guard; a regression here would put garbage on every partition of every
+// pass even with tracing off).
+func TestSpanHotPathZeroAlloc(t *testing.T) {
+	var b *Buf
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := b.Begin(KindRead, 7)
+		sp.Bytes += 4096
+		sp.N++
+		b.End(sp)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span hot path allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	b := tr.NewBuf(1, TrackRoot)
+	if b != nil {
+		t.Fatalf("nil tracer returned non-nil buf")
+	}
+	tr.Collect(PassMeta{Pass: 1}, b)
+	if d := tr.Data(); d != nil {
+		t.Fatalf("nil tracer returned non-nil data")
+	}
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for k := KindPass; k < kindCount; k++ {
+		if got := KindFromString(k.String()); got != k {
+			t.Errorf("KindFromString(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if KindFromString("nope") != KindInvalid {
+		t.Errorf("unknown kind name parsed as valid")
+	}
+}
+
+func TestTrackHelpers(t *testing.T) {
+	if !IsWorkerTrack(WorkerTrack(0)) || !IsWorkerTrack(WorkerTrack(500)) {
+		t.Errorf("worker tracks misclassified")
+	}
+	if !IsWriterTrack(WriterTrack(0)) || IsWorkerTrack(WriterTrack(3)) {
+		t.Errorf("writer tracks misclassified")
+	}
+	if IsWorkerTrack(TrackRoot) || IsWriterTrack(TrackRoot) {
+		t.Errorf("root track misclassified")
+	}
+	for _, tc := range []struct {
+		track int32
+		want  string
+	}{{TrackRoot, "pass"}, {WorkerTrack(2), "worker 2"}, {WriterTrack(1), "writer 1"}} {
+		if got := TrackName(tc.track); got != tc.want {
+			t.Errorf("TrackName(%d) = %q, want %q", tc.track, got, tc.want)
+		}
+	}
+}
+
+// buildTrace assembles a synthetic well-formed single-pass trace by driving
+// the real Buf/Tracer API.
+func buildTrace(t *testing.T) *Data {
+	t.Helper()
+	tr := New()
+	root := tr.NewBuf(1, TrackRoot)
+	w0 := tr.NewBuf(1, WorkerTrack(0))
+	wr0 := tr.NewBuf(1, WriterTrack(0))
+
+	rootSp := root.Begin(KindPass, 0)
+	admit := root.Begin(KindAdmit, 0)
+	root.End(admit)
+	lookup := root.Begin(KindCacheLookup, 0)
+	root.End(lookup)
+
+	st := w0.Begin(KindSuperTask, 0)
+	rd := w0.Begin(KindRead, 0)
+	rd.Bytes, rd.N = 8192, 2
+	w0.End(rd)
+	cp := w0.Begin(KindCompute, 0)
+	cp.N = 4
+	w0.End(cp)
+	wb := w0.Begin(KindWriteBack, 0)
+	w0.End(wb)
+	w0.End(st)
+
+	job := wr0.Begin(KindWriteBack, 0)
+	job.Bytes = 8192
+	wr0.End(job)
+
+	dr := root.Begin(KindDrain, 0)
+	root.End(dr)
+	pub := root.Begin(KindPublish, 0)
+	root.End(pub)
+	root.End(rootSp)
+
+	tr.Collect(PassMeta{Pass: 1, Owner: "sess-a"}, root, w0, wr0)
+	return tr.Data()
+}
+
+func TestVerifyAcceptsWellFormed(t *testing.T) {
+	d := buildTrace(t)
+	if err := Verify(d); err != nil {
+		t.Fatalf("well-formed trace rejected: %v", err)
+	}
+	if len(d.Events) != 10 {
+		t.Fatalf("got %d events, want 10", len(d.Events))
+	}
+}
+
+// TestVerifyViolations is the table-driven half of the invariant suite:
+// each case mutates a valid trace into one specific violation and asserts
+// Verify names it.
+func TestVerifyViolations(t *testing.T) {
+	mk := func() *Data {
+		return &Data{
+			Passes: []PassMeta{{Pass: 1}},
+			Events: []Event{
+				{Pass: 1, Track: TrackRoot, Kind: KindPass, Start: 0, End: 100},
+				{Pass: 1, Track: WorkerTrack(0), Kind: KindSuperTask, Start: 10, End: 90},
+				{Pass: 1, Track: WorkerTrack(0), Kind: KindRead, Start: 20, End: 40},
+				{Pass: 1, Track: WorkerTrack(0), Kind: KindCompute, Start: 40, End: 80},
+			},
+		}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(d *Data)
+		wantErr string
+	}{
+		{"unclosed span", func(d *Data) { d.Unclosed = 2 }, "never ended"},
+		{"invalid kind", func(d *Data) { d.Events[2].Kind = KindInvalid }, "invalid kind"},
+		{"end before start", func(d *Data) { d.Events[2].Start, d.Events[2].End = 40, 20 }, "interval"},
+		{"negative start", func(d *Data) { d.Events[0].Start = -1 }, "interval"},
+		{"two roots", func(d *Data) {
+			d.Events = append(d.Events, Event{Pass: 1, Track: TrackRoot, Kind: KindPass, Start: 0, End: 100})
+		}, "more than one root"},
+		{"no root", func(d *Data) { d.Events = d.Events[1:] }, "no root"},
+		{"root off root track", func(d *Data) { d.Events[0].Track = WorkerTrack(3) }, "want root track"},
+		{"span outside root", func(d *Data) { d.Events[1].End = 150 }, "outside root"},
+		{"partial overlap", func(d *Data) { d.Events[3].Start = 30 }, "partially overlaps"},
+		{"read outside super-task", func(d *Data) {
+			d.Events = append(d.Events, Event{Pass: 1, Track: WorkerTrack(1), Kind: KindRead, Start: 5, End: 9})
+		}, "outside any super-task"},
+		{"super-task on root track", func(d *Data) { d.Events[1].Track = TrackRoot }, "non-worker track"},
+		{"admit on worker track", func(d *Data) {
+			d.Events = append(d.Events, Event{Pass: 1, Track: WorkerTrack(0), Kind: KindAdmit, Start: 11, End: 12})
+		}, "want root track"},
+		{"compute on writer track", func(d *Data) { d.Events[3].Track = WriterTrack(0) }, "non-worker track"},
+		{"admit on writer track", func(d *Data) {
+			d.Events = append(d.Events, Event{Pass: 1, Track: WriterTrack(2), Kind: KindDrain, Start: 11, End: 12})
+		}, "want root track"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := mk()
+			tc.mutate(d)
+			err := Verify(d)
+			if err == nil {
+				t.Fatalf("violation accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestVerifyCountsUnclosed(t *testing.T) {
+	tr := New()
+	b := tr.NewBuf(1, TrackRoot)
+	_ = b.Begin(KindPass, 0) // never ended
+	tr.Collect(PassMeta{Pass: 1}, b)
+	if err := Verify(tr.Data()); err == nil {
+		t.Fatalf("trace with an unclosed span verified clean")
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	d := buildTrace(t)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, d); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	got, err := ParseChrome(&buf)
+	if err != nil {
+		t.Fatalf("ParseChrome: %v", err)
+	}
+	if err := Verify(got); err != nil {
+		t.Fatalf("round-tripped trace fails verification: %v", err)
+	}
+	if len(got.Events) != len(d.Events) {
+		t.Fatalf("round trip lost events: got %d, want %d", len(got.Events), len(d.Events))
+	}
+	if len(got.Passes) != 1 || got.Passes[0].Owner != "sess-a" {
+		t.Fatalf("round trip lost pass metadata: %+v", got.Passes)
+	}
+	var wantBytes, gotBytes int64
+	for _, ev := range d.Events {
+		wantBytes += ev.Bytes
+	}
+	for _, ev := range got.Events {
+		gotBytes += ev.Bytes
+	}
+	if wantBytes != gotBytes {
+		t.Fatalf("round trip changed byte totals: got %d, want %d", gotBytes, wantBytes)
+	}
+}
+
+func TestChromeMergesEngines(t *testing.T) {
+	d := buildTrace(t)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, d, d); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, "engine 0 pass 1") || !strings.Contains(s, "engine 1 pass 1") {
+		t.Fatalf("merged export missing per-engine process names:\n%s", s)
+	}
+}
+
+func TestRegistryWriteTo(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("flashr_test_ops_total", "Ops.", Label{"kind", "read"})
+	c.Add(3)
+	r.GaugeFunc("flashr_test_depth", "Depth.", func() float64 { return 2.5 })
+	h := NewHistogram(0.001, 0.01, 0.1)
+	h.Observe(0.005)
+	h.Observe(0.5)
+	r.AddHistogram("flashr_test_latency_seconds", "Latency.", h, Label{"drive", "0"})
+
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE flashr_test_ops_total counter",
+		`flashr_test_ops_total{kind="read"} 3`,
+		"# TYPE flashr_test_depth gauge",
+		"flashr_test_depth 2.5",
+		"# TYPE flashr_test_latency_seconds histogram",
+		`flashr_test_latency_seconds_bucket{drive="0",le="0.001"} 0`,
+		`flashr_test_latency_seconds_bucket{drive="0",le="0.01"} 1`,
+		`flashr_test_latency_seconds_bucket{drive="0",le="+Inf"} 2`,
+		`flashr_test_latency_seconds_count{drive="0"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistrySnapshotAndInclude(t *testing.T) {
+	child := NewRegistry()
+	child.Counter("flashr_parts_total", "Parts.").Add(7)
+	parent := NewRegistry()
+	parent.Counter("flashr_parts_total", "Parts.").Add(11)
+	parent.Include(child, Label{"owner", "sess-a"})
+
+	snap := parent.Snapshot()
+	if got := snap["flashr_parts_total"]; got != 11 {
+		t.Errorf("parent series = %v, want 11", got)
+	}
+	if got := snap[`flashr_parts_total{owner="sess-a"}`]; got != 7 {
+		t.Errorf("included series = %v, want 7", got)
+	}
+
+	var buf bytes.Buffer
+	if _, err := parent.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n := strings.Count(buf.String(), "# TYPE flashr_parts_total"); n != 1 {
+		t.Errorf("merged family emitted %d TYPE lines, want 1:\n%s", n, buf.String())
+	}
+}
+
+func TestRegistryOnCollectConsistency(t *testing.T) {
+	// Two counters derived from one two-field source must always agree within
+	// a snapshot; the OnCollect hook caches the source once per collection.
+	type src struct{ a, b int64 }
+	var mu sync.Mutex
+	live := src{}
+	var cached src
+	r := NewRegistry()
+	r.OnCollect(func() { mu.Lock(); cached = live; mu.Unlock() })
+	r.CounterFunc("flashr_a_total", "A.", func() float64 { return float64(cached.a) })
+	r.CounterFunc("flashr_b_total", "B.", func() float64 { return float64(cached.b) })
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			mu.Lock()
+			live.a++
+			live.b++
+			mu.Unlock()
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		snap := r.Snapshot()
+		if snap["flashr_a_total"] != snap["flashr_b_total"] {
+			t.Fatalf("torn snapshot: a=%v b=%v", snap["flashr_a_total"], snap["flashr_b_total"])
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i % 200))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	var want float64
+	for i := 0; i < 200; i++ {
+		want += float64(i)
+	}
+	want *= 8 * 5
+	if math.Abs(h.Sum()-want) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+}

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Verify checks the well-formedness invariants every collected trace must
+// satisfy. It is the enforcement half of the tracing subsystem: the invariant
+// suite runs it over traces of seeded random DAG programs, and the trace-smoke
+// CI step runs it over exported-and-reparsed Chrome JSON.
+//
+// The invariants:
+//
+//  1. Every span was closed: Data.Unclosed is zero and every event has
+//     0 ≤ Start ≤ End and a valid Kind.
+//  2. Single root: each pass id has exactly one KindPass span, on the root
+//     track, and every other span of the pass nests inside its interval.
+//  3. Stack discipline per (pass, track): a track is one sequential execution
+//     lane, so any two of its spans are strictly nested or disjoint — never
+//     partially overlapping. This is the "per-worker spans non-overlapping"
+//     invariant: two same-level spans on one worker cannot intersect.
+//  4. Taxonomy: KindPass/KindAdmit/KindCacheLookup/KindPublish/KindDrain live
+//     on the root track only; KindSuperTask lives on worker tracks only, and
+//     every KindRead/KindCompute (and worker-side KindWriteBack) span nests
+//     inside a KindSuperTask on its track; writer tracks carry only
+//     KindWriteBack spans.
+func Verify(d *Data) error {
+	if d == nil {
+		return fmt.Errorf("trace: nil data")
+	}
+	if d.Unclosed != 0 {
+		return fmt.Errorf("trace: %d spans begun but never ended", d.Unclosed)
+	}
+	byPass := make(map[int64][]Event)
+	for i, ev := range d.Events {
+		if ev.Kind == KindInvalid || ev.Kind >= kindCount {
+			return fmt.Errorf("trace: event %d has invalid kind %d", i, ev.Kind)
+		}
+		if ev.Start < 0 || ev.End < ev.Start {
+			return fmt.Errorf("trace: event %d (%v pass %d) has interval [%d,%d]",
+				i, ev.Kind, ev.Pass, ev.Start, ev.End)
+		}
+		byPass[ev.Pass] = append(byPass[ev.Pass], ev)
+	}
+	for pass, evs := range byPass {
+		if err := verifyPass(pass, evs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func verifyPass(pass int64, evs []Event) error {
+	var root *Event
+	for i := range evs {
+		ev := &evs[i]
+		if ev.Kind != KindPass {
+			continue
+		}
+		if root != nil {
+			return fmt.Errorf("trace: pass %d has more than one root span", pass)
+		}
+		if ev.Track != TrackRoot {
+			return fmt.Errorf("trace: pass %d root span on track %d, want root track", pass, ev.Track)
+		}
+		root = ev
+	}
+	if root == nil {
+		return fmt.Errorf("trace: pass %d has no root span", pass)
+	}
+	byTrack := make(map[int32][]Event)
+	for _, ev := range evs {
+		if ev.Kind != KindPass && (ev.Start < root.Start || ev.End > root.End) {
+			return fmt.Errorf("trace: pass %d: %v span [%d,%d] outside root [%d,%d]",
+				pass, ev.Kind, ev.Start, ev.End, root.Start, root.End)
+		}
+		switch ev.Kind {
+		case KindAdmit, KindCacheLookup, KindPublish, KindDrain:
+			if ev.Track != TrackRoot {
+				return fmt.Errorf("trace: pass %d: %v span on track %d, want root track", pass, ev.Kind, ev.Track)
+			}
+		case KindSuperTask:
+			if !IsWorkerTrack(ev.Track) {
+				return fmt.Errorf("trace: pass %d: super-task span on non-worker track %d", pass, ev.Track)
+			}
+		case KindRead, KindCompute:
+			if !IsWorkerTrack(ev.Track) {
+				return fmt.Errorf("trace: pass %d: %v span on non-worker track %d", pass, ev.Kind, ev.Track)
+			}
+		case KindWriteBack:
+			if !IsWorkerTrack(ev.Track) && !IsWriterTrack(ev.Track) {
+				return fmt.Errorf("trace: pass %d: write-back span on track %d, want worker or writer", pass, ev.Track)
+			}
+		}
+		if IsWriterTrack(ev.Track) && ev.Kind != KindWriteBack {
+			return fmt.Errorf("trace: pass %d: %v span on writer track %d", pass, ev.Kind, ev.Track)
+		}
+		byTrack[ev.Track] = append(byTrack[ev.Track], ev)
+	}
+	for track, tevs := range byTrack {
+		if err := verifyTrack(pass, track, tevs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyTrack enforces stack discipline on one (pass, track) lane and, on
+// worker tracks, that leaf-phase spans nest inside a super-task.
+func verifyTrack(pass int64, track int32, evs []Event) error {
+	// Sort by start ascending; ties put the longer (enclosing) span first.
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].Start != evs[j].Start {
+			return evs[i].Start < evs[j].Start
+		}
+		return evs[i].End > evs[j].End
+	})
+	var stack []Event
+	for _, ev := range evs {
+		for len(stack) > 0 && ev.Start >= stack[len(stack)-1].End {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 && ev.End > stack[len(stack)-1].End {
+			top := stack[len(stack)-1]
+			return fmt.Errorf("trace: pass %d track %d: %v span [%d,%d] partially overlaps %v span [%d,%d]",
+				pass, track, ev.Kind, ev.Start, ev.End, top.Kind, top.Start, top.End)
+		}
+		if IsWorkerTrack(track) {
+			switch ev.Kind {
+			case KindRead, KindCompute, KindWriteBack:
+				inSuper := false
+				for _, s := range stack {
+					if s.Kind == KindSuperTask {
+						inSuper = true
+						break
+					}
+				}
+				if !inSuper {
+					return fmt.Errorf("trace: pass %d track %d: %v span [%d,%d] outside any super-task",
+						pass, track, ev.Kind, ev.Start, ev.End)
+				}
+			}
+		}
+		stack = append(stack, ev)
+	}
+	return nil
+}

@@ -27,6 +27,7 @@ package flashr
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -34,6 +35,7 @@ import (
 	"repro/internal/dense"
 	"repro/internal/numa"
 	"repro/internal/safs"
+	"repro/internal/trace"
 )
 
 // Options configures a Session. It is itself an Option, so both
@@ -231,6 +233,11 @@ type Session struct {
 	statsMu  sync.Mutex
 	lastMat  MaterializeStats
 	totalMat MaterializeStats
+
+	// metrics is the session-local registry (built on first Metrics call):
+	// the session's own pass totals labeled with its owner.
+	metricsOnce sync.Once
+	metrics     *trace.Registry
 }
 
 // noteNamed records that m is backed by the named matrix's files.
@@ -346,6 +353,42 @@ func (s *Session) TotalMaterializeStats() MaterializeStats {
 	s.statsMu.Lock()
 	defer s.statsMu.Unlock()
 	return s.totalMat
+}
+
+// TraceTo starts execution tracing on the session's engine and returns a
+// stop function that ends tracing and writes everything recorded since as
+// Chrome trace_event JSON to w (loadable in chrome://tracing or Perfetto;
+// each pass appears as a process named with its owner). On a shared engine
+// the trace covers every session's passes — owner labels tell them apart.
+//
+//	stop := s.TraceTo(f)
+//	... run the workload ...
+//	err := stop()
+func (s *Session) TraceTo(w io.Writer) (stop func() error) {
+	s.eng.StartTrace()
+	return func() error {
+		d := s.eng.StopTrace()
+		if d == nil {
+			return nil
+		}
+		return trace.WriteChrome(w, d)
+	}
+}
+
+// Metrics returns the session's metrics registry: the engine-wide registry
+// (engine totals, scheduler gauges, NUMA topology, SSD array) plus this
+// session's own pass totals labeled owner="<owner>". Render it with WriteTo
+// or serve it with trace.Handler.
+func (s *Session) Metrics() *trace.Registry {
+	s.metricsOnce.Do(func() {
+		reg := trace.NewRegistry()
+		if s.owner != "" {
+			core.RegisterStatsMetrics(reg, s.owner, s.TotalMaterializeStats)
+		}
+		reg.Include(s.eng.Metrics())
+		s.metrics = reg
+	})
+	return s.metrics
 }
 
 // Wrap adopts an existing engine matrix (e.g. a leaf over a store opened
