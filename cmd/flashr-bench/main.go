@@ -16,12 +16,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"runtime"
 
 	"repro/internal/benchmark"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -69,15 +68,13 @@ func main() {
 		cfg.MetricsTo = os.Stdout
 	}
 	if *debugAddr != "" {
-		// net/http/pprof registered its handlers on the default mux above;
-		// add /metrics next to them.
-		http.Handle("/metrics", benchmark.LiveMetricsHandler())
-		go func() {
-			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "flashr-bench: debug server: %v\n", err)
-			}
-		}()
-		fmt.Printf("debug server on %s (/metrics, /debug/pprof/)\n", *debugAddr)
+		ds, err := trace.StartDebugServer(*debugAddr, benchmark.LiveMetricsHandler())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flashr-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer ds.Close()
+		fmt.Printf("debug server on %s (/metrics, /debug/pprof/)\n", ds.Addr())
 	}
 	writes := "write-behind"
 	if *syncWrites {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,7 +28,7 @@ func main() {
 	)
 	flag.Parse()
 	if *ssdRoot == "" {
-		fatal(fmt.Errorf("-ssd-root is required"))
+		fatal(errors.New("-ssd-root is required"))
 	}
 	dirs := make([]string, *drives)
 	for i := range dirs {
@@ -140,8 +141,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	mx, _ := mxS.Float()
-	mean, _ := meanS.Float()
+	mx, err := mxS.Float()
+	if err != nil {
+		fatal(err)
+	}
+	mean, err := meanS.Float()
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("  min=%.6g max=%.6g mean=%.6g\n", mn, mx, mean)
 	cs, err := flashr.ColMeans(x).AsVector()
 	if err != nil {

@@ -1,0 +1,210 @@
+// Command flashr-loadgen drives a running flashr-serve with concurrent
+// closed-loop clients spread across tenants, and reports per-tenant
+// throughput plus batching statistics. It is the driver behind the CI
+// serve-smoke job and the EXPERIMENTS throughput-vs-batch-wait recipe.
+//
+//	flashr-loadgen -addr http://127.0.0.1:8080 -tenants 2 -clients 8 -requests 12
+//
+// Each client creates one serving session under its tenant, runs the -setup
+// program once, then issues -requests sequential -program evals. The exit
+// code is nonzero if any request fails outright; with -allow-reject,
+// drain-time 503s count as rejected (not lost) so the tool can overlap a
+// server's SIGTERM drain.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+type result struct {
+	tenant    string
+	ok        int
+	rejected  int
+	failed    int
+	batched   int // responses whose batch_size > 1
+	latencies []time.Duration
+}
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8080", "flashr-serve base URL")
+		tenants     = flag.Int("tenants", 2, "number of tenants to spread clients across")
+		clients     = flag.Int("clients", 8, "concurrent clients")
+		requests    = flag.Int("requests", 12, "eval requests per client")
+		setup       = flag.String("setup", "x <- runif.matrix(4096, 4, 0, 1, 7)", "program run once per session before the request loop")
+		program     = flag.String("program", "sum(x * x)", "program each request evaluates")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+		allowReject = flag.Bool("allow-reject", false, "treat 429/503 responses as rejected rather than failed (drain overlap)")
+	)
+	flag.Parse()
+	if *tenants < 1 || *clients < 1 {
+		fmt.Fprintln(os.Stderr, "flashr-loadgen: -tenants and -clients must be ≥ 1")
+		os.Exit(2)
+	}
+
+	hc := &http.Client{Timeout: *timeout}
+	results := make([]result, *clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("tenant-%d", c%*tenants)
+			results[c] = runClient(hc, *addr, tenant, *setup, *program, *requests, *allowReject)
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	perTenant := map[string]*result{}
+	var tenantNames []string
+	totalOK, totalRejected, totalFailed, totalBatched := 0, 0, 0, 0
+	var all []time.Duration
+	for i := range results {
+		r := &results[i]
+		agg, ok := perTenant[r.tenant]
+		if !ok {
+			agg = &result{tenant: r.tenant}
+			perTenant[r.tenant] = agg
+			tenantNames = append(tenantNames, r.tenant)
+		}
+		agg.ok += r.ok
+		agg.rejected += r.rejected
+		agg.failed += r.failed
+		agg.batched += r.batched
+		agg.latencies = append(agg.latencies, r.latencies...)
+		totalOK += r.ok
+		totalRejected += r.rejected
+		totalFailed += r.failed
+		totalBatched += r.batched
+		all = append(all, r.latencies...)
+	}
+	sort.Strings(tenantNames)
+
+	fmt.Printf("flashr-loadgen: %d clients × %d requests over %d tenants in %s\n",
+		*clients, *requests, *tenants, wall.Round(time.Millisecond))
+	minTput, maxTput := 0.0, 0.0
+	for i, tn := range tenantNames {
+		r := perTenant[tn]
+		tput := float64(r.ok) / wall.Seconds()
+		if i == 0 || tput < minTput {
+			minTput = tput
+		}
+		if tput > maxTput {
+			maxTput = tput
+		}
+		fmt.Printf("  %-12s ok=%-4d rejected=%-3d failed=%-3d batched=%-4d %.1f req/s p50=%s p99=%s\n",
+			tn, r.ok, r.rejected, r.failed, r.batched, tput,
+			percentile(r.latencies, 0.50).Round(time.Microsecond),
+			percentile(r.latencies, 0.99).Round(time.Microsecond))
+	}
+	fmt.Printf("total: ok=%d rejected=%d failed=%d batched=%d throughput=%.1f req/s p50=%s p99=%s\n",
+		totalOK, totalRejected, totalFailed, totalBatched,
+		float64(totalOK)/wall.Seconds(),
+		percentile(all, 0.50).Round(time.Microsecond), percentile(all, 0.99).Round(time.Microsecond))
+	if len(tenantNames) > 1 && minTput > 0 {
+		fmt.Printf("fairness: max/min tenant throughput = %.2f\n", maxTput/minTput)
+	}
+	if totalFailed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runClient is one closed-loop client: create session, setup, request loop.
+func runClient(hc *http.Client, addr, tenant, setup, program string, n int, allowReject bool) result {
+	res := result{tenant: tenant}
+	sid, err := createSession(hc, addr, tenant)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flashr-loadgen: %s: create session: %v\n", tenant, err)
+		res.failed += n
+		return res
+	}
+	if setup != "" {
+		if _, _, err := eval(hc, addr, sid, setup); err != nil {
+			fmt.Fprintf(os.Stderr, "flashr-loadgen: %s: setup: %v\n", tenant, err)
+			res.failed += n
+			return res
+		}
+	}
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		code, batchSize, err := eval(hc, addr, sid, program)
+		switch {
+		case err == nil && code == http.StatusOK:
+			res.ok++
+			res.latencies = append(res.latencies, time.Since(t0))
+			if batchSize > 1 {
+				res.batched++
+			}
+		case err == nil && allowReject && (code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable):
+			res.rejected++
+		default:
+			if err == nil {
+				err = fmt.Errorf("HTTP %d", code)
+			}
+			fmt.Fprintf(os.Stderr, "flashr-loadgen: %s: request %d: %v\n", tenant, i, err)
+			res.failed++
+		}
+	}
+	return res
+}
+
+func createSession(hc *http.Client, addr, tenant string) (string, error) {
+	body, _ := json.Marshal(map[string]string{"tenant": tenant})
+	resp, err := hc.Post(addr+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	var out struct {
+		Session string `json:"session"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil || out.Session == "" {
+		return "", fmt.Errorf("bad session response %q", raw)
+	}
+	return out.Session, nil
+}
+
+// eval submits one program and returns the HTTP status and reported batch
+// size. A transport-level failure returns err; an HTTP error status does not.
+func eval(hc *http.Client, addr, sid, program string) (code, batchSize int, err error) {
+	body, _ := json.Marshal(map[string]string{"program": program})
+	resp, err := hc.Post(addr+"/v1/sessions/"+sid+"/eval", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusOK {
+		var out struct {
+			BatchSize int `json:"batch_size"`
+		}
+		_ = json.Unmarshal(raw, &out)
+		return resp.StatusCode, out.BatchSize, nil
+	}
+	return resp.StatusCode, 0, nil
+}
+
+func percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

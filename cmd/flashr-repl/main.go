@@ -62,6 +62,10 @@ func main() {
 		fmt.Print("flashr> ")
 		if !sc.Scan() {
 			fmt.Println()
+			if err := sc.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "flashr-repl: stdin: %v\n", err)
+				os.Exit(1)
+			}
 			return
 		}
 		line := strings.TrimSpace(sc.Text())

@@ -1,0 +1,140 @@
+// Command flashr-serve exposes one shared FlashR engine as a multi-tenant
+// HTTP/JSON service: clients create sessions, submit R-flavored programs or
+// typed op requests, and read results, while a request batcher coalesces
+// compatible requests arriving within a short max-wait window into shared
+// materialization passes. Each tenant maps to PassOptions{Owner, Weight} on
+// the engine, so the pass-admission arbiter and per-owner fair I/O queueing
+// enforce per-tenant QoS.
+//
+//	flashr-serve -addr :8080 -ssd-root /data/flashr -read-mbps 400
+//
+//	curl -s localhost:8080/v1/sessions -d '{"tenant":"acme"}'
+//	curl -s localhost:8080/v1/sessions/<id>/eval \
+//	     -d '{"program":"x <- rnorm.matrix(100000, 8)\nsum(x * x)"}'
+//	curl -s localhost:8080/metrics | grep flashr_serve
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops accepting, in-flight
+// batches flush, every accepted request is answered, and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"time"
+
+	flashr "repro"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "HTTP listen address")
+		ssdRoot     = flag.String("ssd-root", "", "run out-of-core over a simulated SSD array at this path (default: in-memory)")
+		drives      = flag.Int("drives", 4, "simulated SSD count")
+		readMBps    = flag.Float64("read-mbps", 0, "SSD read throttle (0 = unthrottled)")
+		writeMBps   = flag.Float64("write-mbps", 0, "SSD write throttle")
+		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "engine worker goroutines")
+		passes      = flag.Int("max-passes", 0, "concurrent materialization passes (0 = engine default)")
+		batchMax    = flag.Int("batch-max", serve.DefaultMaxBatch, "max requests coalesced per batch")
+		batchWait   = flag.Duration("batch-wait", serve.DefaultBatchWait, "how long a batch waits for company before flushing")
+		queueDepth  = flag.Int("queue-depth", serve.DefaultQueueDepth, "accept queue bound; beyond it requests shed with 429")
+		maxSessions = flag.Int("max-sessions", serve.DefaultMaxSessionsPerTenant, "serving sessions per tenant (-1 = unlimited)")
+		maxInflight = flag.Int("max-inflight", serve.DefaultMaxInflightPerTenant, "in-flight requests per tenant (-1 = unlimited)")
+		sessionIdle = flag.Duration("session-idle", serve.DefaultSessionIdle, "idle serving sessions expire after this (-1s = never)")
+		drainWait   = flag.Duration("drain-wait", 30*time.Second, "graceful shutdown budget before forced exit")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this extra address")
+	)
+	flag.Parse()
+
+	opts := flashr.Options{Workers: *workers, ReadMBps: *readMBps, WriteMBps: *writeMBps,
+		MaxConcurrentPasses: *passes}
+	mode := "in-memory (FlashR-IM)"
+	if *ssdRoot != "" {
+		opts.EM = true
+		for i := 0; i < *drives; i++ {
+			opts.SSDDirs = append(opts.SSDDirs, filepath.Join(*ssdRoot, fmt.Sprintf("ssd-%02d", i)))
+		}
+		mode = fmt.Sprintf("out-of-core on %d simulated SSDs (FlashR-EM)", *drives)
+	}
+	root, err := flashr.NewSession(opts)
+	if err != nil {
+		fatal(err)
+	}
+	defer root.Close()
+
+	sv, err := serve.New(serve.Config{
+		Root:                 root,
+		MaxBatch:             *batchMax,
+		BatchWait:            *batchWait,
+		QueueDepth:           *queueDepth,
+		MaxSessionsPerTenant: *maxSessions,
+		MaxInflightPerTenant: *maxInflight,
+		SessionIdle:          *sessionIdle,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *debugAddr != "" {
+		ds, err := trace.StartDebugServer(*debugAddr, trace.Handler(sv.Metrics()))
+		if err != nil {
+			fatal(err)
+		}
+		defer ds.Close()
+		fmt.Printf("flashr-serve: debug server on %s (/metrics, /debug/pprof/)\n", ds.Addr())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: sv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Printf("flashr-serve: %s — listening on %s (batch-max=%d batch-wait=%s)\n",
+		mode, ln.Addr(), *batchMax, *batchWait)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("flashr-serve: %s — draining\n", sig)
+	case err := <-serveErr:
+		fatal(err)
+	}
+
+	// Drain: stop accepting (Shutdown waits for in-flight handlers, which
+	// block on their batch responses), then flush the batcher and prove the
+	// accounting balances.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "flashr-serve: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	if err := sv.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "flashr-serve: drain: %v\n", err)
+		os.Exit(1)
+	}
+	acc, ans := sv.Accepted(), sv.Answered()
+	fmt.Printf("flashr-serve: drained accepted=%d answered=%d\n", acc, ans)
+	if acc != ans {
+		fmt.Fprintf(os.Stderr, "flashr-serve: drain lost %d accepted requests\n", acc-ans)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "flashr-serve: %v\n", err)
+	os.Exit(1)
+}

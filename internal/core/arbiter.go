@@ -17,6 +17,12 @@ type PassOptions struct {
 	// Weight is the pass's share of SAFS bandwidth relative to other active
 	// passes (values < 1 mean 1).
 	Weight int
+	// Batch labels the request batch the pass materializes for, when a
+	// front-end coalesced several client requests into this pass. It flows
+	// into the pass's MaterializeStats and trace metadata so coalesced
+	// passes can be attributed back to the batch that produced them; empty
+	// for passes submitted outside a batching front-end.
+	Batch string
 }
 
 // passTicket is one queued admission request.

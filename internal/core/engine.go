@@ -390,7 +390,7 @@ func (e *Engine) MaterializeCtx(ctx context.Context, talls []*Mat, sinks []*Sink
 // and returns the pass's own observability record — exact per-pass
 // attribution even while other passes run on the same engine and array.
 func (e *Engine) MaterializePass(ctx context.Context, talls []*Mat, sinks []*Sink, opts PassOptions) (MaterializeStats, error) {
-	ms := MaterializeStats{Fuse: e.cfg.Fuse, SyncWrites: e.cfg.SyncWrites, Owner: opts.Owner}
+	ms := MaterializeStats{Fuse: e.cfg.Fuse, SyncWrites: e.cfg.SyncWrites, Owner: opts.Owner, Batch: opts.Batch}
 	// Drop already-materialized targets.
 	var mt []*Mat
 	for _, m := range talls {
@@ -408,7 +408,7 @@ func (e *Engine) MaterializePass(ctx context.Context, talls []*Mat, sinks []*Sin
 		return ms, nil
 	}
 	passID := e.passSeq.Add(1)
-	pt := e.newPassTrace(passID, opts.Owner)
+	pt := e.newPassTrace(passID, opts.Owner, opts.Batch)
 	pr := passRun{id: passID, owner: opts.Owner, pt: pt}
 	rootSp := pt.rootBuf().Begin(trace.KindPass, passID)
 	admitSp := pt.rootBuf().Begin(trace.KindAdmit, passID)

@@ -21,6 +21,9 @@ type MaterializeStats struct {
 	// Owner labels the session/client the pass ran for (PassOptions.Owner;
 	// empty for untagged passes).
 	Owner string
+	// Batch labels the request batch the pass coalesced (PassOptions.Batch;
+	// empty for passes submitted outside a batching front-end).
+	Batch string
 	// Fuse is the fusion level the materialization ran at.
 	Fuse FuseLevel
 	// SyncWrites records whether the synchronous-write escape hatch was on.
@@ -99,6 +102,9 @@ type MaterializeStats struct {
 func (s *MaterializeStats) Add(o MaterializeStats) {
 	if o.Owner != "" {
 		s.Owner = o.Owner
+	}
+	if o.Batch != "" {
+		s.Batch = o.Batch
 	}
 	s.Fuse = o.Fuse
 	s.SyncWrites = o.SyncWrites

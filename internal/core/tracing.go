@@ -21,14 +21,14 @@ type passTrace struct {
 }
 
 // newPassTrace starts recording one pass. A nil tracer returns nil.
-func (e *Engine) newPassTrace(passID int64, owner string) *passTrace {
+func (e *Engine) newPassTrace(passID int64, owner, batch string) *passTrace {
 	tr := e.tracer.Load()
 	if tr == nil {
 		return nil
 	}
 	return &passTrace{
 		tr:   tr,
-		meta: trace.PassMeta{Pass: passID, Owner: owner},
+		meta: trace.PassMeta{Pass: passID, Owner: owner, Batch: batch},
 		root: tr.NewBuf(passID, trace.TrackRoot),
 	}
 }

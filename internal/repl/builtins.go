@@ -55,11 +55,15 @@ func (e *Env) evalCall(t *callNode) (Value, error) {
 		}
 		return matVal(flashr.Sapply(x, rName(t.name))), nil
 	}
-	// Whole-matrix reductions.
+	// Whole-matrix reductions. Under lazy scalars the 1×1 result stays a
+	// pending sink so a whole batch of reductions flushes as one pass.
 	if agg, ok := reductions[t.name]; ok {
 		x, err := mat(0)
 		if err != nil {
 			return Value{}, err
+		}
+		if e.lazyScalars {
+			return matVal(agg(x)), nil
 		}
 		v, err := agg(x).Float()
 		if err != nil {
@@ -246,6 +250,9 @@ func (e *Env) evalCall(t *callNode) (Value, error) {
 		f, err := str(1)
 		if err != nil {
 			return Value{}, err
+		}
+		if e.lazyScalars {
+			return matVal(flashr.Agg(x, f)), nil
 		}
 		v, err := flashr.Agg(x, f).Float()
 		if err != nil {

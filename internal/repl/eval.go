@@ -37,12 +37,23 @@ func (v Value) IsNull() bool { return v.isNull }
 type Env struct {
 	S    *flashr.Session
 	vars map[string]Value
+	// lazyScalars makes whole-matrix reductions (sum, mean, agg, …) return
+	// lazy 1×1 matrices instead of forcing them to scalars inside Eval.
+	// Serving front-ends set this so the sinks of a whole request batch
+	// stay pending until one shared Flush materializes them together;
+	// Format still renders the forced value as a scalar.
+	lazyScalars bool
 }
 
 // NewEnv builds an interpreter over the given session.
 func NewEnv(s *flashr.Session) *Env {
 	return &Env{S: s, vars: map[string]Value{}}
 }
+
+// SetLazyScalars selects deferred reduction semantics: when on, whole-matrix
+// reductions evaluate to pending 1×1 sinks that materialize on the session's
+// next Flush (or when formatted) instead of forcing a pass per reduction.
+func (e *Env) SetLazyScalars(on bool) { e.lazyScalars = on }
 
 // Vars lists defined variable names.
 func (e *Env) Vars() []string {
@@ -55,14 +66,29 @@ func (e *Env) Vars() []string {
 
 // Eval parses and evaluates one statement.
 func (e *Env) Eval(src string) (Value, error) {
+	v, _, err := e.EvalStmt(src)
+	return v, err
+}
+
+// EvalStmt parses and evaluates one statement, additionally reporting
+// whether the statement's value would print at an R prompt (assignments and
+// blank statements evaluate to a value but do not print). Batch servers use
+// this to avoid forcing — and paying materialization passes for — values the
+// client never asked to see.
+func (e *Env) EvalStmt(src string) (Value, bool, error) {
 	n, err := Parse(src)
 	if err != nil {
-		return Value{}, err
+		return Value{}, false, err
 	}
 	if n == nil {
-		return nullVal(), nil
+		return nullVal(), false, nil
 	}
-	return e.evalNode(n)
+	v, err := e.evalNode(n)
+	if err != nil {
+		return Value{}, false, err
+	}
+	_, assigned := n.(*assignNode)
+	return v, !assigned && !v.IsNull(), nil
 }
 
 func (e *Env) evalNode(n node) (v Value, err error) {
@@ -297,6 +323,15 @@ func (e *Env) Format(v Value) (string, error) {
 		return "", nil
 	case v.isNum:
 		return fmt.Sprintf("[1] %g", v.Num), nil
+	case e.lazyScalars && v.Mat != nil && v.Mat.Length() == 1:
+		// A deferred reduction: force it (served from the already-flushed
+		// batch pass when one ran) and render it the way the eager path
+		// would have.
+		f, err := v.Mat.Float()
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("[1] %g", f), nil
 	case v.isStr:
 		if strings.Contains(v.Str, "\n") {
 			return strings.TrimRight(v.Str, "\n"), nil

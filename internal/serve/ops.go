@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// OpRequest is a typed alternative to submitting raw program text: one
+// operation named by a small vocabulary, with variable operands. The server
+// translates it into a single program statement (identifiers validated, so
+// no client text reaches the parser unchecked) and runs it through the same
+// batched path as /eval.
+type OpRequest struct {
+	// Op selects the operation: create (runif|rnorm), elementwise
+	// (add|sub|mul|div), matmul, crossprod, reductions
+	// (sum|mean|min|max), row/col reductions
+	// (rowsums|rowmeans|colsums|colmeans), sapply, or t.
+	Op string `json:"op"`
+	// Out, when set, assigns the result to this variable instead of
+	// returning it.
+	Out string `json:"out,omitempty"`
+	// X and Y name operand variables.
+	X string `json:"x,omitempty"`
+	Y string `json:"y,omitempty"`
+	// Rows, Cols, Seed parameterize the create ops.
+	Rows int64 `json:"rows,omitempty"`
+	Cols int64 `json:"cols,omitempty"`
+	Seed int64 `json:"seed,omitempty"`
+	// F names the function for sapply (validated against the repl's
+	// unary vocabulary by the evaluator).
+	F string `json:"f,omitempty"`
+}
+
+// binaryOps maps elementwise op names to infix operators.
+var binaryOps = map[string]string{"add": "+", "sub": "-", "mul": "*", "div": "/"}
+
+// unaryCalls maps op names straight to single-argument call syntax.
+var unaryCalls = map[string]string{
+	"sum": "sum", "mean": "mean", "min": "min", "max": "max",
+	"rowsums": "rowSums", "rowmeans": "rowMeans",
+	"colsums": "colSums", "colmeans": "colMeans",
+	"crossprod": "crossprod", "t": "t",
+}
+
+// Program translates the op into one program statement, or an error naming
+// the first invalid field.
+func (o *OpRequest) Program() (string, error) {
+	var expr string
+	switch {
+	case o.Op == "runif" || o.Op == "rnorm":
+		if o.Rows < 1 || o.Cols < 1 {
+			return "", fmt.Errorf("op %q needs rows ≥ 1 and cols ≥ 1", o.Op)
+		}
+		seed := o.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		expr = fmt.Sprintf("%s.matrix(%s, %s, 0, 1, %s)", o.Op,
+			strconv.FormatInt(o.Rows, 10), strconv.FormatInt(o.Cols, 10), strconv.FormatInt(seed, 10))
+	case binaryOps[o.Op] != "":
+		if err := needVars(o.Op, o.X, o.Y); err != nil {
+			return "", err
+		}
+		expr = fmt.Sprintf("%s %s %s", o.X, binaryOps[o.Op], o.Y)
+	case o.Op == "matmul":
+		if err := needVars(o.Op, o.X, o.Y); err != nil {
+			return "", err
+		}
+		expr = fmt.Sprintf("%s %%*%% %s", o.X, o.Y)
+	case unaryCalls[o.Op] != "":
+		if err := needVars(o.Op, o.X); err != nil {
+			return "", err
+		}
+		expr = fmt.Sprintf("%s(%s)", unaryCalls[o.Op], o.X)
+	case o.Op == "sapply":
+		if err := needVars(o.Op, o.X); err != nil {
+			return "", err
+		}
+		if !validIdent(o.F) {
+			return "", fmt.Errorf("op sapply needs a valid function name, got %q", o.F)
+		}
+		expr = fmt.Sprintf("sapply(%s, %q)", o.X, o.F)
+	default:
+		return "", fmt.Errorf("unknown op %q", o.Op)
+	}
+	if o.Out != "" {
+		if !validIdent(o.Out) {
+			return "", fmt.Errorf("invalid output variable %q", o.Out)
+		}
+		return fmt.Sprintf("%s <- %s", o.Out, expr), nil
+	}
+	return expr, nil
+}
+
+// needVars checks that each named operand is a valid identifier.
+func needVars(op string, vars ...string) error {
+	for _, v := range vars {
+		if !validIdent(v) {
+			return fmt.Errorf("op %q needs variable operands, got %q", op, v)
+		}
+	}
+	return nil
+}
+
+// validIdent accepts R-style variable names: a letter followed by letters,
+// digits, dots, or underscores, at most 64 bytes.
+func validIdent(s string) bool {
+	if s == "" || len(s) > 64 {
+		return false
+	}
+	for i, c := range s {
+		letter := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+		if i == 0 && !letter {
+			return false
+		}
+		if !letter && !(c >= '0' && c <= '9') && c != '.' && c != '_' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,491 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	flashr "repro"
+	"repro/internal/repl"
+	"repro/internal/trace"
+)
+
+// Quota errors surfaced as HTTP 429s.
+var (
+	errSessionLimit  = errors.New("serve: tenant session limit reached")
+	errInflightLimit = errors.New("serve: tenant in-flight request limit reached")
+)
+
+// Defaults for zero Config fields.
+const (
+	DefaultMaxBatch             = 16
+	DefaultBatchWait            = 2 * time.Millisecond
+	DefaultQueueDepth           = 256
+	DefaultMaxSessionsPerTenant = 64
+	DefaultMaxInflightPerTenant = 128
+	DefaultMaxProgramBytes      = 64 << 10
+	DefaultSessionIdle          = 15 * time.Minute
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Root is the engine-owning flashr session every tenant session
+	// shares. The server does not close it; the caller owns its lifetime.
+	Root *flashr.Session
+	// MaxBatch bounds how many requests one batch may coalesce
+	// (0 = DefaultMaxBatch).
+	MaxBatch int
+	// BatchWait is how long the first request of a batch waits for
+	// company before the batch flushes (0 = DefaultBatchWait).
+	BatchWait time.Duration
+	// QueueDepth bounds the accept queue; requests beyond it are shed
+	// with 429 (0 = DefaultQueueDepth).
+	QueueDepth int
+	// MaxSessionsPerTenant bounds live serving sessions per tenant
+	// (0 = DefaultMaxSessionsPerTenant, negative = unlimited).
+	MaxSessionsPerTenant int
+	// MaxInflightPerTenant bounds a tenant's accepted-but-unanswered
+	// requests (0 = DefaultMaxInflightPerTenant, negative = unlimited).
+	MaxInflightPerTenant int
+	// MaxProgramBytes bounds one submitted program
+	// (0 = DefaultMaxProgramBytes).
+	MaxProgramBytes int
+	// SessionIdle expires serving sessions idle this long
+	// (0 = DefaultSessionIdle, negative = never).
+	SessionIdle time.Duration
+	// JanitorInterval overrides the idle-sweep period (0 = SessionIdle/4
+	// clamped to [1s, 30s]).
+	JanitorInterval time.Duration
+	// TenantWeights maps tenant names to SAFS bandwidth weights for the
+	// engine's fair queueing (absent or <1 means weight 1).
+	TenantWeights map[string]int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.BatchWait == 0 {
+		c.BatchWait = DefaultBatchWait
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.MaxSessionsPerTenant == 0 {
+		c.MaxSessionsPerTenant = DefaultMaxSessionsPerTenant
+	}
+	if c.MaxInflightPerTenant == 0 {
+		c.MaxInflightPerTenant = DefaultMaxInflightPerTenant
+	}
+	if c.MaxProgramBytes == 0 {
+		c.MaxProgramBytes = DefaultMaxProgramBytes
+	}
+	if c.SessionIdle == 0 {
+		c.SessionIdle = DefaultSessionIdle
+	}
+	if c.JanitorInterval == 0 {
+		c.JanitorInterval = c.SessionIdle / 4
+		if c.JanitorInterval < time.Second {
+			c.JanitorInterval = time.Second
+		}
+		if c.JanitorInterval > 30*time.Second {
+			c.JanitorInterval = 30 * time.Second
+		}
+	}
+	return c
+}
+
+// Server is the multi-tenant serving front-end over one shared engine. It
+// implements http.Handler; the caller wraps it in an http.Server and, on
+// shutdown, calls Drain after the HTTP listener stops accepting.
+type Server struct {
+	cfg     Config
+	reg     *trace.Registry
+	table   *sessionTable
+	batcher *Batcher
+	mux     *http.ServeMux
+
+	batches   *trace.Counter
+	batchSize *trace.Histogram
+	expired   *trace.Counter
+	accepted  atomic.Int64
+	answered  atomic.Int64
+	draining  atomic.Bool
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+}
+
+// New builds and starts a server over cfg.Root.
+func New(cfg Config) (*Server, error) {
+	if cfg.Root == nil {
+		return nil, errors.New("serve: Config.Root is required")
+	}
+	cfg = cfg.withDefaults()
+	reg := trace.NewRegistry()
+	sv := &Server{
+		cfg:         cfg,
+		reg:         reg,
+		table:       newSessionTable(cfg.Root, cfg.TenantWeights, reg),
+		mux:         http.NewServeMux(),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	sv.batches = reg.Counter("flashr_serve_batches_total", "Request batches executed.")
+	sv.batchSize = trace.NewHistogram(1, 2, 4, 8, 16, 32, 64)
+	reg.AddHistogram("flashr_serve_batch_size", "Requests coalesced per batch.", sv.batchSize)
+	sv.expired = reg.Counter("flashr_serve_expired_sessions_total", "Serving sessions removed by idle expiry.")
+	reg.CounterFunc("flashr_serve_accepted_total", "Requests accepted across all tenants.",
+		func() float64 { return float64(sv.accepted.Load()) })
+	reg.CounterFunc("flashr_serve_answered_total", "Responses delivered across all tenants.",
+		func() float64 { return float64(sv.answered.Load()) })
+	sv.batcher = NewBatcher(cfg.MaxBatch, cfg.BatchWait, cfg.QueueDepth, sv.runBatch)
+	reg.GaugeFunc("flashr_serve_queue_depth", "Requests waiting in the accept queue.",
+		func() float64 { return float64(len(sv.batcher.in)) })
+	reg.Include(cfg.Root.Engine().Metrics())
+
+	sv.mux.HandleFunc("POST /v1/sessions", sv.handleCreateSession)
+	sv.mux.HandleFunc("GET /v1/sessions/{id}", sv.handleGetSession)
+	sv.mux.HandleFunc("DELETE /v1/sessions/{id}", sv.handleDeleteSession)
+	sv.mux.HandleFunc("POST /v1/sessions/{id}/eval", sv.handleEval)
+	sv.mux.HandleFunc("POST /v1/sessions/{id}/op", sv.handleOp)
+	sv.mux.Handle("GET /metrics", trace.Handler(reg))
+	sv.mux.HandleFunc("GET /healthz", sv.handleHealthz)
+	go sv.janitor()
+	return sv, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { sv.mux.ServeHTTP(w, r) }
+
+// Metrics exposes the server registry (per-tenant serving metrics, batch
+// counters, and the engine registry underneath).
+func (sv *Server) Metrics() *trace.Registry { return sv.reg }
+
+// Accepted and Answered report the lifetime request accounting used by the
+// drain proof: after a clean drain the two are equal.
+func (sv *Server) Accepted() int64 { return sv.accepted.Load() }
+func (sv *Server) Answered() int64 { return sv.answered.Load() }
+
+// Drain stops accepting work, waits (bounded by ctx) for every accepted
+// request to be answered, and stops the janitor. The HTTP listener should
+// already be shut down (or shutting down) when Drain is called; in-flight
+// handlers block on their responses, so http.Server.Shutdown and Drain
+// together guarantee no accepted request is dropped.
+func (sv *Server) Drain(ctx context.Context) error {
+	sv.draining.Store(true)
+	err := sv.batcher.Drain(ctx)
+	select {
+	case <-sv.janitorDone:
+	default:
+		close(sv.janitorStop)
+		<-sv.janitorDone
+	}
+	return err
+}
+
+// Draining reports whether Drain has begun.
+func (sv *Server) Draining() bool { return sv.draining.Load() }
+
+// janitor sweeps idle sessions.
+func (sv *Server) janitor() {
+	defer close(sv.janitorDone)
+	if sv.cfg.SessionIdle < 0 {
+		<-sv.janitorStop
+		return
+	}
+	t := time.NewTicker(sv.cfg.JanitorInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if n := sv.table.expireIdle(sv.cfg.SessionIdle); n > 0 {
+				sv.expired.Add(int64(n))
+			}
+		case <-sv.janitorStop:
+			return
+		}
+	}
+}
+
+// ---- batch execution ----
+
+// runBatch executes one batch: requests group by tenant, tenant groups run
+// concurrently (the engine's pass arbiter and per-owner fair queueing
+// interleave their passes), and within a group every request's program is
+// evaluated lazily before one shared flush materializes the whole group's
+// sinks in admission-arbitrated passes labeled with the batch id.
+func (sv *Server) runBatch(id string, reqs []*Request) {
+	sv.batches.Inc()
+	sv.batchSize.Observe(float64(len(reqs)))
+	groups := make(map[*tenant][]*Request)
+	var order []*tenant
+	for _, r := range reqs {
+		tn := r.Sess.tenant
+		if _, ok := groups[tn]; !ok {
+			order = append(order, tn)
+		}
+		groups[tn] = append(groups[tn], r)
+	}
+	var wg sync.WaitGroup
+	for _, tn := range order {
+		wg.Add(1)
+		go func(tn *tenant, rs []*Request) {
+			defer wg.Done()
+			sv.runTenantGroup(id, len(reqs), tn, rs)
+		}(tn, groups[tn])
+	}
+	wg.Wait()
+}
+
+// evaled is one request's evaluation state between the eval and render
+// phases.
+type evaled struct {
+	stmts []string
+	vals  []repl.Value
+	show  []bool
+	err   error
+}
+
+// runTenantGroup runs one tenant's slice of a batch. Error isolation is per
+// caller: a program that fails to parse or evaluate poisons only its own
+// response, and if the shared flush fails, each request re-forces its own
+// values during rendering and reports its own error.
+func (sv *Server) runTenantGroup(batch string, batchSize int, tn *tenant, rs []*Request) {
+	started := time.Now()
+	// Phase 1: evaluate every program. Reductions are lazy (SetLazyScalars),
+	// so the group's sinks pile up on the tenant's shared flashr session.
+	evs := make([]*evaled, len(rs))
+	for i, r := range rs {
+		ev := &evaled{stmts: splitProgram(r.Program)}
+		r.Sess.mu.Lock()
+		for _, stmt := range ev.stmts {
+			v, printable, err := r.Sess.env.EvalStmt(stmt)
+			if err != nil {
+				ev.err = fmt.Errorf("statement %q: %w", stmt, err)
+				break
+			}
+			ev.vals = append(ev.vals, v)
+			ev.show = append(ev.show, printable)
+		}
+		r.Sess.mu.Unlock()
+		evs[i] = ev
+	}
+	// Phase 2: one shared flush, attributed to the batch. On error the
+	// per-request render phase re-forces and isolates the failure.
+	_ = tn.fs.FlushBatchCtx(context.Background(), batch)
+	// Phase 3: render per caller and deliver.
+	for i, r := range rs {
+		ev := evs[i]
+		resp := &Response{
+			BatchID:   batch,
+			BatchSize: batchSize,
+			QueueWait: started.Sub(r.enqueued),
+		}
+		if ev.err != nil {
+			resp.Err = ev.err
+		} else {
+			r.Sess.mu.Lock()
+			for j, v := range ev.vals {
+				if !ev.show[j] {
+					resp.Results = append(resp.Results, "")
+					continue
+				}
+				out, err := r.Sess.env.Format(v)
+				if err != nil {
+					resp.Err = fmt.Errorf("statement %q: %w", ev.stmts[j], err)
+					resp.Results = nil
+					break
+				}
+				resp.Results = append(resp.Results, out)
+			}
+			r.Sess.mu.Unlock()
+		}
+		resp.Exec = time.Since(started)
+		r.Sess.touch()
+		sv.batcher.deliver(r, resp)
+	}
+}
+
+// splitProgram cuts a program into statements: one per line, blank lines and
+// #-comments skipped.
+func splitProgram(src string) []string {
+	var out []string
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// ---- HTTP handlers ----
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (sv *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "draining": sv.draining.Load()})
+}
+
+func (sv *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	if sv.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	var body struct {
+		Tenant string `json:"tenant"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if !validTenant(body.Tenant) {
+		writeError(w, http.StatusBadRequest, "invalid tenant name %q", body.Tenant)
+		return
+	}
+	s, err := sv.table.create(body.Tenant, sv.cfg.MaxSessionsPerTenant)
+	if errors.Is(err, errSessionLimit) {
+		writeError(w, http.StatusTooManyRequests, "tenant %q at its session limit", body.Tenant)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"session": s.ID, "tenant": body.Tenant})
+}
+
+func (sv *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	s, ok := sv.table.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	s.mu.Lock()
+	vars := s.env.Vars()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"session": s.ID, "tenant": s.Tenant(), "vars": vars})
+}
+
+func (sv *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	if !sv.table.remove(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (sv *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Program string `json:"program"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	sv.execute(w, r, body.Program)
+}
+
+func (sv *Server) handleOp(w http.ResponseWriter, r *http.Request) {
+	var op OpRequest
+	if err := json.NewDecoder(r.Body).Decode(&op); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	prog, err := op.Program()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sv.execute(w, r, prog)
+}
+
+// execute runs one program through the batcher for the session in the URL
+// and writes the response, applying the shed ladder: unknown session,
+// oversized program, tenant in-flight quota, drain, accept-queue bound.
+func (sv *Server) execute(w http.ResponseWriter, r *http.Request, program string) {
+	s, ok := sv.table.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	tn := s.tenant
+	if len(program) > sv.cfg.MaxProgramBytes {
+		tn.shed["program_too_large"].Inc()
+		writeError(w, http.StatusRequestEntityTooLarge, "program exceeds %d bytes", sv.cfg.MaxProgramBytes)
+		return
+	}
+	if max := sv.cfg.MaxInflightPerTenant; max > 0 && tn.inflight.Load() >= int64(max) {
+		tn.shed["inflight_limit"].Inc()
+		writeError(w, http.StatusTooManyRequests, "tenant %q at its in-flight limit", tn.name)
+		return
+	}
+	req := &Request{Sess: s, Program: program, Ctx: r.Context()}
+	ch, err := sv.batcher.Submit(req)
+	switch {
+	case errors.Is(err, ErrDraining):
+		tn.shed["draining"].Inc()
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	case errors.Is(err, ErrQueueFull):
+		tn.shed["queue_full"].Inc()
+		writeError(w, http.StatusTooManyRequests, "accept queue full")
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	tn.inflight.Add(1)
+	tn.requests.Inc()
+	sv.accepted.Add(1)
+
+	resp := <-ch
+	tn.inflight.Add(-1)
+	sv.answered.Add(1)
+	tn.latency.Observe(time.Since(req.enqueued).Seconds())
+	if resp.Err != nil {
+		tn.errors.Inc()
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+			"error":      resp.Err.Error(),
+			"batch":      resp.BatchID,
+			"batch_size": resp.BatchSize,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"results":       resp.Results,
+		"batch":         resp.BatchID,
+		"batch_size":    resp.BatchSize,
+		"queue_wait_ms": float64(resp.QueueWait) / float64(time.Millisecond),
+		"exec_ms":       float64(resp.Exec) / float64(time.Millisecond),
+	})
+}
+
+// validTenant restricts tenant names to a metrics- and filesystem-safe set.
+func validTenant(s string) bool {
+	if s == "" || len(s) > 64 {
+		return false
+	}
+	for _, c := range s {
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-' || c == '_') {
+			return false
+		}
+	}
+	return true
+}

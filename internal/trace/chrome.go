@@ -49,12 +49,15 @@ func WriteChrome(w io.Writer, datas ...*Data) error {
 			if m.Owner != "" {
 				name += fmt.Sprintf(" owner=%s", m.Owner)
 			}
+			if m.Batch != "" {
+				name += fmt.Sprintf(" batch=%s", m.Batch)
+			}
 			if len(datas) > 1 {
 				name = fmt.Sprintf("engine %d %s", di, name)
 			}
 			f.TraceEvents = append(f.TraceEvents, chromeEvent{
 				Name: "process_name", Ph: "M", Pid: base + m.Pass,
-				Args: map[string]any{"name": name, "owner": m.Owner},
+				Args: map[string]any{"name": name, "owner": m.Owner, "batch": m.Batch},
 			})
 		}
 		tracks := map[[2]int64]bool{}
@@ -109,7 +112,8 @@ func ParseChrome(r io.Reader) (*Data, error) {
 			}
 			seenPass[pass] = true
 			owner, _ := ce.Args["owner"].(string)
-			d.Passes = append(d.Passes, PassMeta{Pass: pass, Owner: owner})
+			batch, _ := ce.Args["batch"].(string)
+			d.Passes = append(d.Passes, PassMeta{Pass: pass, Owner: owner, Batch: batch})
 		case "X":
 			k := KindFromString(ce.Cat)
 			if k == KindInvalid {

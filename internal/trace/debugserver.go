@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// DebugServer is the shared -debug-addr implementation of the cmd tools and
+// flashr-serve: a live /metrics endpoint over a Registry plus the
+// /debug/pprof/ handlers, on its own listener and mux so it never collides
+// with an application's default mux. Unlike a fire-and-forget
+// http.ListenAndServe goroutine, construction binds the listener
+// synchronously — a taken port is reported as an error to the caller instead
+// of a message lost inside a goroutine — and Close releases the port, so the
+// owning session or engine can tear it down on shutdown.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+
+	mu     sync.Mutex
+	closed bool
+	err    error
+}
+
+// StartDebugServer binds addr and serves /metrics (from metrics — typically
+// Handler(reg), but any live source works), /healthz, and /debug/pprof/ until
+// Close. It returns an error if the address cannot be bound (port taken, bad
+// address) rather than failing silently in the background. metrics may be
+// nil, in which case /metrics serves 404.
+func StartDebugServer(addr string, metrics http.Handler) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("trace: debug server: %w", err)
+	}
+	mux := http.NewServeMux()
+	if metrics != nil {
+		mux.Handle("/metrics", metrics)
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ds := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() {
+		err := ds.srv.Serve(ln)
+		ds.mu.Lock()
+		if !ds.closed && err != http.ErrServerClosed {
+			ds.err = err
+		}
+		ds.mu.Unlock()
+	}()
+	return ds, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (ds *DebugServer) Addr() string { return ds.ln.Addr().String() }
+
+// Close stops serving and releases the listener. It returns the first serve
+// error that occurred before Close, if any.
+func (ds *DebugServer) Close() error {
+	ds.mu.Lock()
+	if ds.closed {
+		err := ds.err
+		ds.mu.Unlock()
+		return err
+	}
+	ds.closed = true
+	ds.mu.Unlock()
+	ds.srv.Close()
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.err
+}

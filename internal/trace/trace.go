@@ -157,6 +157,9 @@ type Span struct {
 type PassMeta struct {
 	Pass  int64  `json:"pass"`
 	Owner string `json:"owner,omitempty"`
+	// Batch labels the request batch a serving front-end coalesced into
+	// this pass (empty for passes submitted outside one).
+	Batch string `json:"batch,omitempty"`
 }
 
 // Buf is a single-owner span buffer: one per execution lane (the pass's own

@@ -956,7 +956,7 @@ func GroupBy(x *FM, fname string) (keys, folds []float64, err error) {
 	}
 	if x.isBig() {
 		g := core.GroupByVal(x.big, f)
-		if err := x.s.materializeNow(context.Background(), nil, []*core.Sink{g}); err != nil {
+		if err := x.s.materializeNow(context.Background(), "", nil, []*core.Sink{g}); err != nil {
 			return nil, nil, err
 		}
 		k, v := g.GroupByValResult()
@@ -1065,7 +1065,7 @@ func Unique(x *FM) ([]float64, error) {
 func TableOf(x *FM) (keys []float64, counts []int64, err error) {
 	if x.isBig() {
 		t := core.Table(x.big)
-		if err := x.s.materializeNow(context.Background(), nil, []*core.Sink{t}); err != nil {
+		if err := x.s.materializeNow(context.Background(), "", nil, []*core.Sink{t}); err != nil {
 			return nil, nil, err
 		}
 		k, c := t.TableResult()

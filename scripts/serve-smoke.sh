@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# serve-smoke: end-to-end check of the flashr-serve batching service.
+#
+# Boots flashr-serve on a throttled tiny SSD array, drives it with concurrent
+# clients across two tenants, then asserts from the server's own metrics that
+# (1) request batching coalesced work — materialization passes < requests per
+# tenant, (2) tenants progressed fairly — max/min tenant throughput ≤ 3×, and
+# (3) a SIGTERM drain answers every accepted request and exits 0.
+set -euo pipefail
+
+CLIENTS=${CLIENTS:-8}
+TENANTS=${TENANTS:-2}
+REQUESTS=${REQUESTS:-12}
+PORT=${PORT:-18080}
+WORK=${WORK:-$(mktemp -d)}
+ADDR="http://127.0.0.1:$PORT"
+
+cd "$(dirname "$0")/.."
+go build -o "$WORK/flashr-serve" ./cmd/flashr-serve
+go build -o "$WORK/flashr-loadgen" ./cmd/flashr-loadgen
+
+"$WORK/flashr-serve" -addr "127.0.0.1:$PORT" \
+  -ssd-root "$WORK/array" -drives 2 -read-mbps 300 -write-mbps 300 \
+  -batch-wait 25ms -session-idle 5m > "$WORK/serve.log" 2>&1 &
+SRV=$!
+trap 'kill -9 $SRV 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 100); do
+  curl -sf "$ADDR/healthz" > /dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -sf "$ADDR/healthz" > /dev/null
+
+"$WORK/flashr-loadgen" -addr "$ADDR" \
+  -tenants "$TENANTS" -clients "$CLIENTS" -requests "$REQUESTS" \
+  | tee "$WORK/loadgen.out"
+
+curl -s "$ADDR/metrics" > "$WORK/metrics.out"
+
+# (1) Coalescing: every tenant's engine pass total must be below its request
+# total — otherwise each request paid its own materialization pass and the
+# batcher did nothing.
+for i in $(seq 0 $((TENANTS - 1))); do
+  t="tenant-$i"
+  reqs=$(awk -v s="flashr_serve_requests_total{tenant=\"$t\"}" '$1 == s {print $2}' "$WORK/metrics.out")
+  passes=$(awk -v s="flashr_materialize_passes_total{owner=\"$t\"}" '$1 == s {print $2}' "$WORK/metrics.out")
+  echo "smoke: $t requests=$reqs passes=$passes"
+  if [ -z "$reqs" ] || [ -z "$passes" ]; then
+    echo "smoke: FAIL: missing metrics series for $t" >&2
+    exit 1
+  fi
+  awk -v p="$passes" -v r="$reqs" 'BEGIN { exit !(p > 0 && p < r) }' || {
+    echo "smoke: FAIL: $t passes=$passes not in (0, requests=$reqs): batching ineffective" >&2
+    exit 1
+  }
+done
+
+# (2) Fairness: loadgen reports max/min per-tenant throughput; the engine's
+# pass arbiter and weighted fair queueing must keep equal-weight tenants
+# within 3x of each other.
+ratio=$(awk '/^fairness:/ {print $NF}' "$WORK/loadgen.out")
+if [ -z "$ratio" ]; then
+  echo "smoke: FAIL: loadgen reported no fairness ratio" >&2
+  exit 1
+fi
+awk -v r="$ratio" 'BEGIN { exit !(r <= 3.0) }' || {
+  echo "smoke: FAIL: tenant throughput ratio $ratio exceeds 3x" >&2
+  exit 1
+}
+echo "smoke: fairness ratio $ratio within 3x"
+
+# (3) Graceful drain: SIGTERM must flush in-flight work, answer everything
+# accepted, and exit 0. The server prints the accepted/answered accounting
+# and exits nonzero itself if they disagree.
+kill -TERM "$SRV"
+rc=0
+wait "$SRV" || rc=$?
+trap - EXIT
+cat "$WORK/serve.log"
+if [ "$rc" -ne 0 ]; then
+  echo "smoke: FAIL: flashr-serve exited $rc after SIGTERM" >&2
+  exit 1
+fi
+grep -q 'drained accepted=' "$WORK/serve.log" || {
+  echo "smoke: FAIL: no drain accounting line in server log" >&2
+  exit 1
+}
+echo "smoke: PASS"

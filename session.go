@@ -430,11 +430,20 @@ func (s *Session) Flush() error { return s.FlushCtx(context.Background()) }
 // cancelled ctx aborts the remaining passes with ctx.Err().
 func (s *Session) FlushCtx(ctx context.Context) error { return s.flushCtx(ctx) }
 
+// FlushBatchCtx is FlushCtx with request-batch attribution: every pass it
+// submits carries the given batch label in its PassOptions, so the pass's
+// MaterializeStats and trace metadata name the coalesced request batch it
+// materialized for. Serving front-ends use this to prove (and debug) that
+// N client requests became fewer than N engine passes.
+func (s *Session) FlushBatchCtx(ctx context.Context, batch string) error {
+	return s.flushBatchCtx(ctx, batch)
+}
+
 // materializeNow submits one pass to the engine under this session's owner
-// label and bandwidth weight, and folds the pass's record into the
-// session-local stats.
-func (s *Session) materializeNow(ctx context.Context, talls []*core.Mat, sinks []*core.Sink) error {
-	ms, err := s.eng.MaterializePass(ctx, talls, sinks, core.PassOptions{Owner: s.owner, Weight: s.weight})
+// label, bandwidth weight, and (when flushing on behalf of a request batch)
+// batch label, and folds the pass's record into the session-local stats.
+func (s *Session) materializeNow(ctx context.Context, batch string, talls []*core.Mat, sinks []*core.Sink) error {
+	ms, err := s.eng.MaterializePass(ctx, talls, sinks, core.PassOptions{Owner: s.owner, Weight: s.weight, Batch: batch})
 	if ms.Wall > 0 { // an empty pass (nothing to run) leaves no record
 		s.statsMu.Lock()
 		s.lastMat = ms
@@ -451,6 +460,10 @@ func (s *Session) flush(talls ...*core.Mat) error {
 }
 
 func (s *Session) flushCtx(ctx context.Context, talls ...*core.Mat) error {
+	return s.flushBatchCtx(ctx, "", talls...)
+}
+
+func (s *Session) flushBatchCtx(ctx context.Context, batch string, talls ...*core.Mat) error {
 	s.mu.Lock()
 	pend := s.pending
 	s.pending = nil
@@ -489,7 +502,7 @@ func (s *Session) flushCtx(ctx context.Context, talls ...*core.Mat) error {
 		g.talls = append(g.talls, m)
 	}
 	for _, g := range groups {
-		if err := s.materializeNow(ctx, g.talls, g.sinks); err != nil {
+		if err := s.materializeNow(ctx, batch, g.talls, g.sinks); err != nil {
 			return err
 		}
 	}
@@ -508,7 +521,7 @@ func (s *Session) forceSink(k *core.Sink) (*dense.Dense, error) {
 		}
 		if !k.Done() {
 			// The sink was created outside the pending list (defensive).
-			if err := s.materializeNow(context.Background(), nil, []*core.Sink{k}); err != nil {
+			if err := s.materializeNow(context.Background(), "", nil, []*core.Sink{k}); err != nil {
 				return nil, err
 			}
 		}
