@@ -8,7 +8,7 @@
 //	flashr-bench -concurrent 4 -n 100000
 //
 // Experiments: fig7a, fig7b, fig8, fig9, fig10, table4, table6, cse,
-// concurrent, all.
+// rewrite, concurrent, all.
 // See DESIGN.md for the paper-to-experiment index and EXPERIMENTS.md for
 // recorded results.
 package main
@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run (fig7a|fig7b|fig8|fig9|fig10|table4|table6|cse|concurrent|all)")
+		experiment = flag.String("experiment", "all", "experiment to run (fig7a|fig7b|fig8|fig9|fig10|table4|table6|cse|rewrite|concurrent|all)")
 		n          = flag.Int64("n", 200_000, "base dataset rows (Criteo-sub in the paper is 325M)")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines per engine")
 		ssdRoot    = flag.String("ssd-root", "", "directory for the simulated SSD array (default: temp dir)")
@@ -41,6 +41,7 @@ func main() {
 		injectFlip = flag.Float64("inject-flip-bit", 0, "probability of an injected in-flight bit flip per stripe read")
 		faultSeed  = flag.Int64("fault-seed", 0, "seed for the injected-fault RNGs (0=derive from -seed)")
 		noCSE      = flag.Bool("no-cse", false, "disable structural hash-consing and the sub-DAG result cache")
+		noRewrite  = flag.Bool("no-rewrites", false, "disable the algebraic DAG rewrite pass")
 		cacheMB    = flag.Int64("cache-mb", 0, "sub-DAG result cache budget in MiB (0=engine default, negative=cache off, CSE on)")
 		concurrent = flag.Int("concurrent", 0, "run the concurrent multi-session experiment with N sessions sharing one engine (shorthand for -experiment concurrent)")
 		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON file of every materialization pass (load in chrome://tracing or Perfetto)")
@@ -59,6 +60,7 @@ func main() {
 		DisableVerify: *noVerify, ReadErrRate: *injectRead, FlipBitRate: *injectFlip,
 		FaultSeed:  *faultSeed,
 		DisableCSE: *noCSE, ResultCacheBytes: *cacheMB << 20,
+		DisableRewrites:    *noRewrite,
 		ConcurrentSessions: *concurrent,
 	}
 	if *tracePath != "" {
@@ -88,8 +90,12 @@ func main() {
 	if *noCSE {
 		cse = "off"
 	}
-	fmt.Printf("flashr-bench: experiment=%s n=%d workers=%d drives=%d read=%.0fMiB/s write=%.0fMiB/s iters=%d writes=%s depth=%d verify=%s cse=%s\n",
-		*experiment, *n, *workers, *drives, *readMBps, *writeMBps, *iters, writes, *writeDepth, verify, cse)
+	rewrites := "on"
+	if *noRewrite || *noCSE {
+		rewrites = "off"
+	}
+	fmt.Printf("flashr-bench: experiment=%s n=%d workers=%d drives=%d read=%.0fMiB/s write=%.0fMiB/s iters=%d writes=%s depth=%d verify=%s cse=%s rewrites=%s\n",
+		*experiment, *n, *workers, *drives, *readMBps, *writeMBps, *iters, writes, *writeDepth, verify, cse, rewrites)
 	if *injectRead > 0 || *injectFlip > 0 {
 		fmt.Printf("fault injection: read-err=%.3g flip-bit=%.3g seed=%d\n", *injectRead, *injectFlip, *faultSeed)
 	}

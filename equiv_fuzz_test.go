@@ -31,6 +31,14 @@ type equivConfig struct {
 	disableCSE bool
 	syncWrites bool
 	em         bool
+	// Rewrite ablations: the whole pass off, or one rule family off. Every
+	// point must still fingerprint bit-identically (tolerance-pinned for the
+	// float-fold channel), which is the equivalence gate for the optimizer.
+	noRewrites bool
+	noView     bool
+	noXProd    bool
+	noFold     bool
+	noDCE      bool
 }
 
 func equivGrid(em bool) []equivConfig {
@@ -46,11 +54,23 @@ func equivGrid(em bool) []equivConfig {
 				})
 			}
 		}
+		grid = append(grid, equivConfig{
+			name: fmt.Sprintf("fuse=%v/rewrites=off", fuse), fuse: fuse, noRewrites: true,
+		})
 	}
+	// Per-rule ablations on the default fuse level: each remaining rule must
+	// hold equivalence on its own.
+	grid = append(grid,
+		equivConfig{name: "cache/no-view", fuse: FuseCache, noView: true},
+		equivConfig{name: "cache/no-xprod", fuse: FuseCache, noXProd: true},
+		equivConfig{name: "cache/no-fold", fuse: FuseCache, noFold: true},
+		equivConfig{name: "cache/no-dce", fuse: FuseCache, noDCE: true},
+	)
 	if em {
 		grid = append(grid,
 			equivConfig{name: "em/cache/cse-on", fuse: FuseCache, em: true},
 			equivConfig{name: "em/cache/cse-off/sync", fuse: FuseCache, disableCSE: true, syncWrites: true, em: true},
+			equivConfig{name: "em/cache/rewrites-off", fuse: FuseCache, noRewrites: true, em: true},
 		)
 	}
 	return grid
@@ -104,10 +124,13 @@ func buildEquivExpr(rng *rand.Rand, x *FM, depth int) *FM {
 }
 
 // runEquivProgram executes the seeded program once over the shared leaf x and
-// returns its result fingerprint as float64 bit patterns. Expressions are
+// returns its result fingerprint as float64 bit patterns, plus a separate
+// tolerance-pinned channel for values that pass through the float
+// aggregation fold (folding reassociates the reduction, so those values are
+// equivalent across configurations only to within rounding). Expressions are
 // rebuilt from scratch each run — structurally identical, new node objects —
 // which is exactly what iterative algorithms do per iteration.
-func runEquivProgram(t testing.TB, x *FM, progSeed int64) []uint64 {
+func runEquivProgram(t testing.TB, x *FM, progSeed int64) ([]uint64, []float64) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(progSeed))
 	e1 := buildEquivExpr(rng, x, 3)
@@ -120,6 +143,29 @@ func runEquivProgram(t testing.TB, x *FM, progSeed int64) []uint64 {
 	z, zb := Sum(Round(e1)), Sum(Round(e1b))
 	mx, mn := Max(e2), Min(e2)
 	cs := ColSums(Round(e2))
+	// Integer-exact aggregation fold: sum(3·round(e1)) folds to 3·sum(round(e1)),
+	// sharing the raw reduction's cache key with z — exact for integer sums,
+	// so it lives in the bit-identical fingerprint.
+	z3 := Sum(Mul(Round(e1), 3.0))
+	// Dead-input elimination + view push-down: selecting only the left half
+	// of a cbind disconnects the right input, then the identity selection
+	// over round(e1) collapses away.
+	_, p := x.Dim()
+	left := make([]int, p)
+	for i := range left {
+		left[i] = i
+	}
+	dce := ColSums(GetCols(Cbind(Round(e1), Round(e2)), left))
+	// View push-down independent of DCE: a single-column selection above a
+	// scalar multiply pushes below it (and below Round), narrowing the chain.
+	pd := ColSums(GetCols(Mul(Round(e2), 2.0), []int{0}))
+	// Crossprod self-recognition: structurally identical but distinct
+	// operands select the symmetric kernel. Sign keeps entries in {-1,0,1}
+	// so the p×p accumulations are exact whatever the partition order.
+	xp := CrossProd2(Sign(e1), Sign(e1b))
+	// Float fold (tolerance channel): sum(0.3·e2) folds to 0.3·sum(e2),
+	// which reassociates a real-valued reduction.
+	ff := Sum(Mul(e2, 0.3))
 
 	var fp []uint64
 	add := func(vs ...float64) {
@@ -143,12 +189,31 @@ func runEquivProgram(t testing.TB, x *FM, progSeed int64) []uint64 {
 	if err != nil {
 		t.Fatal(err)
 	}
-	add(vz, vzb, vmx, vmn)
+	vz3, err := z3.Float()
+	if err != nil {
+		t.Fatal(err)
+	}
+	add(vz, vzb, vmx, vmn, vz3)
 	csv, err := cs.AsVector()
 	if err != nil {
 		t.Fatal(err)
 	}
 	add(csv...)
+	dcv, err := dce.AsVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	add(dcv...)
+	pdv, err := pd.AsVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	add(pdv...)
+	xpd, err := xp.AsDense()
+	if err != nil {
+		t.Fatal(err)
+	}
+	add(xpd.Data...)
 	d1, err := e1.AsDense()
 	if err != nil {
 		t.Fatal(err)
@@ -159,7 +224,11 @@ func runEquivProgram(t testing.TB, x *FM, progSeed int64) []uint64 {
 		t.Fatal(err)
 	}
 	add(d1b.Data...)
-	return fp
+	vff, err := ff.Float()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp, []float64{vff}
 }
 
 // checkEquivalence runs the seeded program twice under every grid
@@ -175,10 +244,16 @@ func checkEquivalence(t testing.TB, seed int64, em bool) {
 
 	var refName string
 	var ref []uint64
+	var refTol []float64
 	for _, cfg := range equivGrid(em) {
 		opts := Options{
 			Workers: 4, PartRows: 256, Fuse: cfg.fuse,
 			DisableCSE: cfg.disableCSE, SyncWrites: cfg.syncWrites,
+			DisableRewrites:         cfg.noRewrites,
+			DisableRewriteView:      cfg.noView,
+			DisableRewriteCrossProd: cfg.noXProd,
+			DisableRewriteAggFold:   cfg.noFold,
+			DisableRewriteDCE:       cfg.noDCE,
 		}
 		if cfg.em {
 			dir := t.(interface{ TempDir() string }).TempDir()
@@ -197,12 +272,20 @@ func checkEquivalence(t testing.TB, seed int64, em bool) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fp1 := runEquivProgram(t, x, progSeed)
-		fp2 := runEquivProgram(t, x, progSeed)
+		fp1, tol1 := runEquivProgram(t, x, progSeed)
+		fp2, tol2 := runEquivProgram(t, x, progSeed)
 		for i := range fp1 {
 			if fp1[i] != fp2[i] {
 				t.Fatalf("seed %d [%s]: run 2 diverged from run 1 at word %d: %016x vs %016x",
 					seed, cfg.name, i, fp2[i], fp1[i])
+			}
+		}
+		for i := range tol1 {
+			// Within one configuration the fold is applied (or not) both
+			// runs, so even the float channel repeats exactly.
+			if math.Float64bits(tol1[i]) != math.Float64bits(tol2[i]) {
+				t.Fatalf("seed %d [%s]: run 2 float channel %d = %v, run 1 = %v",
+					seed, cfg.name, i, tol2[i], tol1[i])
 			}
 		}
 		ms := s.TotalMaterializeStats()
@@ -210,6 +293,10 @@ func checkEquivalence(t testing.TB, seed int64, em bool) {
 			if ms.CSEUnifications != 0 || ms.CacheHits != 0 {
 				t.Fatalf("seed %d [%s]: CSE disabled but cse=%d hits=%d",
 					seed, cfg.name, ms.CSEUnifications, ms.CacheHits)
+			}
+			// No signature context means no rewriting either.
+			if ms.Rewrites != 0 {
+				t.Fatalf("seed %d [%s]: CSE disabled but %d rewrites applied", seed, cfg.name, ms.Rewrites)
 			}
 		} else {
 			// The duplicate sink unifies in run 1; run 2 rebuilds cached
@@ -221,8 +308,23 @@ func checkEquivalence(t testing.TB, seed int64, em bool) {
 				t.Fatalf("seed %d [%s]: no cache hits across two identical runs", seed, cfg.name)
 			}
 		}
+		// The program deterministically exercises every rewrite family, so
+		// the counters double as ablation proof: a disabled family applies
+		// nothing, an enabled one (with CSE on) applies at least once.
+		checkCounter := func(what string, disabled bool, n int64) {
+			switch {
+			case (cfg.disableCSE || cfg.noRewrites || disabled) && n != 0:
+				t.Fatalf("seed %d [%s]: %s disabled but applied %d times", seed, cfg.name, what, n)
+			case !cfg.disableCSE && !cfg.noRewrites && !disabled && n == 0:
+				t.Fatalf("seed %d [%s]: %s enabled but never applied", seed, cfg.name, what)
+			}
+		}
+		checkCounter("view rewrite", cfg.noView, ms.RewriteViews)
+		checkCounter("crossprod rewrite", cfg.noXProd, ms.RewriteCrossProds)
+		checkCounter("aggregation fold", cfg.noFold, ms.RewriteAggFolds)
+		checkCounter("dead-input elimination", cfg.noDCE, ms.RewriteDCE)
 		if ref == nil {
-			refName, ref = cfg.name, fp1
+			refName, ref, refTol = cfg.name, fp1, tol1
 		} else {
 			if len(fp1) != len(ref) {
 				t.Fatalf("seed %d [%s]: fingerprint length %d != %d (%s)",
@@ -232,6 +334,12 @@ func checkEquivalence(t testing.TB, seed int64, em bool) {
 				if fp1[i] != ref[i] {
 					t.Fatalf("seed %d [%s]: word %d = %016x, want %016x (%s)",
 						seed, cfg.name, i, fp1[i], ref[i], refName)
+				}
+			}
+			for i := range refTol {
+				if d := math.Abs(tol1[i] - refTol[i]); d > 1e-6+1e-9*math.Abs(refTol[i]) {
+					t.Fatalf("seed %d [%s]: float channel %d = %v, want %v±tol (%s)",
+						seed, cfg.name, i, tol1[i], refTol[i], refName)
 				}
 			}
 		}

@@ -94,8 +94,29 @@ type Config struct {
 	WriteBehindDepth int
 	// DisableCSE turns off structural hash-consing entirely: no
 	// common-subexpression unification at DAG-build time and no sub-DAG
-	// result cache (the ablation knob for the equivalence suites).
+	// result cache (the ablation knob for the equivalence suites). Because
+	// the algebraic rewrite pass relies on canonical signatures (crossprod
+	// recognition, re-interning of rewritten nodes), disabling CSE also
+	// disables all rewrites.
 	DisableCSE bool
+	// DisableRewrites turns off the whole algebraic rewrite pass
+	// (optimize.go); the per-rule flags below ablate individual rule
+	// families while leaving the others on.
+	DisableRewrites bool
+	// DisableRewriteView disables view push-down (column-selection
+	// elimination, composition, and push-down through elementwise chains).
+	DisableRewriteView bool
+	// DisableRewriteCrossProd disables crossprod self-recognition
+	// (t(A)%*%B with structurally identical inputs → the Syrk form).
+	DisableRewriteCrossProd bool
+	// DisableRewriteAggFold disables aggregation folding (sum-sinks over
+	// scalar/constant/row-vector broadcast chains fold into an affine
+	// publish transform over the bare reduction).
+	DisableRewriteAggFold bool
+	// DisableRewriteDCE disables dead-input elimination (column selections
+	// over cbind/setcols that provably never observe one input disconnect
+	// it).
+	DisableRewriteDCE bool
 	// ResultCacheBytes bounds the cross-materialize sub-DAG result cache
 	// (0 = DefaultResultCacheBytes; negative disables the cache while
 	// keeping within-pass CSE unification on).
@@ -500,6 +521,19 @@ func (e *Engine) materialize(ctx context.Context, mt []*Mat, sk []*Sink, ms *Mat
 		}
 		sc = newSigCtx(e.cons)
 	}
+	var rwFwd [][2]*Mat
+	if sc != nil && !e.cfg.DisableRewrites {
+		// Algebraic rewriting runs before any signature is interned for
+		// cache lookups, so every key below describes the post-rewrite
+		// graph — a cached pre-rewrite result can never be served for a
+		// structurally different post-rewrite node, and vice versa. Tall
+		// roots are rewritten by substitution: the pass executes the
+		// rewritten graph and forwards its store onto the caller's root.
+		rwSp := pr.pt.rootBuf().Begin(trace.KindRewrite, pr.id)
+		mt, rwFwd = e.rewriteGraphs(mt, sk, sc, ms)
+		rwSp.N = ms.Rewrites
+		pr.pt.rootBuf().End(rwSp)
+	}
 	// Serve whole sinks from the result cache, and unify structurally
 	// identical sinks within the pass: the canonical one computes, each
 	// duplicate receives a copy of its payload after the pass.
@@ -511,7 +545,9 @@ func (e *Engine) materialize(ctx context.Context, mt []*Mat, sk []*Sink, ms *Mat
 			kid := sc.sinkID(s)
 			if e.rcache != nil {
 				if pl, n, ok := e.rcache.lookupSink(sc.epoch, sc.sinkKey(s)); ok {
-					s.publishPayload(pl)
+					// Cached payloads are raw reductions; a folded sink
+					// applies its own publish transform on the way out.
+					s.publishPayload(s.applyPost(pl))
 					ms.CacheHits++
 					ms.CacheHitBytes += n
 					continue
@@ -570,8 +606,12 @@ func (e *Engine) materialize(ctx context.Context, mt []*Mat, sk []*Sink, ms *Mat
 	if run && e.rcache != nil && sc != nil {
 		e.insertResults(d, sc, ms)
 	}
+	forwardTallStores(rwFwd)
 	for _, pair := range dupSinks {
-		pair[0].publishPayload(pair[1].payload())
+		// Duplicates share the canonical sink's raw reduction but publish
+		// through their own folded transform (signatures exclude it, so two
+		// sinks differing only in folded scalars unify here).
+		pair[0].publishPayload(pair[0].applyPost(pair[1].rawPayload()))
 	}
 	e.planMu.Unlock()
 	pr.pt.rootBuf().End(pubSp)
@@ -603,7 +643,7 @@ func (e *Engine) insertResults(d *dag, sc *sigCtx, ms *MaterializeStats) {
 		if !ok {
 			continue
 		}
-		ms.CacheEvictions += int64(e.rcache.insertSink(sc.epoch, key, s.payload(), sc.sinkDepsOf(s)))
+		ms.CacheEvictions += int64(e.rcache.insertSink(sc.epoch, key, s.rawPayload(), sc.sinkDepsOf(s)))
 	}
 }
 

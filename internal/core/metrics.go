@@ -42,6 +42,12 @@ func RegisterStatsMetrics(reg *trace.Registry, owner string, snap func() Materia
 		{"flashr_materialize_cache_misses_total", "Sub-DAG cache candidates this engine had to compute.", func() float64 { return float64(cur.CacheMisses) }},
 		{"flashr_materialize_cache_evictions_total", "Result-cache LRU evictions.", func() float64 { return float64(cur.CacheEvictions) }},
 		{"flashr_materialize_cache_hit_bytes_total", "Result bytes served without recomputation or I/O.", func() float64 { return float64(cur.CacheHitBytes) }},
+		{"flashr_materialize_rewrites_total", "Algebraic rewrite rule applications.", func() float64 { return float64(cur.Rewrites) }},
+		{"flashr_materialize_rewrite_views_total", "View push-down rewrites (column-selection elimination/composition/push-down).", func() float64 { return float64(cur.RewriteViews) }},
+		{"flashr_materialize_rewrite_crossprods_total", "Crossprod self-recognition rewrites (GemmTA to Syrk).", func() float64 { return float64(cur.RewriteCrossProds) }},
+		{"flashr_materialize_rewrite_aggfolds_total", "Aggregation folds into affine publish transforms.", func() float64 { return float64(cur.RewriteAggFolds) }},
+		{"flashr_materialize_rewrite_dce_total", "Dead-input eliminations applied.", func() float64 { return float64(cur.RewriteDCE) }},
+		{"flashr_materialize_rewrite_dead_nodes_total", "Virtual nodes disconnected by dead-input elimination.", func() float64 { return float64(cur.RewriteDeadNodes) }},
 		{"flashr_materialize_wall_seconds_total", "End-to-end Materialize wall time.", func() float64 { return cur.Wall.Seconds() }},
 		{"flashr_materialize_read_wait_seconds_total", "Worker time blocked on in-flight prefetch reads.", func() float64 { return cur.ReadWait.Seconds() }},
 		{"flashr_materialize_write_stall_seconds_total", "Compute time blocked handing partitions to the write queue.", func() float64 { return cur.WriteStall.Seconds() }},

@@ -1,0 +1,547 @@
+package core
+
+// Algebraic rewriting of hash-consed DAGs — the optimizer pass that runs
+// between graph construction and pass scheduling (inside materialize, under
+// planMu, before any structural signature is interned for cache lookups).
+//
+// The pass rewrites the input graphs of the sinks submitted to one
+// materialization. Four rule families, each individually toggleable for
+// ablation (Config.DisableRewrite*):
+//
+//   - view push-down (the core manifestation of transpose push-down:
+//     physical transposition is an FM-level view flag and t(t(X)) cancels by
+//     construction, so the structural view family here is opCols):
+//     identity-selection elimination, Cols∘Cols composition, and pushing a
+//     column selection below elementwise chains so narrowed subtrees never
+//     compute columns the consumer drops;
+//   - crossprod recognition: a SinkCrossProd whose two tall inputs are
+//     structurally identical but distinct objects is rewritten to the self
+//     form (s.b = s.a), selecting the Syrk kernel — bit-identical to the
+//     GemmTA path (IEEE multiply commutes; the row-accumulation order and
+//     zero-skip sets coincide) at half the multiplies;
+//   - aggregation folding: sum-sinks over scalar-broadcast chains
+//     (sum(X + c), sum(c*X), sum(X + v), sum(-X), sum(X + X)) fold into the
+//     sink over the bare operand plus an affine publish transform, so the
+//     residual sink is iteration-invariant and cacheable even when the
+//     scalar changes per iteration. Folding reassociates float reductions,
+//     so its equivalence gate is tolerance-pinned, not bit-identical;
+//   - dead-input elimination: a column selection over cbind or setcols that
+//     provably never observes one input disconnects it (and a setcols that
+//     overwrites every column shadows its base entirely). In a lazy engine
+//     nothing unreachable ever executes, so "DCE" here means rewrites that
+//     make an input unreachable — its leaves are then never read at all.
+//
+// Discipline: rewriting never mutates a Mat. Rewritten subtrees are rebuilt
+// as fresh nodes through the public constructors and installed by
+// reassigning the sink's input fields (sinks are pass-local until done).
+// Fresh nodes re-intern through the PR 3 table exactly like user-built ones,
+// so CSE and the result cache see canonical post-rewrite signatures — a
+// cached pre-rewrite result can never be served for a structurally different
+// post-rewrite node, because every key this pass computes is post-rewrite by
+// construction. Subtrees rooted at materialized, mutated, or set.cache
+// flagged nodes are left intact: their identity (and any store the user
+// asked to keep) must survive the pass.
+
+// rewriter carries one materialization's rewrite state: rule toggles, the
+// signature context for structural-identity queries, and per-node memoization
+// so shared subtrees rewrite once and keep sharing.
+type rewriter struct {
+	sc      *sigCtx
+	view    bool
+	xprod   bool
+	aggfold bool
+	dce     bool
+
+	memo map[*Mat]*Mat
+	// colsMemo memoizes colsOf per (node, selection) so push-down through
+	// diamond-shaped DAGs stays linear instead of exponential.
+	colsMemo map[colsKey]*Mat
+
+	applied   int64 // total rule applications
+	views     int64
+	xprods    int64
+	aggfolds  int64
+	dces      int64 // dead-input eliminations applied
+	deadNodes int64 // virtual nodes disconnected by them
+}
+
+type colsKey struct {
+	m    *Mat
+	cols string
+}
+
+// rewriteGraphs rewrites the input graphs of one materialization's targets
+// and folds the rule-application counters into ms. Sinks are rewritten in
+// place (their input fields are pass-local until done). Tall targets cannot
+// be — the caller holds the root pointer and will read its store — so a
+// rewritten root is substituted into the returned target list and paired in
+// fwd; after the pass the engine forwards the substitute's store onto the
+// original root (see forwardTallStores). Callers hold planMu and have
+// already built sc; rewriting before any signature is interned is what keeps
+// the result cache coherent with the rewritten graph.
+func (e *Engine) rewriteGraphs(mt []*Mat, sk []*Sink, sc *sigCtx, ms *MaterializeStats) (talls []*Mat, fwd [][2]*Mat) {
+	rw := &rewriter{
+		sc:       sc,
+		view:     !e.cfg.DisableRewriteView,
+		xprod:    !e.cfg.DisableRewriteCrossProd,
+		aggfold:  !e.cfg.DisableRewriteAggFold,
+		dce:      !e.cfg.DisableRewriteDCE,
+		memo:     make(map[*Mat]*Mat),
+		colsMemo: make(map[colsKey]*Mat),
+	}
+	if !rw.view && !rw.xprod && !rw.aggfold && !rw.dce {
+		return mt, nil
+	}
+	talls = mt
+	copied := false
+	for i, m := range mt {
+		if r := rw.node(m); r != m {
+			if !copied {
+				talls = append([]*Mat(nil), mt...)
+				copied = true
+			}
+			talls[i] = r
+			fwd = append(fwd, [2]*Mat{m, r})
+		}
+	}
+	for _, s := range sk {
+		if s.a != nil {
+			if ra := rw.node(s.a); ra != s.a {
+				s.a = ra
+			}
+		}
+		if s.b != nil {
+			if rb := rw.node(s.b); rb != s.b {
+				s.b = rb
+			}
+		}
+		rw.crossprod(s)
+		rw.aggFold(s)
+	}
+	ms.Rewrites += rw.applied
+	ms.RewriteViews += rw.views
+	ms.RewriteCrossProds += rw.xprods
+	ms.RewriteAggFolds += rw.aggfolds
+	ms.RewriteDCE += rw.dces
+	ms.RewriteDeadNodes += rw.deadNodes
+	return talls, fwd
+}
+
+// forwardTallStores publishes each rewritten substitute's store onto its
+// original tall root, sharing it refcounted: the caller of Materialize reads
+// the root it built, never knowing an equivalent graph computed the bits.
+// Callers hold planMu; runs after insertResults so a cache-managed store is
+// already wrapped.
+func forwardTallStores(fwd [][2]*Mat) {
+	for _, pair := range fwd {
+		orig, sub := pair[0], pair[1]
+		st := sub.Store()
+		if st == nil {
+			continue // pass failed or substitute served elsewhere
+		}
+		rst, ok := st.(*refStore)
+		if !ok {
+			rst = newRefStore(st)
+			sub.swapStore(rst)
+		}
+		rst.retain()
+		if !orig.attachStore(rst) {
+			rst.Free() // raced with another pass materializing orig
+		}
+	}
+}
+
+// canRewrite reports whether m's own structure may be replaced by an
+// equivalent one. Leaves, constants, materialized or mutated nodes (identity
+// signature form) and set.cache flagged nodes (the user asked for this exact
+// node's store) are fixed points.
+func (rw *rewriter) canRewrite(m *Mat) bool {
+	if m == nil || m.kind == opLeaf || m.kind == opConst {
+		return false
+	}
+	m.mu.Lock()
+	fixed := m.store != nil || m.mutated || m.cache
+	m.mu.Unlock()
+	return !fixed
+}
+
+// node returns the rewritten form of m, memoized so shared subtrees stay
+// shared. It returns m itself when nothing below it changed.
+func (rw *rewriter) node(m *Mat) *Mat {
+	if m == nil {
+		return nil
+	}
+	if r, ok := rw.memo[m]; ok {
+		return r
+	}
+	r := rw.rewriteNode(m)
+	rw.memo[m] = r
+	return r
+}
+
+func (rw *rewriter) rewriteNode(m *Mat) *Mat {
+	if !rw.canRewrite(m) {
+		return m
+	}
+	ra, rb := rw.node(m.a), rw.node(m.b)
+	switch m.kind {
+	case opCols:
+		before := rw.applied
+		r := rw.colsOf(ra, m.cols)
+		if rw.applied == before && ra == m.a {
+			return m
+		}
+		return r
+	case opSetCols:
+		if rw.dce && len(m.cols) == m.ncol && isIdentitySelection(m.cols) {
+			// Every column is overwritten in order: the result is b exactly
+			// and the base matrix is never observed.
+			rw.eliminate(ra)
+			return rb
+		}
+	}
+	if ra == m.a && rb == m.b {
+		return m
+	}
+	return rebuildNode(m, ra, rb)
+}
+
+// rebuildNode clones m with new inputs through the public constructors,
+// preserving every operator parameter.
+func rebuildNode(m *Mat, ra, rb *Mat) *Mat {
+	switch m.kind {
+	case opSapply:
+		return Sapply(ra, m.un)
+	case opMapplyMM:
+		return Mapply(ra, rb, m.bin)
+	case opMapplyScalar:
+		return MapplyScalar(ra, m.scalar, m.bin, m.scalarLeft)
+	case opMapplyRowVec:
+		return MapplyRowVec(ra, m.vec, m.bin, m.vecLeft)
+	case opMapplyColVec:
+		return MapplyColVec(ra, rb, m.bin, m.vecLeft)
+	case opInnerProd:
+		return InnerProd(ra, m.small, m.f1, m.f2)
+	case opAggRow:
+		switch m.arg {
+		case argMin:
+			return WhichMinRow(ra)
+		case argMax:
+			return WhichMaxRow(ra)
+		default:
+			return AggRow(ra, m.agg)
+		}
+	case opGroupByCol:
+		return GroupByCol(ra, m.colLabels, m.groupK, m.agg)
+	case opCumRow:
+		return CumRow(ra, m.agg)
+	case opCumCol:
+		return CumCol(ra, m.agg)
+	case opCols:
+		return Cols(ra, m.cols)
+	case opCbind:
+		return Cbind2(ra, rb)
+	case opSetCols:
+		return SetCols(ra, rb, m.cols)
+	default:
+		// Leaves and constants never reach here (canRewrite).
+		return m
+	}
+}
+
+// colsOf builds the rewritten form of Cols(x, cols), applying the view
+// push-down and dead-input rules. x is already rewritten.
+func (rw *rewriter) colsOf(x *Mat, cols []int) *Mat {
+	if rw.view && len(cols) == x.ncol && isIdentitySelection(cols) {
+		rw.views++
+		rw.applied++
+		return x
+	}
+	key := colsKey{m: x, cols: intsKey(cols)}
+	if r, ok := rw.colsMemo[key]; ok {
+		return r
+	}
+	r := rw.colsOfUncached(x, cols)
+	rw.colsMemo[key] = r
+	return r
+}
+
+func (rw *rewriter) colsOfUncached(x *Mat, cols []int) *Mat {
+	if rw.canRewrite(x) {
+		switch x.kind {
+		case opCols:
+			if rw.view {
+				comp := make([]int, len(cols))
+				for i, c := range cols {
+					comp[i] = x.cols[c]
+				}
+				rw.views++
+				rw.applied++
+				return rw.colsOf(x.a, comp)
+			}
+		case opSapply:
+			if rw.view {
+				rw.views++
+				rw.applied++
+				return Sapply(rw.colsOf(x.a, cols), x.un)
+			}
+		case opMapplyScalar:
+			if rw.view {
+				rw.views++
+				rw.applied++
+				return MapplyScalar(rw.colsOf(x.a, cols), x.scalar, x.bin, x.scalarLeft)
+			}
+		case opMapplyMM:
+			if rw.view {
+				rw.views++
+				rw.applied++
+				return Mapply(rw.colsOf(x.a, cols), rw.colsOf(x.b, cols), x.bin)
+			}
+		case opMapplyRowVec:
+			if rw.view {
+				v := make([]float64, len(cols))
+				for i, c := range cols {
+					v[i] = x.vec[c]
+				}
+				rw.views++
+				rw.applied++
+				return MapplyRowVec(rw.colsOf(x.a, cols), v, x.bin, x.vecLeft)
+			}
+		case opMapplyColVec:
+			if rw.view {
+				rw.views++
+				rw.applied++
+				return MapplyColVec(rw.colsOf(x.a, cols), x.b, x.bin, x.vecLeft)
+			}
+		case opCbind:
+			if rw.dce {
+				aw := x.a.ncol
+				allA, allB := true, true
+				for _, c := range cols {
+					if c < aw {
+						allB = false
+					} else {
+						allA = false
+					}
+				}
+				if allA {
+					rw.eliminate(x.b)
+					return rw.colsOf(x.a, cols)
+				}
+				if allB {
+					shifted := make([]int, len(cols))
+					for i, c := range cols {
+						shifted[i] = c - aw
+					}
+					rw.eliminate(x.a)
+					return rw.colsOf(x.b, shifted)
+				}
+			}
+		case opSetCols:
+			if rw.dce {
+				// src[j] = index into b when column j was overwritten, -1
+				// when it still comes from the base matrix.
+				src := make([]int, x.ncol)
+				for j := range src {
+					src[j] = -1
+				}
+				for k, c := range x.cols {
+					src[c] = k
+				}
+				allBase, allOver := true, true
+				for _, c := range cols {
+					if src[c] >= 0 {
+						allBase = false
+					} else {
+						allOver = false
+					}
+				}
+				if allBase {
+					rw.eliminate(x.b)
+					return rw.colsOf(x.a, cols)
+				}
+				if allOver {
+					pos := make([]int, len(cols))
+					for i, c := range cols {
+						pos[i] = src[c]
+					}
+					rw.eliminate(x.a)
+					return rw.colsOf(x.b, pos)
+				}
+			}
+		}
+	}
+	return Cols(x, cols)
+}
+
+// crossprod applies the self-recognition rule: t(A)%*%B with structurally
+// identical tall inputs becomes the symmetric t(A)%*%A form, which the sink
+// kernel executes with Syrk on the upper triangle instead of a full GemmTA.
+func (rw *rewriter) crossprod(s *Sink) {
+	if !rw.xprod || s.kind != SinkCrossProd || s.f1 != nil {
+		return
+	}
+	if s.a == nil || s.b == nil || s.a == s.b || s.a.ncol != s.b.ncol {
+		return
+	}
+	if rw.sc.idOf(s.a) == rw.sc.idOf(s.b) {
+		s.b = s.a
+		rw.xprods++
+		rw.applied++
+	}
+}
+
+// aggFold peels linear layers off a sum-sink's input, accumulating them into
+// the sink's affine publish transform (result = postMul·raw + postAdd). The
+// raw residual sink keys the result cache, so an iteration-varying scalar no
+// longer defeats caching of the expensive reduction under it.
+func (rw *rewriter) aggFold(s *Sink) {
+	if !rw.aggfold || s.agg != AggSum {
+		return
+	}
+	if s.kind != SinkAgg && s.kind != SinkAggCol {
+		return
+	}
+	for iter := 0; iter < 64; iter++ {
+		y := s.a
+		if !rw.canRewrite(y) {
+			return
+		}
+		// perCell is how many input elements fold into one output cell: the
+		// whole matrix for agg, one column for agg.col.
+		perCell := float64(y.nrow)
+		if s.kind == SinkAgg {
+			perCell *= float64(y.ncol)
+		}
+		var x *Mat
+		var alpha, beta float64
+		ok := false
+		switch y.kind {
+		case opSapply:
+			if y.un == UnaryNeg {
+				x, alpha, beta, ok = y.a, -1, 0, true
+			}
+		case opMapplyScalar:
+			c := y.scalar
+			switch y.bin {
+			case BinAdd:
+				x, alpha, beta, ok = y.a, 1, c*perCell, true
+			case BinSub:
+				if y.scalarLeft {
+					x, alpha, beta, ok = y.a, -1, c*perCell, true
+				} else {
+					x, alpha, beta, ok = y.a, 1, -c*perCell, true
+				}
+			case BinMul:
+				x, alpha, beta, ok = y.a, c, 0, true
+			}
+		case opMapplyMM:
+			av, bv := y.a, y.b
+			switch {
+			case av.kind == opConst || bv.kind == opConst:
+				cnode, other, constLeft := bv, av, false
+				if av.kind == opConst {
+					cnode, other, constLeft = av, bv, true
+				}
+				c := cnode.vec[0]
+				switch y.bin {
+				case BinAdd:
+					x, alpha, beta, ok = other, 1, c*perCell, true
+				case BinSub:
+					if constLeft {
+						x, alpha, beta, ok = other, -1, c*perCell, true
+					} else {
+						x, alpha, beta, ok = other, 1, -c*perCell, true
+					}
+				case BinMul:
+					x, alpha, beta, ok = other, c, 0, true
+				}
+			case rw.sc.idOf(av) == rw.sc.idOf(bv):
+				switch y.bin {
+				case BinAdd:
+					x, alpha, beta, ok = av, 2, 0, true
+				case BinSub:
+					// X - X' with X ≡ X': identically zero.
+					x, alpha, beta, ok = av, 0, 0, true
+				}
+			}
+		case opMapplyRowVec:
+			// sum(X ± v) folds for the full-matrix sink: every row adds Σv.
+			if s.kind == SinkAgg {
+				var vs float64
+				for _, v := range y.vec {
+					vs += v
+				}
+				switch y.bin {
+				case BinAdd:
+					x, alpha, beta, ok = y.a, 1, vs*float64(y.nrow), true
+				case BinSub:
+					if y.vecLeft {
+						x, alpha, beta, ok = y.a, -1, vs*float64(y.nrow), true
+					} else {
+						x, alpha, beta, ok = y.a, 1, -vs*float64(y.nrow), true
+					}
+				}
+			}
+		}
+		if !ok {
+			return
+		}
+		if !s.hasPost {
+			s.hasPost, s.postMul, s.postAdd = true, 1, 0
+		}
+		// Compose: result = postMul·(α·raw' + β) + postAdd.
+		s.postAdd += s.postMul * beta
+		s.postMul *= alpha
+		s.a = x
+		rw.aggfolds++
+		rw.applied++
+	}
+}
+
+// eliminate records a dead-input elimination: the subtree rooted at dead is
+// no longer reachable from this consumer. The counter reports the nodes
+// disconnected along the pruned edge — leaves included, since an unread leaf
+// is exactly the byte savings — without descending past materialization
+// boundaries. Shared nodes still reachable elsewhere are CSE-served, so the
+// count is an upper bound on removed work and exact for exclusive subtrees.
+func (rw *rewriter) eliminate(dead *Mat) {
+	rw.dces++
+	rw.applied++
+	seen := make(map[*Mat]bool)
+	var walk func(*Mat)
+	walk = func(m *Mat) {
+		if m == nil || seen[m] {
+			return
+		}
+		seen[m] = true
+		rw.deadNodes++
+		if m.kind == opConst || m.kind == opLeaf || m.Materialized() {
+			return
+		}
+		walk(m.a)
+		walk(m.b)
+	}
+	walk(dead)
+}
+
+func isIdentitySelection(cols []int) bool {
+	for i, c := range cols {
+		if c != i {
+			return false
+		}
+	}
+	return true
+}
+
+func intsKey(cols []int) string {
+	b := make([]byte, 0, len(cols)*3)
+	for _, c := range cols {
+		for c >= 10 {
+			b = append(b, byte('0'+c%10))
+			c /= 10
+		}
+		b = append(b, byte('0'+c), ',')
+	}
+	return string(b)
+}

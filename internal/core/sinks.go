@@ -262,6 +262,15 @@ func (a *sinkAcc) finish(s *Sink) {
 	}
 	// When no rows were folded the result stays at the fold identity,
 	// matching R's empty reductions (sum(c()) == 0, min(c()) == Inf).
+	if s.hasPost && s.result != nil {
+		// Keep the raw reduction for the result cache (its key describes the
+		// raw computation), then publish the affine transform the optimizer
+		// folded out of the input graph.
+		s.raw = s.result.Clone()
+		for i, v := range s.result.Data {
+			s.result.Data[i] = s.postMul*v + s.postAdd
+		}
+	}
 	s.done = true
 }
 
@@ -276,6 +285,37 @@ func (s *Sink) payload() *sinkPayload {
 	}
 	p := &sinkPayload{keys: s.keys, counts: s.counts, folds: s.folds, result: s.result}
 	return p.clone()
+}
+
+// rawPayload snapshots the pre-transform result for the result cache. For
+// sinks without a folded publish transform this is the published result; for
+// folded sinks it is the raw reduction stashed by finish, so the cache entry
+// matches the structural key (which excludes the transform coefficients).
+func (s *Sink) rawPayload() *sinkPayload {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.done {
+		return nil
+	}
+	res := s.result
+	if s.hasPost {
+		res = s.raw
+	}
+	p := &sinkPayload{keys: s.keys, counts: s.counts, folds: s.folds, result: res}
+	return p.clone()
+}
+
+// applyPost applies this sink's folded publish transform to a raw payload in
+// place (a no-op when no fold happened), returning pl for chaining. Callers
+// pass a clone they own — the cache-hit and duplicate-sink serve paths.
+func (s *Sink) applyPost(pl *sinkPayload) *sinkPayload {
+	if pl == nil || !s.hasPost || pl.result == nil {
+		return pl
+	}
+	for i, v := range pl.result.Data {
+		pl.result.Data[i] = s.postMul*v + s.postAdd
+	}
+	return pl
 }
 
 // publishPayload installs a payload snapshot as this sink's result — the

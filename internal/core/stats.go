@@ -95,6 +95,18 @@ type MaterializeStats struct {
 	CacheMisses     int64
 	CacheEvictions  int64
 	CacheHitBytes   int64
+
+	// Algebraic-rewrite counters (optimize.go). Rewrites is total rule
+	// applications; the per-family counters break it down (view push-down,
+	// crossprod self-recognition, aggregation folds, dead-input
+	// eliminations). RewriteDeadNodes counts the virtual nodes those
+	// eliminations disconnected — subtrees whose leaves are never read.
+	Rewrites          int64
+	RewriteViews      int64
+	RewriteCrossProds int64
+	RewriteAggFolds   int64
+	RewriteDCE        int64
+	RewriteDeadNodes  int64
 }
 
 // Add accumulates o into s (numeric fields sum; Fuse and SyncWrites take
@@ -133,6 +145,12 @@ func (s *MaterializeStats) Add(o MaterializeStats) {
 	s.CacheMisses += o.CacheMisses
 	s.CacheEvictions += o.CacheEvictions
 	s.CacheHitBytes += o.CacheHitBytes
+	s.Rewrites += o.Rewrites
+	s.RewriteViews += o.RewriteViews
+	s.RewriteCrossProds += o.RewriteCrossProds
+	s.RewriteAggFolds += o.RewriteAggFolds
+	s.RewriteDCE += o.RewriteDCE
+	s.RewriteDeadNodes += o.RewriteDeadNodes
 }
 
 // Sub returns s minus o field-by-field — the delta between two snapshots of
@@ -164,6 +182,12 @@ func (s MaterializeStats) Sub(o MaterializeStats) MaterializeStats {
 	d.CacheMisses -= o.CacheMisses
 	d.CacheEvictions -= o.CacheEvictions
 	d.CacheHitBytes -= o.CacheHitBytes
+	d.Rewrites -= o.Rewrites
+	d.RewriteViews -= o.RewriteViews
+	d.RewriteCrossProds -= o.RewriteCrossProds
+	d.RewriteAggFolds -= o.RewriteAggFolds
+	d.RewriteDCE -= o.RewriteDCE
+	d.RewriteDeadNodes -= o.RewriteDeadNodes
 	return d
 }
 
@@ -187,6 +211,11 @@ func (s MaterializeStats) String() string {
 	if s.CSEUnifications != 0 || s.CacheHits != 0 || s.CacheMisses != 0 {
 		fmt.Fprintf(&b, " cse=%d hit=%d/%d saved=%s evict=%d",
 			s.CSEUnifications, s.CacheHits, s.CacheMisses, mib(s.CacheHitBytes), s.CacheEvictions)
+	}
+	if s.Rewrites != 0 {
+		fmt.Fprintf(&b, " rw=%d (view=%d xprod=%d fold=%d dce=%d dead=%d)",
+			s.Rewrites, s.RewriteViews, s.RewriteCrossProds, s.RewriteAggFolds,
+			s.RewriteDCE, s.RewriteDeadNodes)
 	}
 	if s.ChecksumFailures != 0 || s.IORetries != 0 || s.RecoveredReads != 0 || s.RecoveredWrites != 0 {
 		fmt.Fprintf(&b, " csfail=%d retries=%d recovered=%d/%d",

@@ -2,6 +2,7 @@ package repl
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	flashr "repro"
@@ -322,7 +323,7 @@ func (e *Env) Format(v Value) (string, error) {
 	case v.isNull:
 		return "", nil
 	case v.isNum:
-		return fmt.Sprintf("[1] %g", v.Num), nil
+		return formatScalar(v.Num), nil
 	case e.lazyScalars && v.Mat != nil && v.Mat.Length() == 1:
 		// A deferred reduction: force it (served from the already-flushed
 		// batch pass when one ran) and render it the way the eager path
@@ -331,7 +332,7 @@ func (e *Env) Format(v Value) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		return fmt.Sprintf("[1] %g", f), nil
+		return formatScalar(f), nil
 	case v.isStr:
 		if strings.Contains(v.Str, "\n") {
 			return strings.TrimRight(v.Str, "\n"), nil
@@ -341,6 +342,22 @@ func (e *Env) Format(v Value) (string, error) {
 		return formatMatrix(v.Mat)
 	}
 	return "NULL", nil
+}
+
+// formatScalar renders a scalar the way R's print does. Both the eager path
+// (Value.Num) and the deferred-reduction path (1×1 lazy sink) go through
+// here, so non-finite values print identically whichever path produced them:
+// R prints Inf, not Go's %g "+Inf".
+func formatScalar(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "[1] NaN"
+	case math.IsInf(f, 1):
+		return "[1] Inf"
+	case math.IsInf(f, -1):
+		return "[1] -Inf"
+	}
+	return fmt.Sprintf("[1] %g", f)
 }
 
 func formatMatrix(m *flashr.FM) (string, error) {

@@ -248,6 +248,47 @@ func TestFormatOutputs(t *testing.T) {
 	}
 }
 
+// TestFormatNonFiniteParity: NaN and ±Inf scalars print in R's spelling
+// (NaN, Inf, -Inf — not Go's "+Inf"), and the deferred-reduction path must
+// print them identically to the eager path.
+func TestFormatNonFiniteParity(t *testing.T) {
+	eager := env(t)
+	lazy := env(t)
+	lazy.SetLazyScalars(true)
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"sum(log(zeros(64, 1)))", "[1] -Inf"},
+		{"sum(exp(ones(64, 1) * 1000))", "[1] Inf"},
+		{"sum(sqrt(0 - ones(64, 1)))", "[1] NaN"},
+	}
+	for _, c := range cases {
+		ev, err := eager.Eval(c.src)
+		if err != nil {
+			t.Fatalf("eager eval %q: %v", c.src, err)
+		}
+		eout, err := eager.Format(ev)
+		if err != nil {
+			t.Fatalf("eager format %q: %v", c.src, err)
+		}
+		lv, err := lazy.Eval(c.src)
+		if err != nil {
+			t.Fatalf("lazy eval %q: %v", c.src, err)
+		}
+		lout, err := lazy.Format(lv)
+		if err != nil {
+			t.Fatalf("lazy format %q: %v", c.src, err)
+		}
+		if eout != c.want {
+			t.Errorf("eager %q printed %q, want %q", c.src, eout, c.want)
+		}
+		if lout != eout {
+			t.Errorf("lazy %q printed %q, eager printed %q — paths must agree", c.src, lout, eout)
+		}
+	}
+}
+
 func TestExplainThroughREPL(t *testing.T) {
 	e := env(t)
 	if _, err := e.Eval("x <- rnorm.matrix(2000, 2)"); err != nil {

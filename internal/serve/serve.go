@@ -437,7 +437,14 @@ func (sv *Server) execute(w http.ResponseWriter, r *http.Request, program string
 		return
 	}
 	req := &Request{Sess: s, Program: program, Ctx: r.Context()}
+	// Claim the session's in-flight slot before Submit: once the request is
+	// queued the idle janitor must already see the session as busy, or a
+	// sweep between Submit and the batch finishing could expire it under us.
+	s.inflight.Add(1)
 	ch, err := sv.batcher.Submit(req)
+	if err != nil {
+		s.inflight.Add(-1)
+	}
 	switch {
 	case errors.Is(err, ErrDraining):
 		tn.shed["draining"].Inc()
@@ -456,6 +463,7 @@ func (sv *Server) execute(w http.ResponseWriter, r *http.Request, program string
 	sv.accepted.Add(1)
 
 	resp := <-ch
+	s.inflight.Add(-1)
 	tn.inflight.Add(-1)
 	sv.answered.Add(1)
 	tn.latency.Observe(time.Since(req.enqueued).Seconds())

@@ -375,6 +375,46 @@ func TestServeIdleExpiry(t *testing.T) {
 	}
 }
 
+// TestServeNoExpiryMidRequest: the idle janitor must not expire a session
+// while one of its requests is in flight. The batch window is held open far
+// longer than the idle limit, so lastUsed goes stale mid-request; without
+// the in-flight guard the sweep removes the session under its active client
+// and the follow-up request 404s.
+func TestServeNoExpiryMidRequest(t *testing.T) {
+	ts := newTestServer(t, func(c *Config) {
+		c.BatchWait = 300 * time.Millisecond
+		c.SessionIdle = 30 * time.Millisecond
+		c.JanitorInterval = 5 * time.Millisecond
+	})
+	sid := ts.createSession(t, "acme")
+	// Submit immediately: the idle clock (set at create) goes stale during
+	// the 300ms batch window, an order of magnitude past the 30ms cutoff.
+	if code, out := ts.eval(t, sid, "1 + 1"); code != http.StatusOK {
+		t.Fatalf("slow-batch eval: HTTP %d: %v", code, out)
+	}
+	// The answered request refreshed the idle clock; the session must still
+	// be live for an immediate follow-up.
+	if code, out := ts.eval(t, sid, "2 + 2"); code != http.StatusOK {
+		t.Fatalf("follow-up after slow batch: HTTP %d: %v (session expired mid-request?)", code, out)
+	}
+	// Once truly idle, the session still expires.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(ts.url + "/v1/sessions/" + sid)
+		if err != nil {
+			t.Fatalf("GET session: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session with no in-flight requests never expired")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
 // One /metrics scrape must show per-tenant serving series side by side with
 // the per-owner engine pass totals the smoke test compares against.
 func TestServeMetricsExposition(t *testing.T) {

@@ -43,6 +43,12 @@ type Session struct {
 	mu       sync.Mutex
 	env      *repl.Env
 	lastUsed atomic.Int64 // unix nanos
+	// inflight counts requests accepted for this session and not yet
+	// answered. The idle janitor must not expire a session mid-request:
+	// lastUsed is only refreshed when a batch finishes, so a batch slower
+	// than the idle limit would otherwise let the sweep remove the session
+	// under its active client (and a follow-up request would 404).
+	inflight atomic.Int64
 	closed   atomic.Bool
 }
 
@@ -181,6 +187,9 @@ func (t *sessionTable) expireIdle(maxIdle time.Duration) int {
 	t.mu.Lock()
 	var stale []string
 	for id, s := range t.sessions {
+		if s.inflight.Load() > 0 {
+			continue // mid-request: not idle, whatever the clock says
+		}
 		if s.lastUsed.Load() < cutoff {
 			stale = append(stale, id)
 		}

@@ -52,6 +52,10 @@ const (
 	KindWriteBack
 	// KindDrain covers the end-of-pass write-behind drain barrier.
 	KindDrain
+	// KindRewrite covers the algebraic DAG rewrite pass inside planning
+	// (N = rule applications). It nests inside KindCacheLookup: rewriting
+	// runs before any signature is interned for cache lookups.
+	KindRewrite
 	kindCount
 )
 
@@ -66,6 +70,7 @@ var kindNames = [...]string{
 	KindCompute:     "compute",
 	KindWriteBack:   "write-back",
 	KindDrain:       "drain",
+	KindRewrite:     "rewrite",
 }
 
 func (k Kind) String() string {

@@ -317,6 +317,38 @@ func TestConcurrentMaterializations(t *testing.T) {
 	}
 }
 
+// TestNonFiniteConformance: NaN and ±Inf propagate through elementwise ops
+// and reductions with R's double semantics in both backends — including
+// through the aggregation-fold rewrite, whose affine publish transform must
+// forward a non-finite raw sum unchanged.
+func TestNonFiniteConformance(t *testing.T) {
+	for name, s := range testSessions(t) {
+		zero := s.Zeros(600, 2)
+		cases := []struct {
+			desc string
+			x    *FM
+			want float64
+		}{
+			{"sum(log(0))", Sum(Log(zero)), math.Inf(-1)},
+			{"sum(1/0)", Sum(Div(1.0, zero)), math.Inf(1)},
+			{"sum(sqrt(-1))", Sum(Sqrt(Sub(zero, 1.0))), math.NaN()},
+			// The scalar-add layer folds into the sink's publish transform;
+			// -Inf + c·n·p must still be -Inf.
+			{"sum(log(0) + 5)", Sum(Add(Log(zero), 5.0)), math.Inf(-1)},
+			{"sum(-sqrt(-1))", Sum(Neg(Sqrt(Sub(zero, 1.0)))), math.NaN()},
+		}
+		for _, c := range cases {
+			got, err := c.x.Float()
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, c.desc, err)
+			}
+			if !sameFloat(got, c.want) {
+				t.Fatalf("%s/%s = %v, want %v", name, c.desc, got, c.want)
+			}
+		}
+	}
+}
+
 // sameFloat treats NaN as equal to NaN (R's ^ on negative bases with
 // fractional exponents yields NaN on both sides of the comparison).
 func sameFloat(a, b float64) bool {

@@ -93,6 +93,26 @@ type Options struct {
 	// (0 = core.DefaultResultCacheBytes; negative disables the cache while
 	// keeping within-pass CSE unification on).
 	ResultCacheBytes int64
+	// DisableRewrites turns off the algebraic DAG rewrite pass entirely.
+	// Rewrites also require CSE: DisableCSE implies no rewrites, because
+	// rewritten nodes re-intern through the hash-cons table.
+	DisableRewrites bool
+	// DisableRewriteView disables the view push-down rule family
+	// (column-selection elimination, composition, and push-down through
+	// elementwise chains) while leaving the other rules on.
+	DisableRewriteView bool
+	// DisableRewriteCrossProd disables crossprod self-recognition
+	// (t(A)%*%B with structurally identical operands → the symmetric Syrk
+	// form).
+	DisableRewriteCrossProd bool
+	// DisableRewriteAggFold disables aggregation folding (sum over
+	// scalar/constant/row-vector broadcast chains folds into an affine
+	// transform applied when the sink publishes).
+	DisableRewriteAggFold bool
+	// DisableRewriteDCE disables dead-input elimination (column selections
+	// over cbind/setcols that provably never observe one input disconnect
+	// it, so its leaves are never read).
+	DisableRewriteDCE bool
 	// Owner labels this session's materialization passes for per-pass
 	// stats attribution and fair admission on a shared engine.
 	Owner string
@@ -154,6 +174,11 @@ func WithSyncWrites() Option {
 // WithoutCSE turns off hash-consing and the sub-DAG result cache.
 func WithoutCSE() Option {
 	return optionFunc(func(c *sessionConfig) { c.opts.DisableCSE = true })
+}
+
+// WithoutRewrites turns off the algebraic DAG rewrite pass.
+func WithoutRewrites() Option {
+	return optionFunc(func(c *sessionConfig) { c.opts.DisableRewrites = true })
 }
 
 // WithResultCacheBytes bounds the cross-materialize result cache.
@@ -292,19 +317,24 @@ func NewSession(opts ...Option) (*Session, error) {
 		topo = numa.NewTopology(o.NumaNodes, 0)
 	}
 	eng, err := core.NewEngine(core.Config{
-		Workers:             o.Workers,
-		Fuse:                o.Fuse,
-		Topo:                topo,
-		FS:                  fs,
-		EM:                  o.EM,
-		PartRows:            o.PartRows,
-		PcacheBytes:         o.PcacheBytes,
-		SyncWrites:          o.SyncWrites,
-		WriteBehindDepth:    o.WriteBehindDepth,
-		DisableCSE:          o.DisableCSE,
-		ResultCacheBytes:    o.ResultCacheBytes,
-		MaxConcurrentPasses: o.MaxConcurrentPasses,
-		PassMemBudget:       o.PassMemBudget,
+		Workers:                 o.Workers,
+		Fuse:                    o.Fuse,
+		Topo:                    topo,
+		FS:                      fs,
+		EM:                      o.EM,
+		PartRows:                o.PartRows,
+		PcacheBytes:             o.PcacheBytes,
+		SyncWrites:              o.SyncWrites,
+		WriteBehindDepth:        o.WriteBehindDepth,
+		DisableCSE:              o.DisableCSE,
+		ResultCacheBytes:        o.ResultCacheBytes,
+		DisableRewrites:         o.DisableRewrites,
+		DisableRewriteView:      o.DisableRewriteView,
+		DisableRewriteCrossProd: o.DisableRewriteCrossProd,
+		DisableRewriteAggFold:   o.DisableRewriteAggFold,
+		DisableRewriteDCE:       o.DisableRewriteDCE,
+		MaxConcurrentPasses:     o.MaxConcurrentPasses,
+		PassMemBudget:           o.PassMemBudget,
 	})
 	if err != nil {
 		if fs != nil {
