@@ -8,7 +8,7 @@
 //	flashr-bench -concurrent 4 -n 100000
 //
 // Experiments: fig7a, fig7b, fig8, fig9, fig10, table4, table6, cse,
-// rewrite, concurrent, all.
+// rewrite, concurrent, shard, all.
 // See DESIGN.md for the paper-to-experiment index and EXPERIMENTS.md for
 // recorded results.
 package main
@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"repro/internal/benchmark"
 	"repro/internal/trace"
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run (fig7a|fig7b|fig8|fig9|fig10|table4|table6|cse|rewrite|concurrent|all)")
+		experiment = flag.String("experiment", "all", "experiment to run (fig7a|fig7b|fig8|fig9|fig10|table4|table6|cse|rewrite|concurrent|shard|all)")
 		n          = flag.Int64("n", 200_000, "base dataset rows (Criteo-sub in the paper is 325M)")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines per engine")
 		ssdRoot    = flag.String("ssd-root", "", "directory for the simulated SSD array (default: temp dir)")
@@ -44,6 +45,9 @@ func main() {
 		noRewrite  = flag.Bool("no-rewrites", false, "disable the algebraic DAG rewrite pass")
 		cacheMB    = flag.Int64("cache-mb", 0, "sub-DAG result cache budget in MiB (0=engine default, negative=cache off, CSE on)")
 		concurrent = flag.Int("concurrent", 0, "run the concurrent multi-session experiment with N sessions sharing one engine (shorthand for -experiment concurrent)")
+		shardN     = flag.Int("shard-workers", 0, "in-process shard count for the shard experiment (0=2)")
+		shardAddrs = flag.String("shard-addrs", "", "comma-separated flashr-shardworker TCP addresses for the shard experiment (overrides -shard-workers)")
+		shardParts = flag.Int("shard-part-rows", 0, "partition height for the shard experiment; must match the workers' -part-rows (0=engine default)")
 		tracePath  = flag.String("trace", "", "write a Chrome trace_event JSON file of every materialization pass (load in chrome://tracing or Perfetto)")
 		metrics    = flag.Bool("metrics", false, "dump expfmt metrics from each experiment's EM session before it closes")
 		debugAddr  = flag.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this address while the benchmark runs")
@@ -62,6 +66,11 @@ func main() {
 		DisableCSE: *noCSE, ResultCacheBytes: *cacheMB << 20,
 		DisableRewrites:    *noRewrite,
 		ConcurrentSessions: *concurrent,
+		ShardWorkers:       *shardN,
+		ShardPartRows:      *shardParts,
+	}
+	if *shardAddrs != "" {
+		cfg.ShardAddrs = strings.Split(*shardAddrs, ",")
 	}
 	if *tracePath != "" {
 		cfg.Trace = &benchmark.TraceSink{}

@@ -39,6 +39,11 @@ type equivConfig struct {
 	noXProd    bool
 	noFold     bool
 	noDCE      bool
+	// shards > 0 runs the session with in-process sharded execution: the
+	// distributed path must fingerprint bit-identically to local execution
+	// (carry-seeded cumulative folds included), with only the float
+	// aggregation fold in the tolerance channel.
+	shards int
 }
 
 func equivGrid(em bool) []equivConfig {
@@ -66,6 +71,10 @@ func equivGrid(em bool) []equivConfig {
 		equivConfig{name: "cache/no-fold", fuse: FuseCache, noFold: true},
 		equivConfig{name: "cache/no-dce", fuse: FuseCache, noDCE: true},
 	)
+	// Sharded execution axis: the same program row-partitioned across 2 and 4
+	// in-process workers, plus sharding with CSE ablated and under per-op
+	// (FuseNone) materialization.
+	grid = append(grid, shardGrid()[1:]...)
 	if em {
 		grid = append(grid,
 			equivConfig{name: "em/cache/cse-on", fuse: FuseCache, em: true},
@@ -74,6 +83,19 @@ func equivGrid(em bool) []equivConfig {
 		)
 	}
 	return grid
+}
+
+// shardGrid is the trimmed grid of the sharded-equivalence fuzz target: a
+// local baseline plus the distributed configurations. Entry 0 is the
+// baseline; the rest also ride along in the full equivGrid.
+func shardGrid() []equivConfig {
+	return []equivConfig{
+		{name: "local/cache", fuse: FuseCache},
+		{name: "shard=2/cache", fuse: FuseCache, shards: 2},
+		{name: "shard=4/cache", fuse: FuseCache, shards: 4},
+		{name: "shard=2/cse-off", fuse: FuseCache, disableCSE: true, shards: 2},
+		{name: "shard=2/fuse=none", fuse: FuseNone, shards: 2},
+	}
 }
 
 // buildEquivExpr builds a deterministic random elementwise expression over x.
@@ -236,6 +258,10 @@ func runEquivProgram(t testing.TB, x *FM, progSeed int64) ([]uint64, []float64) 
 // sessions actually unified and cache-served work, and that CSE-off sessions
 // did neither.
 func checkEquivalence(t testing.TB, seed int64, em bool) {
+	checkEquivalenceGrid(t, seed, equivGrid(em))
+}
+
+func checkEquivalenceGrid(t testing.TB, seed int64, grid []equivConfig) {
 	rng := rand.New(rand.NewSource(seed))
 	n := int64(300 + rng.Intn(2200))
 	p := 1 + rng.Intn(4)
@@ -245,7 +271,7 @@ func checkEquivalence(t testing.TB, seed int64, em bool) {
 	var refName string
 	var ref []uint64
 	var refTol []float64
-	for _, cfg := range equivGrid(em) {
+	for _, cfg := range grid {
 		opts := Options{
 			Workers: 4, PartRows: 256, Fuse: cfg.fuse,
 			DisableCSE: cfg.disableCSE, SyncWrites: cfg.syncWrites,
@@ -254,6 +280,9 @@ func checkEquivalence(t testing.TB, seed int64, em bool) {
 			DisableRewriteCrossProd: cfg.noXProd,
 			DisableRewriteAggFold:   cfg.noFold,
 			DisableRewriteDCE:       cfg.noDCE,
+		}
+		if cfg.shards > 0 {
+			opts.Sharding = &ShardConfig{Shards: cfg.shards}
 		}
 		if cfg.em {
 			dir := t.(interface{ TempDir() string }).TempDir()
@@ -323,6 +352,14 @@ func checkEquivalence(t testing.TB, seed int64, em bool) {
 		checkCounter("crossprod rewrite", cfg.noXProd, ms.RewriteCrossProds)
 		checkCounter("aggregation fold", cfg.noFold, ms.RewriteAggFolds)
 		checkCounter("dead-input elimination", cfg.noDCE, ms.RewriteDCE)
+		// Sharded sessions must actually execute remotely (and local ones must
+		// not): ShardPasses is nonzero exactly when sharding is configured.
+		if cfg.shards > 0 && ms.ShardPasses == 0 {
+			t.Fatalf("seed %d [%s]: sharding configured but no worker passes ran", seed, cfg.name)
+		}
+		if cfg.shards == 0 && ms.ShardPasses != 0 {
+			t.Fatalf("seed %d [%s]: local session recorded %d shard passes", seed, cfg.name, ms.ShardPasses)
+		}
 		if ref == nil {
 			refName, ref, refTol = cfg.name, fp1, tol1
 		} else {
@@ -377,4 +414,103 @@ func FuzzDAGEquivalence(f *testing.F) {
 	f.Fuzz(func(t *testing.T, seed int64) {
 		checkEquivalence(t, seed, false)
 	})
+}
+
+// TestShardEquivalenceGrid is the deterministic slice of the sharded axis:
+// seeded programs through the trimmed local-vs-sharded grid.
+func TestShardEquivalenceGrid(t *testing.T) {
+	for seed := int64(11); seed <= 13; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			checkEquivalenceGrid(t, seed, shardGrid())
+		})
+	}
+}
+
+// FuzzShardEquivalence feeds arbitrary seeds through the trimmed sharded
+// grid: single-engine vs 2- and 4-shard in-process execution must be
+// bit-identical for tall results and integer folds, tolerance-pinned for the
+// float aggregation fold.
+func FuzzShardEquivalence(f *testing.F) {
+	for _, s := range []int64{0, 7, 42, 1<<33 + 5, -11} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		checkEquivalenceGrid(t, seed, shardGrid())
+	})
+}
+
+// TestShardUnifiedCumsum pins the CSE×sharding interaction: when one
+// expression references the same cumulative subexpression twice, the plan
+// unifies the two cum.col nodes onto one slot and only the representative
+// publishes carries. The encoded program must collapse the duplicate the
+// same way — encoding it as a second node would leave it unseeded on every
+// shard but the first (it would restart from the fold identity instead of
+// the threaded carry). Found by the equivalence fuzzer at grid seed 2.
+func TestShardUnifiedCumsum(t *testing.T) {
+	run := func(shards int, build func(x *FM) []*FM) [][]float64 {
+		opts := Options{Workers: 4, PartRows: 256}
+		if shards > 0 {
+			opts.Sharding = &ShardConfig{Shards: shards}
+		}
+		s, err := NewSession(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		x, err := s.GenerateSeeded(1000, 3, 99, func(rng *rand.Rand, row []float64) {
+			for i := range row {
+				row[i] = rng.Float64()*4 - 2
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out [][]float64
+		for _, e := range build(x) {
+			d, err := e.AsDense()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, d.Data)
+		}
+		return out
+	}
+	for _, tc := range []struct {
+		name  string
+		build func(x *FM) []*FM
+	}{
+		{"two-consumer-cum", func(x *FM) []*FM {
+			// Cumsum(x) twice in one expression: unified onto one node with
+			// two consumers.
+			return []*FM{Sum(Round(Add(Cumsum(x), Abs(Cumsum(x)))))}
+		}},
+		{"seed2-shape", func(x *FM) []*FM {
+			e := Sub(Mul(Sigmoid(x), Cumsum(x)), Sqrt(Abs(Cumsum(x))))
+			return []*FM{Sum(Round(e))}
+		}},
+		{"twin-dense-talls", func(x *FM) []*FM {
+			// Structurally identical dense targets: with sharding they unify
+			// onto one program index but must keep independent handles.
+			e := Mul(Cumsum(x), Neg(Abs(x)))
+			eb := Mul(Cumsum(x), Neg(Abs(x)))
+			return []*FM{e, eb, Sum(Round(e))}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want := run(0, tc.build)
+			got := run(2, tc.build)
+			for i := range want {
+				if len(got[i]) != len(want[i]) {
+					t.Fatalf("result %d: %d values, want %d", i, len(got[i]), len(want[i]))
+				}
+				for j := range want[i] {
+					if math.Float64bits(got[i][j]) != math.Float64bits(want[i][j]) {
+						t.Fatalf("result %d value %d: shard %v, local %v", i, j, got[i][j], want[i][j])
+					}
+				}
+			}
+		})
+	}
 }

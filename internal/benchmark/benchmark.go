@@ -101,6 +101,17 @@ type Config struct {
 	// ConcurrentSessions is the session count for the "concurrent"
 	// experiment (0 = 4).
 	ConcurrentSessions int
+	// ShardWorkers is the in-process shard count for the "shard"
+	// experiment (0 = 2); ignored when ShardAddrs is set.
+	ShardWorkers int
+	// ShardAddrs lists already-running flashr-shardworker TCP addresses;
+	// when set, the "shard" experiment distributes over real processes.
+	ShardAddrs []string
+	// ShardPartRows overrides the I/O partition height for both runs of
+	// the "shard" experiment (0 = engine default). TCP workers validate
+	// their own -part-rows against this at hello; smaller partitions let
+	// small smoke datasets span every shard.
+	ShardPartRows int
 	// Trace, when non-nil, collects execution-span traces from every engine
 	// the experiments open; render the merged result with
 	// TraceSink.WriteChromeFile after the run (flashr-bench -trace).
@@ -1436,7 +1447,7 @@ func Concurrent(cfg Config) ([]Row, error) {
 
 // Experiments lists the runnable experiment names.
 func Experiments() []string {
-	return []string{"fig7a", "fig7b", "fig8", "fig9", "fig10", "table4", "table6", "cse", "rewrite", "concurrent"}
+	return []string{"fig7a", "fig7b", "fig8", "fig9", "fig10", "table4", "table6", "cse", "rewrite", "concurrent", "shard"}
 }
 
 // Run dispatches an experiment by name ("all" runs everything).
@@ -1462,6 +1473,8 @@ func Run(name string, cfg Config) ([]Row, error) {
 		return Rewrite(cfg)
 	case "concurrent":
 		return Concurrent(cfg)
+	case "shard":
+		return Shard(cfg)
 	case "all":
 		var all []Row
 		for _, e := range Experiments() {

@@ -35,8 +35,14 @@ func newCumCoord(nodes []*Mat, nparts int) *cumCoord {
 	for _, m := range nodes {
 		cs := make([][]float64, nparts+1)
 		init := make([]float64, m.ncol)
-		for j := range init {
-			init[j] = m.agg.Init
+		if m.vec != nil {
+			// Carry-seeded node (CumColCarry): the scan continues from the
+			// accumulator a preceding shard left.
+			copy(init, m.vec)
+		} else {
+			for j := range init {
+				init[j] = m.agg.Init
+			}
 		}
 		cs[0] = init
 		c.carries[m.id] = cs

@@ -179,6 +179,12 @@ type Engine struct {
 	cons   *consTable
 	rcache *resultCache
 
+	// remote, when set (SetRemoteExecutor), replaces the local execution
+	// phase of every pass with a sharded coordinator: planning and
+	// publication still run here, so CSE, the result cache, and the rewrite
+	// pass behave identically to single-engine execution.
+	remote RemoteExecutor
+
 	// testStoreWrap, when set by tests, wraps every tall-output store the
 	// engine creates — the injection seam for write-failure coverage.
 	testStoreWrap func(matrix.Store) matrix.Store
@@ -585,17 +591,30 @@ func (e *Engine) materialize(ctx context.Context, mt []*Mat, sk []*Sink, ms *Mat
 		return validateErr
 	}
 	if run {
-		// The pass identity ties the execution phase's SAFS traffic to this
-		// materialization for fair queueing and exact attribution.
-		var pass *safs.Pass
-		if e.cfg.FS != nil {
-			pass = e.cfg.FS.RegisterPass(opts.Weight)
-		}
 		e.stats.DAGs.Add(1)
-		if e.cfg.Fuse == FuseNone {
-			err = e.runUnfused(ctx, d, ms, pass, pr)
+		if e.remote != nil {
+			// Sharded execution: the coordinator row-partitions the residual
+			// DAG across its workers and combines their sink partials; no
+			// local partition I/O happens on this engine.
+			shSp := pr.pt.rootBuf().Begin(trace.KindShard, pr.id)
+			rd := &RemoteDAG{NRow: d.nrow, Talls: d.talls, Sinks: d.sinks, Cums: d.cums,
+				Owner: opts.Owner, Canon: d.canonOf}
+			err = e.remote.RunDAG(ctx, rd, ms)
+			shSp.Bytes = ms.ShardBytesSent + ms.ShardBytesRecv
+			shSp.N = ms.ShardAggRounds
+			pr.pt.rootBuf().End(shSp)
 		} else {
-			err = e.runFused(ctx, d, e.cfg.Fuse, ms, pass, pr)
+			// The pass identity ties the execution phase's SAFS traffic to
+			// this materialization for fair queueing and exact attribution.
+			var pass *safs.Pass
+			if e.cfg.FS != nil {
+				pass = e.cfg.FS.RegisterPass(opts.Weight)
+			}
+			if e.cfg.Fuse == FuseNone {
+				err = e.runUnfused(ctx, d, ms, pass, pr)
+			} else {
+				err = e.runFused(ctx, d, e.cfg.Fuse, ms, pass, pr)
+			}
 		}
 		if err != nil {
 			return err
@@ -750,6 +769,17 @@ type dag struct {
 	tallSlots []int          // slot per tall target
 	sinkASlot []int          // slot of each sink's a input
 	sinkBSlot []int          // slot of each sink's b input (-1 if none)
+}
+
+// canonOf resolves a node to its execution representative: a CSE-unified
+// duplicate shares the slot of the first structurally identical node, and
+// that first node is the one that executes (and, for cum.col, publishes
+// carries). Nodes the plan never unified map to themselves.
+func (d *dag) canonOf(m *Mat) *Mat {
+	if slot, ok := d.slotOf[m.id]; ok && slot >= 0 && slot < len(d.nodes) {
+		return d.nodes[slot]
+	}
+	return m
 }
 
 // buildDAG walks the graph from the targets, collecting nodes in topological

@@ -983,8 +983,12 @@ func (w *worker) eval(slot int, pi partInfo, r0, cr int) ([]float64, bool) {
 		run := w.cumRun[m.id]
 		if run == nil {
 			run = make([]float64, nc)
-			for j := range run {
-				run[j] = f.Init
+			if m.vec != nil {
+				copy(run, m.vec) // carry-seeded (CumColCarry)
+			} else {
+				for j := range run {
+					run[j] = f.Init
+				}
 			}
 			w.cumRun[m.id] = run
 		}

@@ -370,6 +370,21 @@ func CumCol(a *Mat, f *AggFunc) *Mat {
 	return m
 }
 
+// CumColCarry is CumCol with an explicit accumulator entering row 0: C[0,j]
+// = f(A[0,j], carry[j]). Shard workers use it to continue a column scan that
+// began on a preceding shard — the cross-process form of the per-partition
+// carry propagation of §3.3 (j). The carry participates in the node's
+// structural signature, so results computed under different carries never
+// unify.
+func CumColCarry(a *Mat, f *AggFunc, carry []float64) *Mat {
+	if len(carry) != a.ncol {
+		panic(fmt.Sprintf("core: cum.col carry %d != ncol %d", len(carry), a.ncol))
+	}
+	m := CumCol(a, f)
+	m.vec = append([]float64(nil), carry...)
+	return m
+}
+
 // Cbind2 concatenates two tall matrices with the same partition dimension
 // column-wise: C = [A | B]. Like all non-sink GenOps it is virtual.
 func Cbind2(a, b *Mat) *Mat {

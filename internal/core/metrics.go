@@ -48,6 +48,13 @@ func RegisterStatsMetrics(reg *trace.Registry, owner string, snap func() Materia
 		{"flashr_materialize_rewrite_aggfolds_total", "Aggregation folds into affine publish transforms.", func() float64 { return float64(cur.RewriteAggFolds) }},
 		{"flashr_materialize_rewrite_dce_total", "Dead-input eliminations applied.", func() float64 { return float64(cur.RewriteDCE) }},
 		{"flashr_materialize_rewrite_dead_nodes_total", "Virtual nodes disconnected by dead-input elimination.", func() float64 { return float64(cur.RewriteDeadNodes) }},
+		{"flashr_materialize_shard_passes_total", "Worker-side passes executed by the sharded coordinator.", func() float64 { return float64(cur.ShardPasses) }},
+		{"flashr_materialize_shard_agg_rounds_total", "Cross-shard aggregation exchange rounds.", func() float64 { return float64(cur.ShardAggRounds) }},
+		{"flashr_materialize_shard_sent_bytes_total", "Coordinator wire bytes sent to shard workers.", func() float64 { return float64(cur.ShardBytesSent) }},
+		{"flashr_materialize_shard_recv_bytes_total", "Coordinator wire bytes received from shard workers.", func() float64 { return float64(cur.ShardBytesRecv) }},
+		{"flashr_materialize_shard_retries_total", "Transport retries after transient shard faults.", func() float64 { return float64(cur.ShardRetries) }},
+		{"flashr_materialize_shard_worker_read_bytes_total", "Partition bytes read by shard workers.", func() float64 { return float64(cur.ShardWorkerRead) }},
+		{"flashr_materialize_shard_worker_written_bytes_total", "Partition bytes written by shard workers.", func() float64 { return float64(cur.ShardWorkerWritten) }},
 		{"flashr_materialize_wall_seconds_total", "End-to-end Materialize wall time.", func() float64 { return cur.Wall.Seconds() }},
 		{"flashr_materialize_read_wait_seconds_total", "Worker time blocked on in-flight prefetch reads.", func() float64 { return cur.ReadWait.Seconds() }},
 		{"flashr_materialize_write_stall_seconds_total", "Compute time blocked handing partitions to the write queue.", func() float64 { return cur.WriteStall.Seconds() }},

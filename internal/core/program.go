@@ -1,0 +1,418 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dense"
+	"repro/internal/matrix"
+)
+
+// Program is a DAG serialized to pure data for shipping to shard workers:
+// nodes in topological order (inputs before consumers), functions referenced
+// by their registered R names, leaves referenced by coordinator-assigned
+// handles. Sinks are encoded in their raw (pre-publish-transform) form — the
+// aggregation-fold transform is applied exactly once, on the coordinator,
+// after per-shard partials combine.
+type Program struct {
+	Nodes []ProgramNode
+	Talls []int32 // node indexes to materialize as tall targets
+	Sinks []ProgramSink
+	Cums  []int32 // opCumCol node indexes, in topo order
+}
+
+// ProgramNode is one serialized Mat. A and B index earlier nodes (-1 = none);
+// Leaf is non-empty for materialized nodes and names a worker-resident
+// matrix handle.
+type ProgramNode struct {
+	Op         uint8
+	A, B       int32
+	DT         uint8
+	NCol       int32
+	Un         string // unary function name
+	Bin        string // binary function name
+	Agg        string // aggregation function name
+	Arg        uint8  // argMode for opAggRow
+	Scalar     float64
+	ScalarLeft bool
+	Vec        []float64
+	VecLeft    bool
+	SmallR     int32 // opInnerProd right operand
+	SmallC     int32
+	Small      []float64
+	F1, F2     string // opInnerProd functions; empty F1 = BLAS path
+	Cols       []int32
+	Labels     []int32
+	GroupK     int32
+	Leaf       string
+	Const      float64
+}
+
+// ProgramSink is one serialized sink GenOp. B == A preserves operand object
+// identity, which selects the symmetric Syrk kernel for crossprod.
+type ProgramSink struct {
+	Kind   uint8
+	A, B   int32 // B = -1 when absent
+	Agg    string
+	F1, F2 string // empty F1 = BLAS path
+	K      int32
+}
+
+// EncodeProgram serializes a RemoteDAG. leafRef is called once per distinct
+// materialized node and returns the worker-resident handle its data is (or
+// will be, after pushing) available under.
+//
+// Every node is resolved through d.Canon before encoding, so CSE-unified
+// duplicates collapse onto their representative's program index exactly as
+// they share one slot in the local plan. This is load-bearing for cum.col:
+// d.Cums lists only representatives, and a duplicate encoded as its own node
+// would scan from the fold identity on every shard but the first instead of
+// the threaded carry. It also means Talls may repeat an index (two targets
+// unified onto one computation) — the coordinator keeps each position under
+// its own handle.
+func EncodeProgram(d *RemoteDAG, leafRef func(m *Mat) (string, error)) (*Program, error) {
+	canon := d.Canon
+	if canon == nil {
+		canon = func(m *Mat) *Mat { return m }
+	}
+	p := &Program{}
+	memo := make(map[*Mat]int32)
+	var visit func(m *Mat) (int32, error)
+	visit = func(m *Mat) (int32, error) {
+		m = canon(m)
+		if idx, ok := memo[m]; ok {
+			return idx, nil
+		}
+		n := ProgramNode{A: -1, B: -1, DT: uint8(m.dt), NCol: int32(m.ncol)}
+		switch {
+		case m.kind == opConst:
+			n.Op = uint8(opConst)
+			n.Const = m.vec[0]
+		case m.kind == opLeaf || m.Materialized():
+			ref, err := leafRef(m)
+			if err != nil {
+				return 0, err
+			}
+			n.Op = uint8(opLeaf)
+			n.Leaf = ref
+		default:
+			n.Op = uint8(m.kind)
+			if m.a != nil {
+				idx, err := visit(m.a)
+				if err != nil {
+					return 0, err
+				}
+				n.A = idx
+			}
+			if m.b != nil {
+				idx, err := visit(m.b)
+				if err != nil {
+					return 0, err
+				}
+				n.B = idx
+			}
+			if m.un != nil {
+				n.Un = m.un.Name
+			}
+			if m.bin != nil {
+				n.Bin = m.bin.Name
+			}
+			if m.agg != nil {
+				n.Agg = m.agg.Name
+			}
+			n.Arg = uint8(m.arg)
+			n.Scalar, n.ScalarLeft = m.scalar, m.scalarLeft
+			n.VecLeft = m.vecLeft
+			if m.kind == opMapplyRowVec {
+				n.Vec = m.vec
+			}
+			if m.small != nil {
+				n.SmallR, n.SmallC = int32(m.small.R), int32(m.small.C)
+				n.Small = m.small.Data
+			}
+			if m.f1 != nil {
+				n.F1 = m.f1.Name
+			}
+			if m.f2 != nil {
+				n.F2 = m.f2.Name
+			}
+			n.Cols = toInt32s(m.cols)
+			n.Labels = toInt32s(m.colLabels)
+			n.GroupK = int32(m.groupK)
+		}
+		idx := int32(len(p.Nodes))
+		p.Nodes = append(p.Nodes, n)
+		memo[m] = idx
+		return idx, nil
+	}
+	for _, m := range d.Talls {
+		idx, err := visit(m)
+		if err != nil {
+			return nil, err
+		}
+		p.Talls = append(p.Talls, idx)
+	}
+	for _, s := range d.Sinks {
+		idx, err := visit(s.a)
+		if err != nil {
+			return nil, err
+		}
+		ps := ProgramSink{Kind: uint8(s.kind), A: idx, B: -1, K: int32(s.k)}
+		if s.b != nil {
+			bidx, err := visit(s.b)
+			if err != nil {
+				return nil, err
+			}
+			ps.B = bidx
+		}
+		if s.agg != nil {
+			ps.Agg = s.agg.Name
+		}
+		if s.f1 != nil {
+			ps.F1 = s.f1.Name
+		}
+		if s.f2 != nil {
+			ps.F2 = s.f2.Name
+		}
+		p.Sinks = append(p.Sinks, ps)
+	}
+	for _, m := range d.Cums {
+		idx, ok := memo[canon(m)]
+		if !ok {
+			return nil, fmt.Errorf("core: cum.col node %d not reachable from program targets", m.id)
+		}
+		p.Cums = append(p.Cums, idx)
+	}
+	return p, nil
+}
+
+// Instantiate rebuilds the program as a worker-local DAG over nrow rows (one
+// shard's slice of the partition dimension). resolve maps a leaf handle to
+// the worker-resident Mat holding its data; carries seeds cum.col nodes with
+// the accumulator entering this shard (absent = the fold identity, i.e. the
+// first shard). It returns every instantiated node (indexed like
+// Program.Nodes) plus the built sinks. Constructor shape panics are converted
+// to errors: a malformed program must fail an RPC, not kill the worker.
+func (p *Program) Instantiate(nrow int64, resolve func(ref string) (*Mat, error), carries map[int32][]float64) (nodes []*Mat, sinks []*Sink, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			nodes, sinks = nil, nil
+			err = fmt.Errorf("core: invalid program: %v", r)
+		}
+	}()
+	nodes = make([]*Mat, len(p.Nodes))
+	in := func(idx int32, what string) (*Mat, error) {
+		if idx < 0 || int(idx) >= len(nodes) || nodes[idx] == nil {
+			return nil, fmt.Errorf("core: invalid program: %s index %d", what, idx)
+		}
+		return nodes[idx], nil
+	}
+	for i, n := range p.Nodes {
+		var m *Mat
+		var a, b *Mat
+		if op := opKind(n.Op); op != opLeaf && op != opConst {
+			if n.A >= 0 {
+				if a, err = in(n.A, "input a"); err != nil {
+					return nil, nil, err
+				}
+			}
+			if n.B >= 0 {
+				if b, err = in(n.B, "input b"); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		switch opKind(n.Op) {
+		case opLeaf:
+			m, err = resolve(n.Leaf)
+			if err != nil {
+				return nil, nil, err
+			}
+			if m.nrow != nrow || m.ncol != int(n.NCol) {
+				return nil, nil, fmt.Errorf("core: leaf %q is %dx%d, program wants %dx%d",
+					n.Leaf, m.nrow, m.ncol, nrow, n.NCol)
+			}
+			if uint8(m.dt) != n.DT {
+				return nil, nil, fmt.Errorf("core: leaf %q has dtype %d, program wants %d", n.Leaf, m.dt, n.DT)
+			}
+		case opConst:
+			m = NewConst(nrow, int(n.NCol), n.Const)
+		case opSapply:
+			un, lerr := LookupUnary(n.Un)
+			if lerr != nil {
+				return nil, nil, lerr
+			}
+			m = Sapply(a, un)
+		case opMapplyMM:
+			bin, lerr := LookupBinary(n.Bin)
+			if lerr != nil {
+				return nil, nil, lerr
+			}
+			m = Mapply(a, b, bin)
+		case opMapplyScalar:
+			bin, lerr := LookupBinary(n.Bin)
+			if lerr != nil {
+				return nil, nil, lerr
+			}
+			m = MapplyScalar(a, n.Scalar, bin, n.ScalarLeft)
+		case opMapplyRowVec:
+			bin, lerr := LookupBinary(n.Bin)
+			if lerr != nil {
+				return nil, nil, lerr
+			}
+			m = MapplyRowVec(a, n.Vec, bin, n.VecLeft)
+		case opMapplyColVec:
+			bin, lerr := LookupBinary(n.Bin)
+			if lerr != nil {
+				return nil, nil, lerr
+			}
+			m = MapplyColVec(a, b, bin, n.VecLeft)
+		case opInnerProd:
+			var f1, f2 *Binary
+			if n.F1 != "" {
+				if f1, err = LookupBinary(n.F1); err != nil {
+					return nil, nil, err
+				}
+				if f2, err = LookupBinary(n.F2); err != nil {
+					return nil, nil, err
+				}
+			}
+			if int(n.SmallR)*int(n.SmallC) != len(n.Small) {
+				return nil, nil, fmt.Errorf("core: invalid program: inner.prod operand %dx%d with %d values",
+					n.SmallR, n.SmallC, len(n.Small))
+			}
+			m = InnerProd(a, dense.FromSlice(int(n.SmallR), int(n.SmallC), n.Small), f1, f2)
+		case opAggRow:
+			switch argMode(n.Arg) {
+			case argMin:
+				m = WhichMinRow(a)
+			case argMax:
+				m = WhichMaxRow(a)
+			default:
+				agg, lerr := LookupAgg(n.Agg)
+				if lerr != nil {
+					return nil, nil, lerr
+				}
+				m = AggRow(a, agg)
+			}
+		case opGroupByCol:
+			agg, lerr := LookupAgg(n.Agg)
+			if lerr != nil {
+				return nil, nil, lerr
+			}
+			m = GroupByCol(a, toInts(n.Labels), int(n.GroupK), agg)
+		case opCumRow:
+			agg, lerr := LookupAgg(n.Agg)
+			if lerr != nil {
+				return nil, nil, lerr
+			}
+			m = CumRow(a, agg)
+		case opCumCol:
+			agg, lerr := LookupAgg(n.Agg)
+			if lerr != nil {
+				return nil, nil, lerr
+			}
+			if carry, ok := carries[int32(i)]; ok {
+				m = CumColCarry(a, agg, carry)
+			} else {
+				m = CumCol(a, agg)
+			}
+		case opCols:
+			m = Cols(a, toInts(n.Cols))
+		case opCbind:
+			m = Cbind2(a, b)
+		case opSetCols:
+			m = SetCols(a, b, toInts(n.Cols))
+		default:
+			return nil, nil, fmt.Errorf("core: invalid program: unknown op %d", n.Op)
+		}
+		if m.ncol != int(n.NCol) {
+			return nil, nil, fmt.Errorf("core: program node %d rebuilt with %d cols, want %d", i, m.ncol, n.NCol)
+		}
+		nodes[i] = m
+	}
+	for _, ps := range p.Sinks {
+		a, aerr := in(ps.A, "sink input a")
+		if aerr != nil {
+			return nil, nil, aerr
+		}
+		var b *Mat
+		if ps.B >= 0 {
+			if b, err = in(ps.B, "sink input b"); err != nil {
+				return nil, nil, err
+			}
+		}
+		var s *Sink
+		switch SinkKind(ps.Kind) {
+		case SinkAgg:
+			agg, lerr := LookupAgg(ps.Agg)
+			if lerr != nil {
+				return nil, nil, lerr
+			}
+			s = Agg(a, agg)
+		case SinkAggCol:
+			agg, lerr := LookupAgg(ps.Agg)
+			if lerr != nil {
+				return nil, nil, lerr
+			}
+			s = AggCol(a, agg)
+		case SinkGroupByRow:
+			agg, lerr := LookupAgg(ps.Agg)
+			if lerr != nil {
+				return nil, nil, lerr
+			}
+			s = GroupByRow(a, b, int(ps.K), agg)
+		case SinkCrossProd:
+			var f1, f2 *Binary
+			if ps.F1 != "" {
+				if f1, err = LookupBinary(ps.F1); err != nil {
+					return nil, nil, err
+				}
+				if f2, err = LookupBinary(ps.F2); err != nil {
+					return nil, nil, err
+				}
+			}
+			s = CrossProd(a, b, f1, f2)
+		case SinkTable:
+			s = Table(a)
+		case SinkGroupByVal:
+			agg, lerr := LookupAgg(ps.Agg)
+			if lerr != nil {
+				return nil, nil, lerr
+			}
+			s = GroupByVal(a, agg)
+		default:
+			return nil, nil, fmt.Errorf("core: invalid program: unknown sink kind %d", ps.Kind)
+		}
+		sinks = append(sinks, s)
+	}
+	return nodes, sinks, nil
+}
+
+// LeafDType decodes a wire dtype byte, validating it.
+func LeafDType(b uint8) (matrix.DType, error) {
+	switch dt := matrix.DType(b); dt {
+	case matrix.F64, matrix.I64, matrix.Bool:
+		return dt, nil
+	default:
+		return 0, fmt.Errorf("core: invalid dtype %d", b)
+	}
+}
+
+func toInt32s(xs []int) []int32 {
+	if xs == nil {
+		return nil
+	}
+	out := make([]int32, len(xs))
+	for i, x := range xs {
+		out[i] = int32(x)
+	}
+	return out
+}
+
+func toInts(xs []int32) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = int(x)
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/dense"
+	"repro/internal/matrix"
+)
+
+// RemoteExecutor is the execution seam a sharded coordinator plugs into the
+// engine. When set, the engine still runs its whole plan phase locally —
+// algebraic rewriting, result-cache serving, within-pass CSE unification, DAG
+// construction and validation — and hands only the residual execution to the
+// executor: the post-plan tall targets and sinks of one materialization. The
+// executor must attach a store to every tall in the RemoteDAG (AttachTall)
+// and publish every sink's combined raw reduction (Sink.PublishRaw); the
+// publication phase (result-cache inserts, duplicate-sink payload serving,
+// rewrite store forwarding) then proceeds exactly as for local execution.
+type RemoteExecutor interface {
+	RunDAG(ctx context.Context, d *RemoteDAG, ms *MaterializeStats) error
+}
+
+// RemoteDAG is one materialization's residual execution plan as handed to a
+// RemoteExecutor: the tall targets still to compute (cache-flagged interior
+// nodes included), the sinks still to reduce, the cum.col nodes that need
+// cross-partition carries, and the shared partition dimension.
+type RemoteDAG struct {
+	NRow  int64
+	Talls []*Mat
+	Sinks []*Sink
+	Cums  []*Mat
+	// Owner labels the session the pass runs for (PassOptions.Owner).
+	Owner string
+	// Canon maps a node to its execution representative: when the plan's CSE
+	// unified structurally identical duplicates onto one slot, every
+	// duplicate resolves to the node that actually executes. EncodeProgram
+	// encodes through it so the shipped program matches the plan — without
+	// it a unified cum.col duplicate would re-appear as a second node that
+	// no carry ever seeds. Nil means identity.
+	Canon func(m *Mat) *Mat
+}
+
+// AttachTall installs a store on tall target i — the remote path's equivalent
+// of the local execution attaching freshly written stores. It reports false
+// (and the caller keeps ownership of st) if the node was materialized
+// concurrently by another pass.
+func (d *RemoteDAG) AttachTall(i int, st matrix.Store) bool {
+	return d.Talls[i].attachStore(st)
+}
+
+// SetRemoteExecutor installs (or, with nil, removes) the engine's remote
+// execution seam. Call before submitting passes; the engine does not
+// synchronize the swap against in-flight materializations.
+func (e *Engine) SetRemoteExecutor(r RemoteExecutor) { e.remote = r }
+
+// ContentVersion exposes the node's in-place-mutation version for leaf
+// identity across a transport: a (ID, ContentVersion) pair names one
+// immutable snapshot of a materialized matrix.
+func (m *Mat) ContentVersion() uint64 { return m.contentVer() }
+
+// UnwrapStore strips the engine's cache-sharing wrapper from a materialized
+// store, exposing the backend store (a sharded coordinator uses this to
+// recognize leaves whose data already lives on its workers).
+func UnwrapStore(st matrix.Store) matrix.Store { return unwrapStore(st) }
+
+// SinkPartial is one worker's raw (pre-publish-transform) sink reduction in
+// wire-friendly form: a dense payload for the fixed-shape kinds, key/count or
+// key/fold pairs for the data-dependent kinds. Partials combine across
+// workers with the sink's own Combine semantics (CombinePartials) — the
+// cross-shard form of the per-thread partial merging of §3.3 (g,h,i).
+type SinkPartial struct {
+	Used   bool
+	R, C   int
+	Data   []float64
+	Keys   []float64
+	Counts []int64
+	Folds  []float64
+}
+
+// RawPartial snapshots a finished sink's raw reduction as a SinkPartial (nil
+// if the sink has not finished). Worker-side sinks are built without a folded
+// publish transform, so the raw reduction is the published result.
+func (s *Sink) RawPartial() *SinkPartial {
+	pl := s.rawPayload()
+	if pl == nil {
+		return nil
+	}
+	sp := &SinkPartial{Used: true, Keys: pl.keys, Counts: pl.counts, Folds: pl.folds}
+	if pl.result != nil {
+		sp.R, sp.C, sp.Data = pl.result.R, pl.result.C, pl.result.Data
+	}
+	return sp
+}
+
+// CombinePartials merges per-shard raw partials in shard order, mirroring
+// sinkAcc.merge exactly: AggFunc.Combine for the fold kinds, elementwise
+// addition for the BLAS crossprod (per-shard Syrk partials arrive already
+// symmetrized, and symmetrization commutes with addition), f2 for the
+// generalized crossprod, key-wise count addition for table, and key-wise
+// Combine for groupby-by-value. Unused partials (zero-row shards) are
+// skipped, matching the local merge's used-flag handling.
+func (s *Sink) CombinePartials(parts []*SinkPartial) (*SinkPartial, error) {
+	vecLen := 0
+	switch s.kind {
+	case SinkAggCol:
+		vecLen = s.cols
+	case SinkGroupByRow:
+		vecLen = s.k * s.cols
+	case SinkCrossProd:
+		vecLen = s.rows * s.cols
+	}
+	acc := &SinkPartial{R: 1, C: 1}
+	switch s.kind {
+	case SinkAgg:
+		acc.Data = []float64{s.agg.Init}
+	case SinkAggCol, SinkGroupByRow, SinkCrossProd:
+		acc.R, acc.C = s.rows, s.cols
+		if s.kind == SinkGroupByRow {
+			acc.R = s.k
+		}
+		acc.Data = make([]float64, vecLen)
+		if s.kind != SinkCrossProd {
+			for i := range acc.Data {
+				acc.Data[i] = s.agg.Init
+			}
+		} else if s.f1 != nil {
+			init := aggInitFor(s.f2)
+			for i := range acc.Data {
+				acc.Data[i] = init
+			}
+		}
+	}
+	table := make(map[float64]int64)
+	byVal := make(map[float64]float64)
+	for wi, p := range parts {
+		if p == nil || !p.Used {
+			continue
+		}
+		switch s.kind {
+		case SinkAgg:
+			if len(p.Data) != 1 {
+				return nil, fmt.Errorf("core: shard %d agg partial has %d values, want 1", wi, len(p.Data))
+			}
+			if acc.Used {
+				acc.Data[0] = s.agg.Combine(acc.Data[0], p.Data[0])
+			} else {
+				acc.Data[0] = p.Data[0]
+			}
+		case SinkAggCol, SinkGroupByRow:
+			if len(p.Data) != vecLen {
+				return nil, fmt.Errorf("core: shard %d %s partial has %d values, want %d", wi, s.kind, len(p.Data), vecLen)
+			}
+			if acc.Used {
+				for i, v := range p.Data {
+					acc.Data[i] = s.agg.Combine(acc.Data[i], v)
+				}
+			} else {
+				copy(acc.Data, p.Data)
+			}
+		case SinkCrossProd:
+			if len(p.Data) != vecLen {
+				return nil, fmt.Errorf("core: shard %d crossprod partial has %d values, want %d", wi, len(p.Data), vecLen)
+			}
+			if s.f1 == nil {
+				for i, v := range p.Data {
+					acc.Data[i] += v
+				}
+			} else {
+				f2 := s.f2.F
+				for i, v := range p.Data {
+					if acc.Used {
+						acc.Data[i] = f2(v, acc.Data[i])
+					} else {
+						acc.Data[i] = v
+					}
+				}
+			}
+		case SinkTable:
+			if len(p.Keys) != len(p.Counts) {
+				return nil, fmt.Errorf("core: shard %d table partial keys/counts mismatch", wi)
+			}
+			for i, k := range p.Keys {
+				table[k] += p.Counts[i]
+			}
+		case SinkGroupByVal:
+			if len(p.Keys) != len(p.Folds) {
+				return nil, fmt.Errorf("core: shard %d groupby partial keys/folds mismatch", wi)
+			}
+			for i, k := range p.Keys {
+				if old, ok := byVal[k]; ok {
+					byVal[k] = s.agg.Combine(old, p.Folds[i])
+				} else {
+					byVal[k] = p.Folds[i]
+				}
+			}
+		}
+		acc.Used = true
+	}
+	switch s.kind {
+	case SinkTable:
+		keys := sortedKeys(table)
+		acc.Keys = keys
+		acc.Counts = make([]int64, len(keys))
+		for i, k := range keys {
+			acc.Counts[i] = table[k]
+		}
+	case SinkGroupByVal:
+		keys := sortedKeysF(byVal)
+		acc.Keys = keys
+		acc.Folds = make([]float64, len(keys))
+		for i, k := range keys {
+			acc.Folds[i] = byVal[k]
+		}
+	}
+	return acc, nil
+}
+
+// PublishRaw installs a combined raw partial as this sink's result, applying
+// the folded publish transform once (the rewrite pass runs on the coordinator
+// only; per-shard application of the affine transform would fold it N times).
+// The sink takes ownership of p. Crossprod partials are already symmetric
+// (workers symmetrize Syrk partials before snapshotting), so no extra
+// symmetrization happens here.
+func (s *Sink) PublishRaw(p *SinkPartial) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.kind {
+	case SinkAgg:
+		s.result = dense.FromSlice(1, 1, p.Data)
+	case SinkAggCol:
+		s.result = dense.FromSlice(1, s.cols, p.Data)
+	case SinkGroupByRow:
+		s.result = dense.FromSlice(s.k, s.cols, p.Data)
+	case SinkCrossProd:
+		s.result = dense.FromSlice(s.rows, s.cols, p.Data)
+	case SinkTable:
+		s.keys, s.counts = p.Keys, p.Counts
+		s.result = dense.FromSlice(1, len(p.Keys), append([]float64(nil), p.Keys...))
+	case SinkGroupByVal:
+		s.keys, s.folds = p.Keys, p.Folds
+		s.result = dense.FromSlice(1, len(p.Keys), append([]float64(nil), p.Folds...))
+	}
+	if s.hasPost && s.result != nil {
+		s.raw = s.result.Clone()
+		for i, v := range s.result.Data {
+			s.result.Data[i] = s.postMul*v + s.postAdd
+		}
+	}
+	s.done = true
+}
+
+func sortedKeys(m map[float64]int64) []float64 {
+	keys := make([]float64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Float64s(keys)
+	return keys
+}
+
+func sortedKeysF(m map[float64]float64) []float64 {
+	keys := make([]float64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Float64s(keys)
+	return keys
+}

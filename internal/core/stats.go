@@ -107,6 +107,24 @@ type MaterializeStats struct {
 	RewriteAggFolds   int64
 	RewriteDCE        int64
 	RewriteDeadNodes  int64
+
+	// Sharded-execution counters (internal/shard), all zero on a local pass.
+	// ShardPasses counts worker-side passes executed for this
+	// materialization (one per active shard, more under FuseNone);
+	// ShardAggRounds counts aggregation exchange rounds (one per remote pass
+	// that combined sink partials); ShardBytesSent/Recv count coordinator
+	// wire traffic (programs, leaf pushes, partials, carries); ShardRetries
+	// counts transport-level retry attempts after transient faults;
+	// ShardWorkerRead/Written sum the workers' own partition I/O — kept
+	// separate from BytesRead/Written, which remain strictly local I/O so
+	// the trace conservation invariants are unchanged.
+	ShardPasses        int64
+	ShardAggRounds     int64
+	ShardBytesSent     int64
+	ShardBytesRecv     int64
+	ShardRetries       int64
+	ShardWorkerRead    int64
+	ShardWorkerWritten int64
 }
 
 // Add accumulates o into s (numeric fields sum; Fuse and SyncWrites take
@@ -151,6 +169,13 @@ func (s *MaterializeStats) Add(o MaterializeStats) {
 	s.RewriteAggFolds += o.RewriteAggFolds
 	s.RewriteDCE += o.RewriteDCE
 	s.RewriteDeadNodes += o.RewriteDeadNodes
+	s.ShardPasses += o.ShardPasses
+	s.ShardAggRounds += o.ShardAggRounds
+	s.ShardBytesSent += o.ShardBytesSent
+	s.ShardBytesRecv += o.ShardBytesRecv
+	s.ShardRetries += o.ShardRetries
+	s.ShardWorkerRead += o.ShardWorkerRead
+	s.ShardWorkerWritten += o.ShardWorkerWritten
 }
 
 // Sub returns s minus o field-by-field — the delta between two snapshots of
@@ -188,6 +213,13 @@ func (s MaterializeStats) Sub(o MaterializeStats) MaterializeStats {
 	d.RewriteAggFolds -= o.RewriteAggFolds
 	d.RewriteDCE -= o.RewriteDCE
 	d.RewriteDeadNodes -= o.RewriteDeadNodes
+	d.ShardPasses -= o.ShardPasses
+	d.ShardAggRounds -= o.ShardAggRounds
+	d.ShardBytesSent -= o.ShardBytesSent
+	d.ShardBytesRecv -= o.ShardBytesRecv
+	d.ShardRetries -= o.ShardRetries
+	d.ShardWorkerRead -= o.ShardWorkerRead
+	d.ShardWorkerWritten -= o.ShardWorkerWritten
 	return d
 }
 
@@ -223,6 +255,11 @@ func (s MaterializeStats) String() string {
 	}
 	if s.PrefetchAbandoned != 0 {
 		fmt.Fprintf(&b, " pfabandoned=%d", s.PrefetchAbandoned)
+	}
+	if s.ShardPasses != 0 {
+		fmt.Fprintf(&b, " shard(passes=%d rounds=%d sent=%s recv=%s wread=%s wwritten=%s retries=%d)",
+			s.ShardPasses, s.ShardAggRounds, mib(s.ShardBytesSent), mib(s.ShardBytesRecv),
+			mib(s.ShardWorkerRead), mib(s.ShardWorkerWritten), s.ShardRetries)
 	}
 	return b.String()
 }

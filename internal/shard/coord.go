@@ -1,0 +1,661 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// Config configures a sharded coordinator.
+type Config struct {
+	// Shards is the number of in-process workers to spawn when Addrs is
+	// empty (0 = 2). Ignored when Addrs is set.
+	Shards int
+	// Addrs, when non-empty, are TCP worker addresses (one shard per
+	// worker process, in row order).
+	Addrs []string
+	// RPCTimeout bounds each RPC attempt (0 = 30s).
+	RPCTimeout time.Duration
+	// Retries is how many times a transiently failed RPC is re-attempted
+	// (0 = 3, negative = none). Every op is idempotent, so retrying after a
+	// lost response re-executes safely.
+	Retries int
+	// RetryBackoff is the first retry's delay, doubling per attempt
+	// (0 = 20ms).
+	RetryBackoff time.Duration
+	// WrapTransport, when set, wraps each worker transport after
+	// construction — the fault-injection seam for tests.
+	WrapTransport func(worker int, t Transport) Transport
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Addrs) > 0 {
+		c.Shards = len(c.Addrs)
+	} else if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = 30 * time.Second
+	}
+	if c.Retries == 0 {
+		c.Retries = 3
+	} else if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 20 * time.Millisecond
+	}
+	return c
+}
+
+// shardRange is one worker's contiguous slice of the partition dimension.
+type shardRange struct {
+	part0  int
+	nparts int
+	row0   int64
+	rows   int64
+}
+
+// splitParts assigns the matrix's I/O partitions to n shards in contiguous
+// runs, spreading the remainder over the leading shards. The split depends
+// only on (nrow, partRows, n), so leaf pushes from earlier passes stay valid.
+func splitParts(nrow int64, partRows, n int) []shardRange {
+	total := matrix.NumParts(nrow, partRows)
+	q, r := total/n, total%n
+	out := make([]shardRange, n)
+	part := 0
+	for i := range out {
+		np := q
+		if i < r {
+			np++
+		}
+		row0 := int64(part) * int64(partRows)
+		rows := int64(0)
+		for p := 0; p < np; p++ {
+			rows += int64(matrix.PartRowsOf(nrow, partRows, part+p))
+		}
+		out[i] = shardRange{part0: part, nparts: np, row0: row0, rows: rows}
+		part += np
+	}
+	return out
+}
+
+type pushedLeaf struct {
+	ver    uint64
+	handle string
+}
+
+// workerTotals accumulates one worker's lifetime pass stats on the
+// coordinator.
+type workerTotals struct {
+	Passes        int64
+	Parts         int64
+	Chunks        int64
+	BytesRead     int64
+	BytesWritten  int64
+	NodesExecuted int64
+	Wall          time.Duration
+}
+
+func (t *workerTotals) add(s workerPassStats) {
+	t.Passes += s.Passes
+	t.Parts += s.Parts
+	t.Chunks += s.Chunks
+	t.BytesRead += s.BytesRead
+	t.BytesWritten += s.BytesWritten
+	t.NodesExecuted += s.NodesExecuted
+	t.Wall += s.Wall
+}
+
+// passIO attributes wire traffic to one materialization pass. Fields are
+// atomics because the fan-out phase calls from per-shard goroutines.
+type passIO struct {
+	sent, recv, retries atomic.Int64
+}
+
+// Coordinator is the RemoteExecutor that row-partitions every pass across
+// shard workers: it encodes the post-rewrite DAG as a Program, pushes leaf
+// data (once per content version), fans the program out, combines raw sink
+// partials in fixed shard order, and attaches RemoteStores to tall targets so
+// results stay worker-resident across passes.
+type Coordinator struct {
+	cfg      Config
+	partRows int
+	trs      []Transport
+	workers  []*Worker // in-proc mode only (owned, closed with the coordinator)
+
+	passSeq atomic.Int64
+	closed  atomic.Bool
+
+	// pushMu serializes the encode-and-push phase across concurrent passes
+	// so the pushed-leaf registry and the worker-resident data stay
+	// coherent; execution fan-out overlaps freely.
+	pushMu sync.Mutex
+	pushed map[uint64]pushedLeaf
+
+	sent, recv, retries atomic.Int64
+	aggRounds           atomic.Int64
+	workerPasses        atomic.Int64
+
+	wmu    sync.Mutex
+	wstats []workerTotals
+}
+
+// NewCoordinator builds a coordinator over TCP workers (cfg.Addrs) or over
+// freshly spawned in-process workers (cfg.Shards copies of base, forced to
+// in-memory stores). Either way every worker answers a hello validating the
+// protocol version and the shared partition height before this returns.
+func NewCoordinator(cfg Config, base core.Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	partRows := base.PartRows
+	if partRows <= 0 {
+		partRows = core.DefaultPartRows
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		partRows: partRows,
+		pushed:   make(map[uint64]pushedLeaf),
+		wstats:   make([]workerTotals, cfg.Shards),
+	}
+	if len(cfg.Addrs) > 0 {
+		for _, a := range cfg.Addrs {
+			c.trs = append(c.trs, newTCPTransport(a, cfg.RPCTimeout))
+		}
+	} else {
+		wcfg := base
+		wcfg.PartRows = partRows
+		wcfg.EM = false
+		wcfg.FS = nil
+		for i := 0; i < cfg.Shards; i++ {
+			w, err := NewWorker(wcfg)
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			c.workers = append(c.workers, w)
+			c.trs = append(c.trs, &loopback{w: w})
+		}
+	}
+	if cfg.WrapTransport != nil {
+		for i, t := range c.trs {
+			c.trs[i] = cfg.WrapTransport(i, t)
+		}
+	}
+	hello := encodeHelloReq(helloReq{Version: protocolVersion, PartRows: partRows})
+	for i := range c.trs {
+		resp, err := c.call(context.Background(), i, opHello, hello, nil)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		h, derr := decodeHelloResp(resp)
+		if derr != nil {
+			c.Close()
+			return nil, derr
+		}
+		if h.Version != protocolVersion || h.PartRows != partRows {
+			c.Close()
+			return nil, fmt.Errorf("shard: worker %d hello mismatch: version %d part-rows %d, want %d/%d",
+				i, h.Version, h.PartRows, protocolVersion, partRows)
+		}
+	}
+	return c, nil
+}
+
+// Shards returns the worker count.
+func (c *Coordinator) Shards() int { return len(c.trs) }
+
+// AggRounds returns the lifetime count of aggregation exchange rounds (one
+// per remote pass that combined sink partials) — the quantity the cluster
+// cost model predicts.
+func (c *Coordinator) AggRounds() int64 { return c.aggRounds.Load() }
+
+// Totals returns lifetime wire-traffic counters.
+func (c *Coordinator) Totals() (sent, recv, retries int64) {
+	return c.sent.Load(), c.recv.Load(), c.retries.Load()
+}
+
+// WorkerStats snapshots per-worker cumulative pass stats.
+func (c *Coordinator) WorkerStats() []map[string]int64 {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	out := make([]map[string]int64, len(c.wstats))
+	for i, t := range c.wstats {
+		out[i] = map[string]int64{
+			"passes": t.Passes, "parts": t.Parts, "chunks": t.Chunks,
+			"read_bytes": t.BytesRead, "written_bytes": t.BytesWritten,
+			"nodes": t.NodesExecuted, "wall_ns": int64(t.Wall),
+		}
+	}
+	return out
+}
+
+// call is the retry/backoff RPC wrapper: Retries+1 attempts against
+// transient failures (doubling backoff, context-aware), typed wrap on final
+// failure. Wire bytes are attributed to io (per-pass) and the lifetime
+// totals; request bytes count once per attempt — retransmits are real
+// traffic.
+func (c *Coordinator) call(ctx context.Context, worker int, op uint8, body []byte, io *passIO) ([]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var last error
+	backoff := c.cfg.RetryBackoff
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			if io != nil {
+				io.retries.Add(1)
+			}
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return nil, &ShardError{Worker: worker, Op: op, Err: ctx.Err()}
+			}
+			backoff *= 2
+		}
+		sent := int64(len(body) + 5)
+		c.sent.Add(sent)
+		if io != nil {
+			io.sent.Add(sent)
+		}
+		actx, cancel := context.WithTimeout(ctx, c.cfg.RPCTimeout)
+		resp, err := c.trs[worker].Call(actx, op, body)
+		cancel()
+		if err == nil {
+			recv := int64(len(resp) + 5)
+			c.recv.Add(recv)
+			if io != nil {
+				io.recv.Add(recv)
+			}
+			return resp, nil
+		}
+		last = err
+		if !isTransient(err) {
+			break
+		}
+		if ctx.Err() != nil {
+			last = ctx.Err()
+			break
+		}
+	}
+	return nil, &ShardError{Worker: worker, Op: op, Err: last}
+}
+
+type pushJob struct {
+	m      *core.Mat
+	handle string
+	old    string // stale handle to free first, "" if none
+}
+
+// RunDAG executes one materialization's residual DAG across the shards. See
+// the package comment for the protocol; the invariants that matter:
+//
+//   - Sinks publish only after every shard succeeded — a failed pass surfaces
+//     a typed ShardError and never a silent partial aggregate.
+//   - Partials combine in fixed shard order and the folded publish transform
+//     applies exactly once, so results are bit-identical to the single-engine
+//     path for order-insensitive folds and reassociate only float sums.
+//   - Passes with cum.col nodes and more than one active shard run the
+//     shards sequentially, threading each shard's exit carry (its cum
+//     output's last row, bitwise) into the next — cumulative folds stay
+//     bit-identical too.
+func (c *Coordinator) RunDAG(ctx context.Context, d *core.RemoteDAG, ms *core.MaterializeStats) error {
+	if c.closed.Load() {
+		return errors.New("shard: coordinator closed")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sh := splitParts(d.NRow, c.partRows, len(c.trs))
+	pass := c.passSeq.Add(1)
+	var io passIO
+
+	prog, err := c.encodeAndPush(ctx, d, sh, &io)
+	if err != nil {
+		return err
+	}
+
+	// One handle per tall position: unified targets share a node index but
+	// keep independent worker-side handles (the registry aliases them), so
+	// each RemoteStore frees on its own schedule.
+	keeps := make([]string, len(prog.Talls))
+	for i := range prog.Talls {
+		keeps[i] = fmt.Sprintf("t%d-%d", pass, i)
+	}
+	var active []int
+	for i := range sh {
+		if sh[i].rows > 0 {
+			active = append(active, i)
+		}
+	}
+
+	resps := make([]*execResponse, len(sh))
+	if len(prog.Cums) > 0 && len(active) > 1 {
+		// Sequential carry chain: shard s+1's cum.col folds continue from
+		// shard s's exit accumulator.
+		carries := map[int32][]float64(nil)
+		for _, si := range active {
+			req := execRequest{Owner: d.Owner, Rows: sh[si].rows, Prog: prog,
+				Carries: carries, Keeps: keeps, CarryOut: prog.Cums}
+			rb, cerr := c.call(ctx, si, opExec, encodeExecReq(req), &io)
+			if cerr != nil {
+				c.cleanupKeeps(keeps, active)
+				return cerr
+			}
+			r, derr := decodeExecResp(rb)
+			if derr != nil {
+				c.cleanupKeeps(keeps, active)
+				return derr
+			}
+			resps[si] = &r
+			carries = r.Carries
+		}
+	} else {
+		var wg sync.WaitGroup
+		errs := make([]error, len(sh))
+		for _, si := range active {
+			si := si
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				req := execRequest{Owner: d.Owner, Rows: sh[si].rows, Prog: prog, Keeps: keeps}
+				rb, cerr := c.call(ctx, si, opExec, encodeExecReq(req), &io)
+				if cerr != nil {
+					errs[si] = cerr
+					return
+				}
+				r, derr := decodeExecResp(rb)
+				if derr != nil {
+					errs[si] = derr
+					return
+				}
+				resps[si] = &r
+			}()
+		}
+		wg.Wait()
+		for _, si := range active {
+			if errs[si] != nil {
+				c.cleanupKeeps(keeps, active)
+				return errs[si]
+			}
+		}
+	}
+
+	// Combine every sink before publishing any: publication is all-or-nothing.
+	combined := make([]*core.SinkPartial, len(d.Sinks))
+	for si := range d.Sinks {
+		parts := make([]*core.SinkPartial, 0, len(active))
+		for _, s := range active {
+			if si >= len(resps[s].Partials) {
+				c.cleanupKeeps(keeps, active)
+				return fmt.Errorf("shard: worker %d returned %d partials, want %d", s, len(resps[s].Partials), len(d.Sinks))
+			}
+			parts = append(parts, resps[s].Partials[si])
+		}
+		comb, cerr := d.Sinks[si].CombinePartials(parts)
+		if cerr != nil {
+			c.cleanupKeeps(keeps, active)
+			return cerr
+		}
+		combined[si] = comb
+	}
+	for si, s := range d.Sinks {
+		s.PublishRaw(combined[si])
+	}
+	for i := range prog.Talls {
+		rs := &RemoteStore{c: c, handle: keeps[i], nrow: d.NRow,
+			ncol: d.Talls[i].NCol(), partRows: c.partRows, sh: sh}
+		if !d.AttachTall(i, rs) {
+			// Lost the materialization race to a concurrent pass; drop the
+			// worker-side copies.
+			c.freeHandle(keeps[i], active)
+		}
+	}
+
+	var wpasses int64
+	for _, s := range active {
+		st := resps[s].Stats
+		wpasses += st.Passes
+		ms.ShardWorkerRead += st.BytesRead
+		ms.ShardWorkerWritten += st.BytesWritten
+	}
+	c.wmu.Lock()
+	for _, s := range active {
+		c.wstats[s].add(resps[s].Stats)
+	}
+	c.wmu.Unlock()
+	ms.ShardPasses += wpasses
+	c.workerPasses.Add(wpasses)
+	if len(d.Sinks) > 0 {
+		ms.ShardAggRounds++
+		c.aggRounds.Add(1)
+	}
+	ms.ShardBytesSent += io.sent.Load()
+	ms.ShardBytesRecv += io.recv.Load()
+	ms.ShardRetries += io.retries.Load()
+	return nil
+}
+
+// encodeAndPush serializes the DAG and ships every leaf the workers do not
+// already hold. Runs under pushMu: the pushed-leaf registry records what is
+// worker-resident per (matrix ID, content version), and concurrent passes
+// must not observe half-pushed leaves.
+func (c *Coordinator) encodeAndPush(ctx context.Context, d *core.RemoteDAG, sh []shardRange, io *passIO) (*core.Program, error) {
+	c.pushMu.Lock()
+	defer c.pushMu.Unlock()
+	var jobs []pushJob
+	prog, err := core.EncodeProgram(d, func(m *core.Mat) (string, error) {
+		// A leaf whose data is already a RemoteStore of this coordinator is
+		// worker-resident: reference it by its existing handle. This is what
+		// keeps iterative algorithms' tall intermediates on the workers.
+		if rs, ok := core.UnwrapStore(m.Store()).(*RemoteStore); ok && rs.c == c {
+			return rs.handle, nil
+		}
+		id, ver := m.ID(), m.ContentVersion()
+		if pl, ok := c.pushed[id]; ok && pl.ver == ver {
+			return pl.handle, nil
+		}
+		h := fmt.Sprintf("m%d-v%d", id, ver)
+		job := pushJob{m: m, handle: h}
+		if pl, ok := c.pushed[id]; ok {
+			job.old = pl.handle
+		}
+		jobs = append(jobs, job)
+		c.pushed[id] = pushedLeaf{ver: ver, handle: h}
+		return h, nil
+	})
+	if err != nil {
+		c.unpush(jobs)
+		return nil, err
+	}
+	for _, j := range jobs {
+		if j.old != "" {
+			c.freeAll(j.old)
+		}
+		if perr := c.pushLeaf(ctx, j.m, j.handle, sh, io); perr != nil {
+			c.unpush(jobs)
+			return nil, perr
+		}
+	}
+	return prog, nil
+}
+
+// unpush rolls the registry back after a failed encode-and-push so a later
+// pass re-pushes from scratch; already-shipped partitions are freed
+// best-effort.
+func (c *Coordinator) unpush(jobs []pushJob) {
+	for _, j := range jobs {
+		delete(c.pushed, j.m.ID())
+		c.freeAll(j.handle)
+	}
+}
+
+// pushLeaf ships one matrix's partitions to their owning shards, renumbering
+// global partition indexes to shard-local ones.
+func (c *Coordinator) pushLeaf(ctx context.Context, m *core.Mat, handle string, sh []shardRange, io *passIO) error {
+	st := m.Store()
+	if st == nil {
+		return fmt.Errorf("shard: leaf %d is not materialized", m.ID())
+	}
+	buf := make([]float64, st.PartRows()*m.NCol())
+	for wi := range sh {
+		for p := 0; p < sh[wi].nparts; p++ {
+			g := sh[wi].part0 + p
+			rows := matrix.PartRowsOf(m.NRow(), c.partRows, g)
+			if err := st.ReadPart(g, buf[:rows*m.NCol()]); err != nil {
+				return err
+			}
+			req := partReq{Handle: handle, NRow: sh[wi].rows, NCol: m.NCol(),
+				DT: uint8(m.DType()), Part: p, Data: buf[:rows*m.NCol()]}
+			if _, err := c.call(ctx, wi, opPushPart, encodePartReq(req), io); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// cleanupKeeps best-effort frees this pass's keep handles on every active
+// worker after a failure: some workers may hold freshly registered outputs
+// no store will ever reference.
+func (c *Coordinator) cleanupKeeps(keeps []string, active []int) {
+	for _, h := range keeps {
+		c.freeHandle(h, active)
+	}
+}
+
+func (c *Coordinator) freeHandle(handle string, workers []int) {
+	var w wbuf
+	w.str(handle)
+	for _, wi := range workers {
+		c.call(context.Background(), wi, opFreeMat, w.b, nil)
+	}
+}
+
+func (c *Coordinator) freeAll(handle string) {
+	all := make([]int, len(c.trs))
+	for i := range all {
+		all[i] = i
+	}
+	c.freeHandle(handle, all)
+}
+
+// Close releases transports and (in-proc mode) the owned workers. RemoteStore
+// reads fail afterwards, so sessions must flush result caches that hold
+// shard-backed matrices before closing the coordinator.
+func (c *Coordinator) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	for _, t := range c.trs {
+		t.Close()
+	}
+	for _, w := range c.workers {
+		w.Close()
+	}
+	return nil
+}
+
+// RemoteStore is a matrix.Store whose partitions live sharded across the
+// coordinator's workers. Attaching one to a tall target is how results stay
+// worker-resident; any local read (printing, small-matrix conversion,
+// result-cache copies) fetches partitions over the transport on demand.
+type RemoteStore struct {
+	c        *Coordinator
+	handle   string
+	nrow     int64
+	ncol     int
+	partRows int
+	sh       []shardRange
+	freed    atomic.Bool
+}
+
+// Handle returns the worker-side matrix handle (tests).
+func (rs *RemoteStore) Handle() string { return rs.handle }
+
+func (rs *RemoteStore) NRow() int64   { return rs.nrow }
+func (rs *RemoteStore) NCol() int     { return rs.ncol }
+func (rs *RemoteStore) PartRows() int { return rs.partRows }
+func (rs *RemoteStore) NumParts() int { return matrix.NumParts(rs.nrow, rs.partRows) }
+func (rs *RemoteStore) Kind() string  { return "shard" }
+
+// locate maps a global partition index to (worker, shard-local partition).
+func (rs *RemoteStore) locate(i int) (int, int, error) {
+	if err := matrix.CheckPart(rs, i); err != nil {
+		return 0, 0, err
+	}
+	for wi := range rs.sh {
+		if i >= rs.sh[wi].part0 && i < rs.sh[wi].part0+rs.sh[wi].nparts {
+			return wi, i - rs.sh[wi].part0, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("shard: partition %d not covered by any shard", i)
+}
+
+func (rs *RemoteStore) ReadPart(i int, dst []float64) error {
+	wi, local, err := rs.locate(i)
+	if err != nil {
+		return err
+	}
+	rb, err := rs.c.call(context.Background(), wi, opFetchPart,
+		encodeFetchReq(fetchReq{Handle: rs.handle, Part: local}), nil)
+	if err != nil {
+		return err
+	}
+	r := rbuf{b: rb}
+	data := r.f64s()
+	if r.err != nil {
+		return r.err
+	}
+	rows := matrix.PartRowsOf(rs.nrow, rs.partRows, i)
+	if len(data) != rows*rs.ncol {
+		return fmt.Errorf("shard: fetched part %d has %d values, want %d", i, len(data), rows*rs.ncol)
+	}
+	copy(dst, data)
+	return nil
+}
+
+func (rs *RemoteStore) ReadPartCols(i int, cols []int, dst []float64) error {
+	rows := matrix.PartRowsOf(rs.nrow, rs.partRows, i)
+	full := make([]float64, rows*rs.ncol)
+	if err := rs.ReadPart(i, full); err != nil {
+		return err
+	}
+	matrix.GatherCols(dst, full, rows, rs.ncol, cols)
+	return nil
+}
+
+func (rs *RemoteStore) WritePart(i int, src []float64) error {
+	wi, local, err := rs.locate(i)
+	if err != nil {
+		return err
+	}
+	rows := matrix.PartRowsOf(rs.nrow, rs.partRows, i)
+	req := partReq{Handle: rs.handle, NRow: rs.sh[wi].rows, NCol: rs.ncol,
+		DT: uint8(matrix.F64), Part: local, Data: src[:rows*rs.ncol]}
+	_, err = rs.c.call(context.Background(), wi, opWritePart, encodePartReq(req), nil)
+	return err
+}
+
+// Free releases the worker-side copies (best-effort; the coordinator may
+// already be closed during teardown).
+func (rs *RemoteStore) Free() error {
+	if rs.freed.Swap(true) || rs.c.closed.Load() {
+		return nil
+	}
+	var active []int
+	for wi := range rs.sh {
+		if rs.sh[wi].nparts > 0 {
+			active = append(active, wi)
+		}
+	}
+	rs.c.freeHandle(rs.handle, active)
+	return nil
+}

@@ -1,0 +1,109 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// FaultError marks an injected transport fault. It classifies as transient,
+// so the coordinator's retry policy must absorb injected faults exactly as it
+// absorbs real network ones.
+type FaultError struct {
+	Kind string
+	Op   uint8
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("shard: injected %s fault on %s", e.Kind, opName(e.Op))
+}
+
+// FaultConfig drives the fault-injecting transport wrapper. All probabilities
+// are per-Call, drawn from one seeded stream, so a test run is reproducible.
+type FaultConfig struct {
+	Seed int64
+	// DropProb loses the request before delivery: the inner transport is
+	// never called and the caller sees a transient error.
+	DropProb float64
+	// ResetProb delivers and EXECUTES the request but loses the response —
+	// the mid-stream connection reset case. Retries then re-execute the op,
+	// so this axis tests handler idempotency, not just retry plumbing.
+	ResetProb float64
+	// DupProb delivers the request twice back-to-back (a retransmit racing a
+	// slow ack); the second response is returned.
+	DupProb float64
+	// DelayProb stalls the call by Delay before delivery (latency spike).
+	DelayProb float64
+	Delay     time.Duration
+}
+
+// FaultTransport wraps a Transport with seeded fault injection. Safe for
+// concurrent Call (the RNG is mutex-guarded; concurrent schedules vary, but
+// single-goroutine phases replay exactly).
+type FaultTransport struct {
+	inner Transport
+	cfg   FaultConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	drops, resets, dups, delays int64
+}
+
+// NewFaultTransport wraps inner with the given fault plan.
+func NewFaultTransport(inner Transport, cfg FaultConfig) *FaultTransport {
+	return &FaultTransport{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Injected returns how many faults of each kind fired.
+func (t *FaultTransport) Injected() (drops, resets, dups, delays int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.drops, t.resets, t.dups, t.delays
+}
+
+func (t *FaultTransport) Call(ctx context.Context, op uint8, body []byte) ([]byte, error) {
+	t.mu.Lock()
+	delay := t.rng.Float64() < t.cfg.DelayProb
+	drop := t.rng.Float64() < t.cfg.DropProb
+	reset := t.rng.Float64() < t.cfg.ResetProb
+	dup := t.rng.Float64() < t.cfg.DupProb
+	switch {
+	case delay:
+		t.delays++
+	}
+	switch {
+	case drop:
+		t.drops++
+	case reset:
+		t.resets++
+	case dup:
+		t.dups++
+	}
+	t.mu.Unlock()
+	if delay {
+		select {
+		case <-time.After(t.cfg.Delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if drop {
+		return nil, &FaultError{Kind: "drop", Op: op}
+	}
+	if reset {
+		// The worker sees and executes the request; the response is lost.
+		t.inner.Call(ctx, op, body)
+		return nil, &FaultError{Kind: "reset", Op: op}
+	}
+	if dup {
+		if _, err := t.inner.Call(ctx, op, body); err != nil {
+			return nil, err
+		}
+	}
+	return t.inner.Call(ctx, op, body)
+}
+
+func (t *FaultTransport) Close() error { return t.inner.Close() }

@@ -1,0 +1,356 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// Worker owns one shard's engine and its resident matrices: leaves the
+// coordinator pushed by value, leaves it delegated by reference, and tall
+// outputs kept for later passes. Matrices are addressed by coordinator-chosen
+// string handles; re-registering a handle frees the previous occupant, so
+// retried RPCs stay idempotent.
+//
+// Worker engines run with rewrites forced off: the coordinator rewrites the
+// DAG once before splitting it, and sink programs arrive in raw
+// (pre-publish-transform) form. A worker applying the affine aggregation-fold
+// transform again would fold it once per shard.
+type Worker struct {
+	eng *core.Engine
+
+	mu   sync.Mutex
+	mats map[string]*core.Mat
+}
+
+// NewWorker builds a worker around a fresh engine with the given
+// configuration (DisableRewrites is forced on, see the type comment).
+func NewWorker(cfg core.Config) (*Worker, error) {
+	cfg.DisableRewrites = true
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Worker{eng: eng, mats: make(map[string]*core.Mat)}, nil
+}
+
+// Engine exposes the worker's engine (metrics registration, tests).
+func (w *Worker) Engine() *core.Engine { return w.eng }
+
+// Handle dispatches one RPC: decode, execute, encode. Both transports call
+// it — the loopback directly, the TCP server per frame — so every code path
+// exercises the byte codec. Errors are returned (and wired as status-1
+// frames), never panics: Instantiate converts malformed-program panics to
+// errors before they reach here.
+func (w *Worker) Handle(ctx context.Context, op uint8, body []byte) ([]byte, error) {
+	switch op {
+	case opHello:
+		q, err := decodeHelloReq(body)
+		if err != nil {
+			return nil, err
+		}
+		if q.Version != protocolVersion {
+			return nil, fmt.Errorf("shard: protocol version %d, worker speaks %d", q.Version, protocolVersion)
+		}
+		if q.PartRows != w.eng.PartRows() {
+			return nil, fmt.Errorf("shard: coordinator part-rows %d != worker part-rows %d", q.PartRows, w.eng.PartRows())
+		}
+		return encodeHelloResp(helloResp{Version: protocolVersion, PartRows: w.eng.PartRows()}), nil
+	case opPushPart:
+		q, err := decodePartReq(body)
+		if err != nil {
+			return nil, err
+		}
+		return nil, w.pushPart(q)
+	case opExec:
+		q, err := decodeExecReq(body)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := w.exec(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		return encodeExecResp(resp), nil
+	case opFetchPart:
+		q, err := decodeFetchReq(body)
+		if err != nil {
+			return nil, err
+		}
+		data, err := w.fetchPart(q)
+		if err != nil {
+			return nil, err
+		}
+		var wr wbuf
+		wr.f64s(data)
+		return wr.b, nil
+	case opWritePart:
+		q, err := decodePartReq(body)
+		if err != nil {
+			return nil, err
+		}
+		return nil, w.writePart(q)
+	case opFreeMat:
+		r := rbuf{b: body}
+		handle := r.str()
+		if r.err != nil {
+			return nil, r.err
+		}
+		w.freeMat(handle)
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("shard: unknown op %d", op)
+	}
+}
+
+func (w *Worker) lookup(handle string) (*core.Mat, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	m, ok := w.mats[handle]
+	if !ok {
+		return nil, fmt.Errorf("shard: no matrix %q on this worker", handle)
+	}
+	return m, nil
+}
+
+// pushPart stores one partition of a coordinator-pushed leaf, creating the
+// worker-resident matrix on first touch. Overwriting an already-pushed
+// partition with the same bytes is the retry case and is harmless.
+func (w *Worker) pushPart(q partReq) error {
+	dt, err := core.LeafDType(q.DT)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	m, ok := w.mats[q.Handle]
+	if !ok {
+		st, serr := w.eng.NewStore(q.NRow, q.NCol)
+		if serr != nil {
+			w.mu.Unlock()
+			return serr
+		}
+		m = core.NewLeaf(st, dt)
+		w.mats[q.Handle] = m
+	}
+	w.mu.Unlock()
+	if m.NRow() != q.NRow || m.NCol() != q.NCol || m.DType() != dt {
+		return fmt.Errorf("shard: push %q: existing matrix is %dx%d dtype %d, push says %dx%d dtype %d",
+			q.Handle, m.NRow(), m.NCol(), m.DType(), q.NRow, q.NCol, dt)
+	}
+	st := m.Store()
+	if err := matrix.CheckPart(st, q.Part); err != nil {
+		return err
+	}
+	rows := matrix.PartRowsOf(q.NRow, st.PartRows(), q.Part)
+	if len(q.Data) != rows*q.NCol {
+		return fmt.Errorf("shard: push %q part %d: %d values, want %d", q.Handle, q.Part, len(q.Data), rows*q.NCol)
+	}
+	return st.WritePart(q.Part, q.Data)
+}
+
+// exec runs one shard pass: instantiate the program against worker-resident
+// leaves, materialize the tall targets (plus any cum.col nodes whose exit
+// carries the coordinator needs), register kept outputs under their handles,
+// and snapshot every sink's raw partial.
+func (w *Worker) exec(ctx context.Context, q execRequest) (execResponse, error) {
+	var resp execResponse
+	nodes, sinks, err := q.Prog.Instantiate(q.Rows, func(ref string) (*core.Mat, error) {
+		return w.lookup(ref)
+	}, q.Carries)
+	if err != nil {
+		return resp, err
+	}
+	idx := func(i int32, what string) (*core.Mat, error) {
+		if i < 0 || int(i) >= len(nodes) || nodes[i] == nil {
+			return nil, fmt.Errorf("shard: exec %s index %d out of range", what, i)
+		}
+		return nodes[i], nil
+	}
+	var talls []*core.Mat
+	inTalls := make(map[int32]bool, len(q.Prog.Talls))
+	for _, ti := range q.Prog.Talls {
+		m, err := idx(ti, "tall")
+		if err != nil {
+			return resp, err
+		}
+		talls = append(talls, m)
+		inTalls[ti] = true
+	}
+	// Carry-out nodes that are not already tall targets materialize as
+	// extras: the exit carry is the node's last row, which only exists once
+	// the cumulative column ran over the whole shard.
+	var extras []int32
+	for _, ci := range q.CarryOut {
+		if inTalls[ci] {
+			continue
+		}
+		m, err := idx(ci, "carry")
+		if err != nil {
+			return resp, err
+		}
+		talls = append(talls, m)
+		extras = append(extras, ci)
+	}
+	ms, err := w.eng.MaterializePass(ctx, talls, sinks, core.PassOptions{Owner: q.Owner})
+	if err != nil {
+		return resp, err
+	}
+	if len(q.CarryOut) > 0 {
+		resp.Carries = make(map[int32][]float64, len(q.CarryOut))
+		for _, ci := range q.CarryOut {
+			row, rerr := lastRow(nodes[ci])
+			if rerr != nil {
+				return resp, rerr
+			}
+			resp.Carries[ci] = row
+		}
+	}
+	for i, ti := range q.Prog.Talls {
+		if i < len(q.Keeps) && q.Keeps[i] != "" {
+			w.register(q.Keeps[i], nodes[ti])
+		}
+	}
+	for _, ci := range extras {
+		nodes[ci].Store().Free()
+	}
+	for _, s := range sinks {
+		p := s.RawPartial()
+		if p == nil {
+			return resp, fmt.Errorf("shard: sink finished without a raw partial")
+		}
+		resp.Partials = append(resp.Partials, p)
+	}
+	resp.Stats = workerPassStats{
+		Passes:        ms.Passes,
+		Parts:         ms.Parts,
+		Chunks:        ms.Chunks,
+		BytesRead:     ms.BytesRead,
+		BytesWritten:  ms.BytesWritten,
+		NodesExecuted: ms.NodesExecuted,
+		Wall:          ms.Wall,
+	}
+	return resp, nil
+}
+
+// lastRow reads the final row of a materialized matrix — the exit carry of a
+// cumulative column fold (bitwise equal to the running accumulator after the
+// shard's last row).
+func lastRow(m *core.Mat) ([]float64, error) {
+	st := m.Store()
+	if st == nil {
+		return nil, fmt.Errorf("shard: carry node not materialized")
+	}
+	p := st.NumParts() - 1
+	rows := matrix.PartRowsOf(m.NRow(), st.PartRows(), p)
+	buf := make([]float64, rows*m.NCol())
+	if err := st.ReadPart(p, buf); err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), buf[(rows-1)*m.NCol():]...), nil
+}
+
+// referencedLocked reports whether any registered handle still references m
+// (two tall positions unified onto one computation register the same matrix
+// under two handles). Callers hold w.mu.
+func (w *Worker) referencedLocked(m *core.Mat) bool {
+	for _, o := range w.mats {
+		if o == m {
+			return true
+		}
+	}
+	return false
+}
+
+// register installs a materialized output under a keep handle, freeing any
+// previous occupant (the retried-exec case re-registers the same handle)
+// unless another handle still aliases it.
+func (w *Worker) register(handle string, m *core.Mat) {
+	w.mu.Lock()
+	old := w.mats[handle]
+	w.mats[handle] = m
+	freeOld := old != nil && old != m && !w.referencedLocked(old)
+	w.mu.Unlock()
+	if freeOld {
+		if st := old.Store(); st != nil {
+			st.Free()
+		}
+	}
+}
+
+func (w *Worker) fetchPart(q fetchReq) ([]float64, error) {
+	m, err := w.lookup(q.Handle)
+	if err != nil {
+		return nil, err
+	}
+	st := m.Store()
+	if err := matrix.CheckPart(st, q.Part); err != nil {
+		return nil, err
+	}
+	rows := matrix.PartRowsOf(m.NRow(), st.PartRows(), q.Part)
+	buf := make([]float64, rows*m.NCol())
+	if err := st.ReadPart(q.Part, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// writePart overwrites one partition of an existing worker matrix and bumps
+// its content version, keeping the worker's CSE/cache keyed off stale data.
+func (w *Worker) writePart(q partReq) error {
+	m, err := w.lookup(q.Handle)
+	if err != nil {
+		return err
+	}
+	st := m.Store()
+	if err := matrix.CheckPart(st, q.Part); err != nil {
+		return err
+	}
+	rows := matrix.PartRowsOf(m.NRow(), st.PartRows(), q.Part)
+	if len(q.Data) != rows*m.NCol() {
+		return fmt.Errorf("shard: write %q part %d: %d values, want %d", q.Handle, q.Part, len(q.Data), rows*m.NCol())
+	}
+	if err := st.WritePart(q.Part, q.Data); err != nil {
+		return err
+	}
+	w.eng.NoteMutation(m)
+	return nil
+}
+
+// freeMat releases a handle; missing handles are fine (idempotent retries,
+// best-effort cleanup paths). The backing store is freed only when no other
+// handle aliases the same matrix.
+func (w *Worker) freeMat(handle string) {
+	w.mu.Lock()
+	m := w.mats[handle]
+	delete(w.mats, handle)
+	free := m != nil && !w.referencedLocked(m)
+	w.mu.Unlock()
+	if free {
+		if st := m.Store(); st != nil {
+			st.Free()
+		}
+	}
+}
+
+// Close frees every resident matrix (aliased handles free their shared store
+// once).
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	mats := w.mats
+	w.mats = make(map[string]*core.Mat)
+	w.mu.Unlock()
+	seen := make(map[*core.Mat]bool, len(mats))
+	for _, m := range mats {
+		if seen[m] {
+			continue
+		}
+		seen[m] = true
+		if st := m.Store(); st != nil {
+			st.Free()
+		}
+	}
+	return nil
+}

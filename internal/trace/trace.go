@@ -56,6 +56,10 @@ const (
 	// (N = rule applications). It nests inside KindCacheLookup: rewriting
 	// runs before any signature is interned for cache lookups.
 	KindRewrite
+	// KindShard covers a pass's sharded execution phase on the coordinator:
+	// program encoding, leaf pushes, worker fan-out, and partial combining.
+	// Bytes carries the wire bytes exchanged, N the aggregation rounds.
+	KindShard
 	kindCount
 )
 
@@ -71,6 +75,7 @@ var kindNames = [...]string{
 	KindWriteBack:   "write-back",
 	KindDrain:       "drain",
 	KindRewrite:     "rewrite",
+	KindShard:       "shard-exec",
 }
 
 func (k Kind) String() string {

@@ -35,6 +35,7 @@ import (
 	"repro/internal/dense"
 	"repro/internal/numa"
 	"repro/internal/safs"
+	"repro/internal/shard"
 	"repro/internal/trace"
 )
 
@@ -127,7 +128,18 @@ type Options struct {
 	// against the NUMA chunk pools (0 = unlimited). An oversized pass is
 	// still admitted when it is alone on the engine.
 	PassMemBudget int64
+	// Sharding, when set, row-partitions every materialization across shard
+	// workers: in-process engines (ShardConfig.Shards) or TCP worker
+	// processes (ShardConfig.Addrs). Planning — rewrites, CSE, the result
+	// cache — still runs on this session's engine; only execution is
+	// distributed. Incompatible with EM on the session itself: in sharded
+	// mode the array, if any, belongs to the workers.
+	Sharding *ShardConfig
 }
+
+// ShardConfig aliases the sharded coordinator's configuration for
+// Options.Sharding / WithSharding.
+type ShardConfig = shard.Config
 
 // Option configures NewSession. Options (the struct) and the With*
 // functions both implement it.
@@ -210,6 +222,13 @@ func WithPassMemBudget(bytes int64) Option {
 	return optionFunc(func(c *sessionConfig) { c.opts.PassMemBudget = bytes })
 }
 
+// WithSharding distributes the session's materialization passes across shard
+// workers (see Options.Sharding). A zero Config spawns two in-process
+// workers; set Addrs to use flashr-shardworker processes over TCP.
+func WithSharding(cfg ShardConfig) Option {
+	return optionFunc(func(c *sessionConfig) { c.opts.Sharding = &cfg })
+}
+
 // WithSharedEngine makes the new session run on parent's engine and SSD
 // array instead of building its own. Engine-level options (workers, fusion,
 // drives, bandwidth, partition height, …) are fixed by the parent and
@@ -238,6 +257,11 @@ const (
 type Session struct {
 	eng *core.Engine
 	fs  *safs.FS
+	// coord is the sharded-execution coordinator (nil for local execution);
+	// owned by the session and closed after the result cache is flushed,
+	// because cache-held shard-backed stores free their worker copies over
+	// the coordinator's transports.
+	coord *shard.Coordinator
 
 	// owner and weight tag every materialization pass this session submits;
 	// sharedEng marks a session built with WithSharedEngine.
@@ -316,7 +340,7 @@ func NewSession(opts ...Option) (*Session, error) {
 	if o.NumaNodes > 0 {
 		topo = numa.NewTopology(o.NumaNodes, 0)
 	}
-	eng, err := core.NewEngine(core.Config{
+	ecfg := core.Config{
 		Workers:                 o.Workers,
 		Fuse:                    o.Fuse,
 		Topo:                    topo,
@@ -335,14 +359,32 @@ func NewSession(opts ...Option) (*Session, error) {
 		DisableRewriteDCE:       o.DisableRewriteDCE,
 		MaxConcurrentPasses:     o.MaxConcurrentPasses,
 		PassMemBudget:           o.PassMemBudget,
-	})
+	}
+	eng, err := core.NewEngine(ecfg)
 	if err != nil {
 		if fs != nil {
 			fs.Close()
 		}
 		return nil, err
 	}
-	return &Session{eng: eng, fs: fs, ownsFS: fs != nil, owner: o.Owner, weight: o.PassWeight}, nil
+	var coord *shard.Coordinator
+	if o.Sharding != nil {
+		if o.EM {
+			if fs != nil {
+				fs.Close()
+			}
+			return nil, fmt.Errorf("flashr: sharded sessions keep matrices worker-resident; configure EM on the workers, not the coordinator")
+		}
+		coord, err = shard.NewCoordinator(*o.Sharding, ecfg)
+		if err != nil {
+			if fs != nil {
+				fs.Close()
+			}
+			return nil, err
+		}
+		eng.SetRemoteExecutor(coord)
+	}
+	return &Session{eng: eng, fs: fs, coord: coord, ownsFS: fs != nil, owner: o.Owner, weight: o.PassWeight}, nil
 }
 
 // NewMemSession builds an in-memory session (FlashR-IM) with default
@@ -357,6 +399,10 @@ func NewMemSession() *Session {
 
 // Engine exposes the underlying execution engine (benchmarks and tests).
 func (s *Session) Engine() *core.Engine { return s.eng }
+
+// Coordinator exposes the sharded-execution coordinator, or nil for a local
+// session (benchmarks, the conformance suite).
+func (s *Session) Coordinator() *shard.Coordinator { return s.coord }
 
 // Owner returns the session's pass-attribution label.
 func (s *Session) Owner() string { return s.owner }
@@ -436,7 +482,12 @@ func (s *Session) Close() error {
 	if s.sharedEng {
 		return nil
 	}
+	// Flush before closing the coordinator: cache entries may hold
+	// shard-backed stores whose Free is an RPC over its transports.
 	s.eng.FlushResultCache()
+	if s.coord != nil {
+		s.coord.Close()
+	}
 	if s.ownsFS && s.fs != nil {
 		return s.fs.Close()
 	}
