@@ -11,6 +11,7 @@
 package flashr_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -91,7 +92,7 @@ func BenchmarkAblationEuclidKernel(b *testing.B) {
 			// pmax fold of squared terms is a different reduction, but
 			// runs the generic kernel; compare shapes of cost, then redo
 			// the true sum with the generic path via a distinct pair.
-			if err := d.Materialize(); err != nil {
+			if err := d.MaterializeCtx(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 			d.Free()

@@ -10,6 +10,7 @@
 package flashr_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -249,7 +250,7 @@ func BenchmarkFig8(b *testing.B) {
 		b.Fatal(err)
 	}
 	y := flashr.Mod(flashr.Round(flashr.Mul(flashr.GetCol(x, 0), 100.0)), 2.0)
-	if err := y.Materialize(); err != nil {
+	if err := y.MaterializeCtx(context.Background()); err != nil {
 		b.Fatal(err)
 	}
 	xd, err := x.AsDense()
@@ -282,7 +283,7 @@ func BenchmarkFig8(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if err := out.Materialize(); err != nil {
+			if err := out.MaterializeCtx(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 			out.Free()

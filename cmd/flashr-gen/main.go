@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -61,11 +62,11 @@ func main() {
 	fmt.Printf("generated %s: %d x %d (%.1f MiB)\n",
 		*dataset, x.NRow(), x.NCol(), float64(x.NRow()*x.NCol()*8)/(1<<20))
 	if *ssdRoot != "" {
-		if err := s.SaveNamed(x, *dataset+"-x"); err != nil {
+		if err := s.SaveNamedCtx(context.Background(), x, *dataset+"-x"); err != nil {
 			fatal(err)
 		}
 		if y != nil {
-			if err := s.SaveNamed(y, *dataset+"-y"); err != nil {
+			if err := s.SaveNamedCtx(context.Background(), y, *dataset+"-y"); err != nil {
 				fatal(err)
 			}
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -63,7 +64,7 @@ func main() {
 		perDrive := make([]int, fs.NumDrives())
 		var verified, skipped, corrupt int64
 		for _, n := range names {
-			reps, err := s.VerifyNamed(n)
+			reps, err := s.VerifyNamedCtx(context.Background(), n)
 			if err != nil {
 				fatal(err)
 			}

@@ -28,6 +28,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,6 +45,7 @@ func main() {
 		readMBps    = flag.Float64("read-mbps", 0, "SSD read throttle (0 = unthrottled)")
 		writeMBps   = flag.Float64("write-mbps", 0, "SSD write throttle")
 		workers     = flag.Int("workers", runtime.GOMAXPROCS(0), "engine worker goroutines")
+		resCacheMB  = flag.Float64("result-cache-mb", 0, "sub-DAG result cache budget in MiB (0 = engine default, -1 = disabled)")
 		passes      = flag.Int("max-passes", 0, "concurrent materialization passes (0 = engine default)")
 		batchMax    = flag.Int("batch-max", serve.DefaultMaxBatch, "max requests coalesced per batch")
 		batchWait   = flag.Duration("batch-wait", serve.DefaultBatchWait, "how long a batch waits for company before flushing")
@@ -51,6 +53,12 @@ func main() {
 		maxSessions = flag.Int("max-sessions", serve.DefaultMaxSessionsPerTenant, "serving sessions per tenant (-1 = unlimited)")
 		maxInflight = flag.Int("max-inflight", serve.DefaultMaxInflightPerTenant, "in-flight requests per tenant (-1 = unlimited)")
 		sessionIdle = flag.Duration("session-idle", serve.DefaultSessionIdle, "idle serving sessions expire after this (-1s = never)")
+		resultIdle  = flag.Duration("result-idle", 0, "idle result handles expire after this (0 = session-idle, -1s = never)")
+		authTokens  = flag.String("auth-tokens", "", "comma-separated tenant=token pairs; when set, requests need Authorization: Bearer <token>")
+		waitFloor   = flag.Duration("batch-wait-floor", 0, "adaptive batching: minimum flush window (0 = 1ms)")
+		waitCeil    = flag.Duration("batch-wait-ceil", 0, "adaptive batching: maximum flush window (0 = fixed -batch-wait)")
+		maxEstMB    = flag.Float64("max-est-mb", 0, "reject programs whose estimated working set exceeds this many MiB (0 = unlimited)")
+		maxPinMB    = flag.Float64("max-pinned-mb", 0, "per-tenant byte quota for pinned result handles, in MiB (0 = unlimited)")
 		drainWait   = flag.Duration("drain-wait", 30*time.Second, "graceful shutdown budget before forced exit")
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this extra address")
 	)
@@ -58,6 +66,11 @@ func main() {
 
 	opts := flashr.Options{Workers: *workers, ReadMBps: *readMBps, WriteMBps: *writeMBps,
 		MaxConcurrentPasses: *passes}
+	if *resCacheMB < 0 {
+		opts.ResultCacheBytes = -1
+	} else {
+		opts.ResultCacheBytes = int64(*resCacheMB * (1 << 20))
+	}
 	mode := "in-memory (FlashR-IM)"
 	if *ssdRoot != "" {
 		opts.EM = true
@@ -72,14 +85,24 @@ func main() {
 	}
 	defer root.Close()
 
+	tokens, err := parseAuthTokens(*authTokens)
+	if err != nil {
+		fatal(err)
+	}
 	sv, err := serve.New(serve.Config{
-		Root:                 root,
-		MaxBatch:             *batchMax,
-		BatchWait:            *batchWait,
-		QueueDepth:           *queueDepth,
-		MaxSessionsPerTenant: *maxSessions,
-		MaxInflightPerTenant: *maxInflight,
-		SessionIdle:          *sessionIdle,
+		Root:                    root,
+		MaxBatch:                *batchMax,
+		BatchWait:               *batchWait,
+		BatchWaitFloor:          *waitFloor,
+		BatchWaitCeil:           *waitCeil,
+		QueueDepth:              *queueDepth,
+		MaxSessionsPerTenant:    *maxSessions,
+		MaxInflightPerTenant:    *maxInflight,
+		SessionIdle:             *sessionIdle,
+		ResultIdle:              *resultIdle,
+		AuthTokens:              tokens,
+		MaxEstimatedBytes:       int64(*maxEstMB * (1 << 20)),
+		MaxPinnedBytesPerTenant: int64(*maxPinMB * (1 << 20)),
 	})
 	if err != nil {
 		fatal(err)
@@ -132,6 +155,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "flashr-serve: drain lost %d accepted requests\n", acc-ans)
 		os.Exit(1)
 	}
+}
+
+// parseAuthTokens turns "tenant=token,tenant2=token2" into the Config's
+// token→tenant map. Empty input disables auth.
+func parseAuthTokens(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		tenant, token, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || tenant == "" || token == "" {
+			return nil, fmt.Errorf("-auth-tokens: bad pair %q (want tenant=token)", pair)
+		}
+		if prev, dup := out[token]; dup {
+			return nil, fmt.Errorf("-auth-tokens: token for %q already assigned to %q", tenant, prev)
+		}
+		out[token] = tenant
+	}
+	return out, nil
 }
 
 func fatal(err error) {

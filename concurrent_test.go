@@ -1,6 +1,7 @@
 package flashr
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"sync"
@@ -201,7 +202,7 @@ func TestConcurrentFairness(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := x.Materialize(); err != nil {
+		if err := x.MaterializeCtx(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		sessions[i] = sess{s: cs, x: x}

@@ -133,8 +133,10 @@ func (x *FM) T() *FM {
 
 // Materialize forces evaluation of the matrix (R's materialize in Table 3).
 // Pending sinks sharing the partition dimension materialize in the same
-// pass. It is MaterializeCtx with context.Background(); prefer
-// MaterializeCtx in code that must honor cancellation.
+// pass. It is MaterializeCtx with context.Background().
+//
+// Deprecated: prefer MaterializeCtx, which honors cancellation; Materialize
+// is kept for source compatibility.
 func (x *FM) Materialize() error {
 	return x.MaterializeCtx(context.Background())
 }
@@ -175,7 +177,7 @@ func (x *FM) Free() error {
 // matrix (R's as.matrix).
 func (x *FM) AsDense() (*dense.Dense, error) {
 	if x.big != nil {
-		if err := x.Materialize(); err != nil {
+		if err := x.MaterializeCtx(context.Background()); err != nil {
 			return nil, err
 		}
 		d, err := x.s.eng.ToDense(x.big)
@@ -247,7 +249,7 @@ func (x *FM) SetElement(i, j int64, v float64) error {
 		if i < 0 || i >= x.big.NRow() || j < 0 || j >= int64(x.big.NCol()) {
 			return errf("set.element", nil, "(%d,%d) out of %dx%d", i, j, x.big.NRow(), x.big.NCol())
 		}
-		if err := x.Materialize(); err != nil {
+		if err := x.MaterializeCtx(context.Background()); err != nil {
 			return err
 		}
 		return x.s.eng.SetElement(x.big, i, int(j), v)

@@ -16,6 +16,7 @@ package benchmark
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -669,10 +670,10 @@ func Fig8(cfg Config) ([]Row, error) {
 	}
 	labelsIM := flashr.Mod(flashr.Round(flashr.Mul(flashr.GetCol(xim, 0), 100.0)), 2.0)
 	labelsEM := flashr.Mod(flashr.Round(flashr.Mul(flashr.GetCol(xem, 0), 100.0)), 2.0)
-	if err := labelsIM.Materialize(); err != nil {
+	if err := labelsIM.MaterializeCtx(context.Background()); err != nil {
 		return nil, err
 	}
-	if err := labelsEM.Materialize(); err != nil {
+	if err := labelsEM.MaterializeCtx(context.Background()); err != nil {
 		return nil, err
 	}
 	yd, err := labelsIM.AsDense()
@@ -703,7 +704,7 @@ func Fig8(cfg Config) ([]Row, error) {
 				if err != nil {
 					return err
 				}
-				if err := out.Materialize(); err != nil {
+				if err := out.MaterializeCtx(context.Background()); err != nil {
 					return err
 				}
 				return out.Free()

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/matrix"
+)
+
+// PinnedStore is a retained reference to a materialized matrix's backing
+// store. Pinning reuses the result cache's refcounted-store machinery
+// (refStore): the pin holds one reference, so the data survives cache
+// eviction, session-level Free, and store privatization for as long as the
+// pin is alive. Serving front-ends use pins to hand out result handles that
+// outlive the FM that produced them.
+type PinnedStore struct {
+	st       *refStore
+	nrow     int64
+	ncol     int
+	released atomic.Bool
+}
+
+// Pin retains m's materialized store and returns a PinnedStore holding one
+// reference to it. The matrix must be materialized. The caller must Release
+// the pin exactly once; until then the underlying data cannot be freed out
+// from under readers, whatever happens to m.
+func (e *Engine) Pin(m *Mat) (*PinnedStore, error) {
+	// planMu serializes against insertResults' wrap-and-swap of the same
+	// store when a pass publishes, so two wrappers are never raced into
+	// place.
+	e.planMu.Lock()
+	defer e.planMu.Unlock()
+	st := m.Store()
+	if st == nil {
+		return nil, fmt.Errorf("core: Pin on virtual matrix %d (materialize first)", m.id)
+	}
+	rst, ok := st.(*refStore)
+	if !ok {
+		rst = newRefStore(st)
+		m.swapStore(rst)
+	}
+	rst.retain()
+	return &PinnedStore{st: rst, nrow: m.nrow, ncol: m.ncol}, nil
+}
+
+// NRow returns the pinned matrix's row count.
+func (p *PinnedStore) NRow() int64 { return p.nrow }
+
+// NCol returns the pinned matrix's column count.
+func (p *PinnedStore) NCol() int { return p.ncol }
+
+// Bytes returns the pinned data's logical size.
+func (p *PinnedStore) Bytes() int64 { return p.nrow * int64(p.ncol) * 8 }
+
+// ReadRows fills dst (row-major (hi-lo)×NCol) with rows [lo, hi) of the
+// pinned data, reading each overlapping I/O partition once.
+func (p *PinnedStore) ReadRows(lo, hi int64, dst []float64) error {
+	if lo < 0 || hi > p.nrow || lo > hi {
+		return fmt.Errorf("core: pinned read rows [%d,%d) out of %d", lo, hi, p.nrow)
+	}
+	if p.released.Load() {
+		return fmt.Errorf("core: read on released pin")
+	}
+	if lo == hi {
+		return nil
+	}
+	if need := (hi - lo) * int64(p.ncol); int64(len(dst)) < need {
+		return fmt.Errorf("core: pinned read buffer %d < %d", len(dst), need)
+	}
+	pr := p.st.PartRows()
+	buf := make([]float64, pr*p.ncol)
+	for part := int(lo / int64(pr)); int64(part)*int64(pr) < hi; part++ {
+		rows := matrix.PartRowsOf(p.nrow, pr, part)
+		if err := p.st.ReadPart(part, buf[:rows*p.ncol]); err != nil {
+			return err
+		}
+		start := int64(part) * int64(pr)
+		from, to := lo, hi
+		if from < start {
+			from = start
+		}
+		if end := start + int64(rows); to > end {
+			to = end
+		}
+		copy(dst[(from-lo)*int64(p.ncol):(to-lo)*int64(p.ncol)],
+			buf[(from-start)*int64(p.ncol):(to-start)*int64(p.ncol)])
+	}
+	return nil
+}
+
+// Release drops the pin's store reference. Idempotent; only the first call
+// releases.
+func (p *PinnedStore) Release() error {
+	if !p.released.CompareAndSwap(false, true) {
+		return nil
+	}
+	return p.st.Free()
+}

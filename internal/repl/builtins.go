@@ -1,6 +1,7 @@
 package repl
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -391,7 +392,7 @@ func (e *Env) evalCall(t *callNode) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
-		return args[0], x.Materialize()
+		return args[0], x.MaterializeCtx(context.Background())
 	case "set.cache":
 		x, err := mat(0)
 		if err != nil {

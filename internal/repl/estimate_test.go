@@ -1,0 +1,130 @@
+package repl
+
+import (
+	"strings"
+	"testing"
+)
+
+func estimate(t *testing.T, e *Env, program string) (Estimate, bool) {
+	t.Helper()
+	return e.EstimateProgram(strings.Split(program, "\n"))
+}
+
+func TestEstimateCreationBytes(t *testing.T) {
+	e := env(t)
+	est, ok := estimate(t, e, "x <- runif.matrix(1000, 10, 0, 1, 7)")
+	if !ok {
+		t.Fatal("estimate unavailable")
+	}
+	if est.WorkBytes != 1000*10*8 {
+		t.Errorf("WorkBytes = %d, want %d", est.WorkBytes, 1000*10*8)
+	}
+	if est.ResultBytes != 0 {
+		t.Errorf("ResultBytes = %d for an assignment, want 0", est.ResultBytes)
+	}
+	if est.Stmts != 1 {
+		t.Errorf("Stmts = %d, want 1", est.Stmts)
+	}
+}
+
+func TestEstimateConstantPropagation(t *testing.T) {
+	e := env(t)
+	// n flows through arithmetic into the creation call; the printed matrix
+	// counts toward ResultBytes as well as WorkBytes.
+	est, ok := estimate(t, e, "n <- 250\nx <- runif.matrix(n * 2, 2, 0, 1, 7)\nx")
+	if !ok {
+		t.Fatal("estimate unavailable")
+	}
+	if est.WorkBytes != 500*2*8 {
+		t.Errorf("WorkBytes = %d, want %d", est.WorkBytes, 500*2*8)
+	}
+	if est.ResultBytes != 500*2*8 {
+		t.Errorf("ResultBytes = %d, want %d", est.ResultBytes, 500*2*8)
+	}
+}
+
+func TestEstimateDimPropagation(t *testing.T) {
+	e := env(t)
+	// nrow of a known matrix is a constant the next creation call can use.
+	est, ok := estimate(t, e, "x <- runif.matrix(100, 4, 0, 1, 7)\ny <- ones(nrow(x), 3)\nsum(y)")
+	if !ok {
+		t.Fatal("estimate unavailable")
+	}
+	want := int64(100*4*8 + 100*3*8)
+	if est.WorkBytes != want {
+		t.Errorf("WorkBytes = %d, want %d", est.WorkBytes, want)
+	}
+	if est.ResultBytes != 0 {
+		t.Errorf("ResultBytes = %d, want 0 (sum renders as text)", est.ResultBytes)
+	}
+}
+
+func TestEstimateMatMulShapes(t *testing.T) {
+	e := env(t)
+	est, ok := estimate(t, e, "a <- runif.matrix(100, 10, 0, 1, 1)\nb <- runif.matrix(50, 10, 0, 1, 2)\nc <- a %*% t(b)")
+	if !ok {
+		t.Fatal("estimate unavailable")
+	}
+	// a: 100×10, b: 50×10, t(b) is a view (no bytes), product: 100×50.
+	want := int64(100*10*8 + 50*10*8 + 100*50*8)
+	if est.WorkBytes != want {
+		t.Errorf("WorkBytes = %d, want %d", est.WorkBytes, want)
+	}
+}
+
+func TestEstimateSeededFromEnvironment(t *testing.T) {
+	e := env(t)
+	if _, err := e.Eval("x <- runif.matrix(64, 4, 0, 1, 7)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Eval("k <- 3"); err != nil {
+		t.Fatal(err)
+	}
+	// x and k come from live bindings, not the program text.
+	est, ok := estimate(t, e, "y <- x * x\nz <- ones(k, k)\nsum(y)")
+	if !ok {
+		t.Fatal("estimate unavailable")
+	}
+	want := int64(64*4*8 + 3*3*8)
+	if est.WorkBytes != want {
+		t.Errorf("WorkBytes = %d, want %d", est.WorkBytes, want)
+	}
+}
+
+func TestEstimateUnavailable(t *testing.T) {
+	e := env(t)
+	if _, err := e.Eval("x <- runif.matrix(64, 4, 0, 1, 7)"); err != nil {
+		t.Fatal(err)
+	}
+	for _, program := range []string{
+		"y <- unknown.function(x)",              // unmodeled call
+		"z + 1",                                 // unbound identifier
+		"y <- table(x)",                         // data-dependent shape
+		"y <- runif.matrix(nosuch, 2, 0, 1, 7)", // non-constant dimension
+	} {
+		if est, ok := estimate(t, e, program); ok {
+			t.Errorf("estimate(%q) = %+v, want unavailable", program, est)
+		}
+	}
+	// A parse error is also "no estimate", not a panic.
+	if _, ok := estimate(t, e, "x <-"); ok {
+		t.Error("estimate of unparsable program reported ok")
+	}
+}
+
+func TestEstimateReductionsAndViews(t *testing.T) {
+	e := env(t)
+	est, ok := estimate(t, e, "x <- runif.matrix(200, 5, 0, 1, 7)\nrowSums(x)\ncolSums(x)\nmax(x)")
+	if !ok {
+		t.Fatal("estimate unavailable")
+	}
+	// rowSums: 200×1 printed; colSums: 1×5 printed; max: scalar text.
+	wantWork := int64(200*5*8 + 200*8 + 5*8)
+	if est.WorkBytes != wantWork {
+		t.Errorf("WorkBytes = %d, want %d", est.WorkBytes, wantWork)
+	}
+	wantRes := int64(200*8 + 5*8)
+	if est.ResultBytes != wantRes {
+		t.Errorf("ResultBytes = %d, want %d", est.ResultBytes, wantRes)
+	}
+}

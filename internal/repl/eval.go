@@ -95,9 +95,15 @@ func (e *Env) EvalStmt(src string) (Value, bool, error) {
 func (e *Env) evalNode(n node) (v Value, err error) {
 	defer func() {
 		// The flashr API panics on shape/type misuse (like R's stop());
-		// surface those as REPL errors instead of crashing the shell.
+		// surface those as REPL errors instead of crashing the shell. The
+		// panic value is a typed *flashr.Error — keep it as the error value
+		// (not just its rendering) so callers can errors.As it back out.
 		if r := recover(); r != nil {
-			err = fmt.Errorf("%v", r)
+			if e, ok := r.(error); ok {
+				err = e
+			} else {
+				err = fmt.Errorf("%v", r)
+			}
 		}
 	}()
 	return e.eval(n)

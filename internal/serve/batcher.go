@@ -15,6 +15,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	flashr "repro"
 )
 
 // Shedding and lifecycle errors surfaced to the HTTP layer.
@@ -35,9 +37,25 @@ type Request struct {
 	Program string
 	// Ctx covers the request's whole lifetime (HTTP request context).
 	Ctx context.Context
+	// V2 selects the reference-returning result shape: matrix values come
+	// back as Items carrying the FM (for the handler to pin) instead of
+	// being rendered inline into Results.
+	V2 bool
 
 	enqueued time.Time
 	resp     chan *Response
+}
+
+// ResultItem is one statement's result on the v2 surface: either rendered
+// text (scalars, strings, 1×1 reductions) or a matrix to be pinned behind a
+// result handle by the HTTP layer.
+type ResultItem struct {
+	// Show reports whether the statement prints at all (assignments do not).
+	Show bool
+	// Text is the rendered value when Mat is nil.
+	Text string
+	// Mat is the materialized matrix result (Length > 1) to pin.
+	Mat *flashr.FM
 }
 
 // Response is the per-caller answer delivered on the request's private
@@ -46,6 +64,9 @@ type Response struct {
 	// Results holds one rendered value per program statement (empty
 	// strings for statements with no printable value). Nil when Err is set.
 	Results []string
+	// Items holds the v2 per-statement results (set instead of Results for
+	// V2 requests). Nil when Err is set.
+	Items []ResultItem
 	// Err is the request-level failure (parse/eval/materialize error for
 	// this caller only; batchmates are unaffected).
 	Err error
@@ -71,7 +92,10 @@ type Batcher struct {
 	in       chan *Request
 	maxBatch int
 	maxWait  time.Duration
-	run      func(batchID string, reqs []*Request)
+	// window, when non-nil, is consulted as each batch's first request
+	// arrives and overrides maxWait for that batch (rate-adaptive batching).
+	window func() time.Duration
+	run    func(batchID string, reqs []*Request)
 
 	seq      atomic.Int64
 	stop     chan struct{}
@@ -103,6 +127,33 @@ func NewBatcher(maxBatch int, maxWait time.Duration, queueDepth int, run func(ba
 		in:       make(chan *Request, queueDepth),
 		maxBatch: maxBatch,
 		maxWait:  maxWait,
+		run:      run,
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// NewAdaptiveBatcher is NewBatcher with a rate-adaptive flush window: window
+// is consulted at the start of each batch and its result (when positive)
+// replaces maxWait for that batch. maxWait remains the fallback when window
+// returns a non-positive duration.
+func NewAdaptiveBatcher(maxBatch int, maxWait time.Duration, queueDepth int, window func() time.Duration, run func(batchID string, reqs []*Request)) *Batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if maxWait <= 0 {
+		maxWait = 2 * time.Millisecond
+	}
+	if queueDepth < 1 {
+		queueDepth = 256
+	}
+	b := &Batcher{
+		in:       make(chan *Request, queueDepth),
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		window:   window,
 		run:      run,
 		stop:     make(chan struct{}),
 		loopDone: make(chan struct{}),
@@ -153,7 +204,13 @@ func (b *Batcher) loop() {
 			return
 		}
 		batch := append(make([]*Request, 0, b.maxBatch), first)
-		timer := time.NewTimer(b.maxWait)
+		wait := b.maxWait
+		if b.window != nil {
+			if w := b.window(); w > 0 {
+				wait = w
+			}
+		}
+		timer := time.NewTimer(wait)
 	collect:
 		for len(batch) < b.maxBatch {
 			select {

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	flashr "repro"
+)
+
+// Machine-readable error codes. Every JSON error the server writes carries
+// exactly one of these in its "code" field, so clients can branch on shed
+// and reject paths without parsing English. The strings are API surface:
+// never renumber or reuse them.
+const (
+	CodeBadRequest        = "bad_request"
+	CodeUnknownSession    = "unknown_session"
+	CodeUnknownResult     = "unknown_result"
+	CodeResultReleased    = "result_released"
+	CodeResultExpired     = "result_expired"
+	CodeProgramTooLarge   = "program_too_large"
+	CodeBudgetExceeded    = "budget_exceeded"
+	CodeQuotaExceeded     = "quota_exceeded"
+	CodeInflightLimit     = "inflight_limit"
+	CodeSessionLimit      = "session_limit"
+	CodeQueueFull         = "queue_full"
+	CodeDraining          = "draining"
+	CodeAuth              = "auth"
+	CodeEvalError         = "eval_error"
+	CodeStreamUnsupported = "stream_unsupported"
+	CodeInternal          = "internal"
+)
+
+// errorEnvelope is the unified JSON error shape. Error and Code are always
+// set; Op/Shapes/Reason mirror flashr.Error for evaluation failures so the
+// HTTP surface reports the same structured fields as the public Try* API;
+// Batch/BatchSize carry the batch attribution on 422s.
+type errorEnvelope struct {
+	Error     string     `json:"error"`
+	Code      string     `json:"code"`
+	Op        string     `json:"op,omitempty"`
+	Shapes    [][2]int64 `json:"shapes,omitempty"`
+	Reason    string     `json:"reason,omitempty"`
+	Batch     string     `json:"batch,omitempty"`
+	BatchSize int        `json:"batch_size,omitempty"`
+}
+
+func writeError(w http.ResponseWriter, status int, code string, format string, args ...any) {
+	writeJSON(w, status, errorEnvelope{Error: fmt.Sprintf(format, args...), Code: code})
+}
+
+// evalEnvelope builds the envelope for a request-level evaluation failure,
+// unwrapping the typed *flashr.Error (preserved through the REPL's panic
+// recovery and the serving layer's statement wrapping) into op/shapes/reason.
+func evalEnvelope(err error, batch string, batchSize int) errorEnvelope {
+	env := errorEnvelope{Error: err.Error(), Code: CodeEvalError, Batch: batch, BatchSize: batchSize}
+	var fe *flashr.Error
+	if errors.As(err, &fe) {
+		env.Op = fe.Op
+		env.Shapes = fe.Shapes
+		env.Reason = fe.Reason
+	}
+	return env
+}

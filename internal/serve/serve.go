@@ -2,10 +2,13 @@ package serve
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -59,12 +62,38 @@ type Config struct {
 	// SessionIdle expires serving sessions idle this long
 	// (0 = DefaultSessionIdle, negative = never).
 	SessionIdle time.Duration
+	// ResultIdle expires unreleased result handles idle this long
+	// (0 = SessionIdle, negative = never). Released and expired handles
+	// linger as tombstones (answering 410) for one further ResultIdle
+	// before lookups return 404 again.
+	ResultIdle time.Duration
 	// JanitorInterval overrides the idle-sweep period (0 = SessionIdle/4
 	// clamped to [1s, 30s]).
 	JanitorInterval time.Duration
 	// TenantWeights maps tenant names to SAFS bandwidth weights for the
 	// engine's fair queueing (absent or <1 means weight 1).
 	TenantWeights map[string]int
+	// AuthTokens maps bearer tokens to tenant names. When non-empty, every
+	// /v1 and /v2 request must present Authorization: Bearer <token> and is
+	// bound to that token's tenant; when empty, authentication is off and
+	// /v1 trusts the client-asserted tenant (development mode).
+	AuthTokens map[string]string
+	// BatchWaitFloor and BatchWaitCeil enable rate-adaptive batching when
+	// BatchWaitCeil > 0: the flush window tracks an EWMA of the aggregate
+	// request arrival rate and sizes itself to the expected time for
+	// (MaxBatch-1) more arrivals, clamped to [floor, ceil]. BatchWait is
+	// then ignored. BatchWaitFloor of 0 defaults to 1ms.
+	BatchWaitFloor time.Duration
+	BatchWaitCeil  time.Duration
+	// MaxEstimatedBytes rejects programs whose statically estimated working
+	// set exceeds it with 413 before any evaluation (0 = no budget).
+	// Programs whose shapes cannot be bounded statically are admitted.
+	MaxEstimatedBytes int64
+	// MaxPinnedBytesPerTenant bounds the bytes a tenant may hold in live
+	// result handles; v2 programs whose estimated result bytes would exceed
+	// it are rejected with 413 at admission, and pinning enforces it again
+	// exactly at handle-creation time (0 = unlimited).
+	MaxPinnedBytesPerTenant int64
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +118,12 @@ func (c Config) withDefaults() Config {
 	if c.SessionIdle == 0 {
 		c.SessionIdle = DefaultSessionIdle
 	}
+	if c.ResultIdle == 0 {
+		c.ResultIdle = c.SessionIdle
+	}
+	if c.BatchWaitFloor <= 0 {
+		c.BatchWaitFloor = time.Millisecond
+	}
 	if c.JanitorInterval == 0 {
 		c.JanitorInterval = c.SessionIdle / 4
 		if c.JanitorInterval < time.Second {
@@ -109,14 +144,21 @@ type Server struct {
 	reg     *trace.Registry
 	table   *sessionTable
 	batcher *Batcher
+	results *resultTable
+	rates   *rateController
 	mux     *http.ServeMux
 
-	batches   *trace.Counter
-	batchSize *trace.Histogram
-	expired   *trace.Counter
-	accepted  atomic.Int64
-	answered  atomic.Int64
-	draining  atomic.Bool
+	batches        *trace.Counter
+	batchSize      *trace.Histogram
+	expired        *trace.Counter
+	expiredHandles *trace.Counter
+	authFailures   *trace.Counter
+	accepted       atomic.Int64
+	answered       atomic.Int64
+	draining       atomic.Bool
+	streamSeq      atomic.Int64
+	streamMu       sync.Mutex // guards draining flip vs streamWG.Add
+	streamWG       sync.WaitGroup
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
@@ -133,6 +175,8 @@ func New(cfg Config) (*Server, error) {
 		cfg:         cfg,
 		reg:         reg,
 		table:       newSessionTable(cfg.Root, cfg.TenantWeights, reg),
+		results:     newResultTable(),
+		rates:       newRateController(cfg.BatchWaitFloor, cfg.BatchWaitCeil, cfg.MaxBatch),
 		mux:         http.NewServeMux(),
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
@@ -141,20 +185,48 @@ func New(cfg Config) (*Server, error) {
 	sv.batchSize = trace.NewHistogram(1, 2, 4, 8, 16, 32, 64)
 	reg.AddHistogram("flashr_serve_batch_size", "Requests coalesced per batch.", sv.batchSize)
 	sv.expired = reg.Counter("flashr_serve_expired_sessions_total", "Serving sessions removed by idle expiry.")
+	sv.expiredHandles = reg.Counter("flashr_serve_expired_handles_total", "Result handles released by idle expiry.")
+	sv.authFailures = reg.Counter("flashr_serve_auth_failures_total", "Requests refused for missing or invalid bearer tokens.")
 	reg.CounterFunc("flashr_serve_accepted_total", "Requests accepted across all tenants.",
 		func() float64 { return float64(sv.accepted.Load()) })
 	reg.CounterFunc("flashr_serve_answered_total", "Responses delivered across all tenants.",
 		func() float64 { return float64(sv.answered.Load()) })
-	sv.batcher = NewBatcher(cfg.MaxBatch, cfg.BatchWait, cfg.QueueDepth, sv.runBatch)
+	if cfg.BatchWaitCeil > 0 {
+		sv.batcher = NewAdaptiveBatcher(cfg.MaxBatch, cfg.BatchWait, cfg.QueueDepth,
+			func() time.Duration { return sv.rates.window(time.Now()) }, sv.runBatch)
+		reg.GaugeFunc("flashr_serve_batch_window_seconds", "Current adaptive flush window.",
+			func() float64 { return sv.rates.window(time.Now()).Seconds() })
+		reg.GaugeFunc("flashr_serve_arrival_rate", "Aggregate EWMA request arrival rate (requests/s).",
+			func() float64 { return sv.rates.rate(time.Now()) })
+	} else {
+		sv.batcher = NewBatcher(cfg.MaxBatch, cfg.BatchWait, cfg.QueueDepth, sv.runBatch)
+	}
 	reg.GaugeFunc("flashr_serve_queue_depth", "Requests waiting in the accept queue.",
 		func() float64 { return float64(len(sv.batcher.in)) })
 	reg.Include(cfg.Root.Engine().Metrics())
 
-	sv.mux.HandleFunc("POST /v1/sessions", sv.handleCreateSession)
-	sv.mux.HandleFunc("GET /v1/sessions/{id}", sv.handleGetSession)
-	sv.mux.HandleFunc("DELETE /v1/sessions/{id}", sv.handleDeleteSession)
-	sv.mux.HandleFunc("POST /v1/sessions/{id}/eval", sv.handleEval)
-	sv.mux.HandleFunc("POST /v1/sessions/{id}/op", sv.handleOp)
+	// The v1 inline-rendering surface is deprecated in favor of /v2 result
+	// handles; responses say so in a Deprecation header.
+	v1 := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", `</v2>; rel="successor-version"`)
+			h(w, r)
+		}
+	}
+	sv.mux.HandleFunc("POST /v1/sessions", v1(sv.handleCreateSession))
+	sv.mux.HandleFunc("GET /v1/sessions/{id}", v1(sv.handleGetSession))
+	sv.mux.HandleFunc("DELETE /v1/sessions/{id}", v1(sv.handleDeleteSession))
+	sv.mux.HandleFunc("POST /v1/sessions/{id}/eval", v1(sv.handleEval))
+	sv.mux.HandleFunc("POST /v1/sessions/{id}/op", v1(sv.handleOp))
+	sv.mux.HandleFunc("POST /v2/sessions", sv.handleCreateSession)
+	sv.mux.HandleFunc("GET /v2/sessions/{id}", sv.handleGetSession)
+	sv.mux.HandleFunc("DELETE /v2/sessions/{id}", sv.handleDeleteSession)
+	sv.mux.HandleFunc("POST /v2/sessions/{id}/eval", sv.handleEval)
+	sv.mux.HandleFunc("POST /v2/sessions/{id}/eval/stream", sv.handleEvalStream)
+	sv.mux.HandleFunc("POST /v2/sessions/{id}/op", sv.handleOp)
+	sv.mux.HandleFunc("GET /v2/results/{h}", sv.handleFetchResult)
+	sv.mux.HandleFunc("DELETE /v2/results/{h}", sv.handleReleaseResult)
 	sv.mux.Handle("GET /metrics", trace.Handler(reg))
 	sv.mux.HandleFunc("GET /healthz", sv.handleHealthz)
 	go sv.janitor()
@@ -179,24 +251,43 @@ func (sv *Server) Answered() int64 { return sv.answered.Load() }
 // handlers block on their responses, so http.Server.Shutdown and Drain
 // together guarantee no accepted request is dropped.
 func (sv *Server) Drain(ctx context.Context) error {
+	// Flip draining under streamMu so claimStream either sees the flip or
+	// has already added itself to streamWG before we wait on it.
+	sv.streamMu.Lock()
 	sv.draining.Store(true)
+	sv.streamMu.Unlock()
 	err := sv.batcher.Drain(ctx)
+	// Streaming evals run outside the batcher; wait for them too so the
+	// accepted==answered proof covers every surface.
+	streamsDone := make(chan struct{})
+	go func() {
+		sv.streamWG.Wait()
+		close(streamsDone)
+	}()
+	select {
+	case <-streamsDone:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
 	select {
 	case <-sv.janitorDone:
 	default:
 		close(sv.janitorStop)
 		<-sv.janitorDone
 	}
+	sv.results.releaseAll()
 	return err
 }
 
 // Draining reports whether Drain has begun.
 func (sv *Server) Draining() bool { return sv.draining.Load() }
 
-// janitor sweeps idle sessions.
+// janitor sweeps idle sessions and idle result handles.
 func (sv *Server) janitor() {
 	defer close(sv.janitorDone)
-	if sv.cfg.SessionIdle < 0 {
+	if sv.cfg.SessionIdle < 0 && sv.cfg.ResultIdle < 0 {
 		<-sv.janitorStop
 		return
 	}
@@ -207,6 +298,9 @@ func (sv *Server) janitor() {
 		case <-t.C:
 			if n := sv.table.expireIdle(sv.cfg.SessionIdle); n > 0 {
 				sv.expired.Add(int64(n))
+			}
+			if n := sv.results.expireIdle(sv.cfg.ResultIdle); n > 0 {
+				sv.expiredHandles.Add(int64(n))
 			}
 		case <-sv.janitorStop:
 			return
@@ -277,10 +371,25 @@ func (sv *Server) runTenantGroup(batch string, batchSize int, tn *tenant, rs []*
 		r.Sess.mu.Unlock()
 		evs[i] = ev
 	}
-	// Phase 2: one shared flush, attributed to the batch. On error the
-	// per-request render phase re-forces and isolates the failure.
-	_ = tn.fs.FlushBatchCtx(context.Background(), batch)
-	// Phase 3: render per caller and deliver.
+	// Phase 2: one shared flush, attributed to the batch. Printable tall
+	// matrix results ride along as extra flush targets so v2 result handles
+	// materialize in the group's shared passes instead of paying their own
+	// pass at pin time. On error the per-request render phase re-forces and
+	// isolates the failure.
+	var talls []*flashr.FM
+	for _, ev := range evs {
+		if ev.err != nil {
+			continue
+		}
+		for j, v := range ev.vals {
+			if ev.show[j] && v.Mat != nil && v.Mat.Length() > 1 {
+				talls = append(talls, v.Mat)
+			}
+		}
+	}
+	_ = tn.fs.FlushBatchCtx(context.Background(), batch, talls...)
+	// Phase 3: render per caller and deliver. v1 renders matrices inline;
+	// v2 hands matrix values back as Items for the HTTP layer to pin.
 	for i, r := range rs {
 		ev := evs[i]
 		resp := &Response{
@@ -294,16 +403,28 @@ func (sv *Server) runTenantGroup(batch string, batchSize int, tn *tenant, rs []*
 			r.Sess.mu.Lock()
 			for j, v := range ev.vals {
 				if !ev.show[j] {
-					resp.Results = append(resp.Results, "")
+					if r.V2 {
+						resp.Items = append(resp.Items, ResultItem{})
+					} else {
+						resp.Results = append(resp.Results, "")
+					}
+					continue
+				}
+				if r.V2 && v.Mat != nil && v.Mat.Length() > 1 {
+					resp.Items = append(resp.Items, ResultItem{Show: true, Mat: v.Mat})
 					continue
 				}
 				out, err := r.Sess.env.Format(v)
 				if err != nil {
 					resp.Err = fmt.Errorf("statement %q: %w", ev.stmts[j], err)
-					resp.Results = nil
+					resp.Results, resp.Items = nil, nil
 					break
 				}
-				resp.Results = append(resp.Results, out)
+				if r.V2 {
+					resp.Items = append(resp.Items, ResultItem{Show: true, Text: out})
+				} else {
+					resp.Results = append(resp.Results, out)
+				}
 			}
 			r.Sess.mu.Unlock()
 		}
@@ -335,8 +456,46 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+// isV2 reports whether the request came in on the /v2 surface.
+func isV2(r *http.Request) bool { return strings.HasPrefix(r.URL.Path, "/v2/") }
+
+// authTenant resolves the request's tenant binding from its bearer token.
+// With authentication off (no configured tokens) it returns ("", true): no
+// binding, proceed. A false second return means a 401 was already written.
+func (sv *Server) authTenant(w http.ResponseWriter, r *http.Request) (string, bool) {
+	if len(sv.cfg.AuthTokens) == 0 {
+		return "", true
+	}
+	const prefix = "Bearer "
+	auth := r.Header.Get("Authorization")
+	if !strings.HasPrefix(auth, prefix) {
+		sv.authFailures.Inc()
+		writeError(w, http.StatusUnauthorized, CodeAuth, "missing bearer token")
+		return "", false
+	}
+	tenant, ok := sv.cfg.AuthTokens[strings.TrimSpace(auth[len(prefix):])]
+	if !ok {
+		sv.authFailures.Inc()
+		writeError(w, http.StatusUnauthorized, CodeAuth, "unknown bearer token")
+		return "", false
+	}
+	return tenant, true
+}
+
+// sessionFor authenticates the request and resolves its session. A token
+// bound to a different tenant sees 404, not 403: handle and session ids of
+// other tenants must be indistinguishable from nonexistent ones.
+func (sv *Server) sessionFor(w http.ResponseWriter, r *http.Request) (*Session, bool) {
+	tenant, ok := sv.authTenant(w, r)
+	if !ok {
+		return nil, false
+	}
+	s, found := sv.table.get(r.PathValue("id"))
+	if !found || (tenant != "" && s.tenant.name != tenant) {
+		writeError(w, http.StatusNotFound, CodeUnknownSession, "unknown session")
+		return nil, false
+	}
+	return s, true
 }
 
 func (sv *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -345,36 +504,50 @@ func (sv *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (sv *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	if sv.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server draining")
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "server draining")
+		return
+	}
+	authed, ok := sv.authTenant(w, r)
+	if !ok {
 		return
 	}
 	var body struct {
 		Tenant string `json:"tenant"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
 		return
 	}
-	if !validTenant(body.Tenant) {
-		writeError(w, http.StatusBadRequest, "invalid tenant name %q", body.Tenant)
+	tenant := body.Tenant
+	if authed != "" {
+		// With auth on the token decides the tenant; a mismatched body
+		// assertion is an authorization error, not a quiet override.
+		if tenant != "" && tenant != authed {
+			sv.authFailures.Inc()
+			writeError(w, http.StatusForbidden, CodeAuth, "token is not for tenant %q", tenant)
+			return
+		}
+		tenant = authed
+	}
+	if !validTenant(tenant) {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "invalid tenant name %q", tenant)
 		return
 	}
-	s, err := sv.table.create(body.Tenant, sv.cfg.MaxSessionsPerTenant)
+	s, err := sv.table.create(tenant, sv.cfg.MaxSessionsPerTenant)
 	if errors.Is(err, errSessionLimit) {
-		writeError(w, http.StatusTooManyRequests, "tenant %q at its session limit", body.Tenant)
+		writeError(w, http.StatusTooManyRequests, CodeSessionLimit, "tenant %q at its session limit", tenant)
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"session": s.ID, "tenant": body.Tenant})
+	writeJSON(w, http.StatusOK, map[string]string{"session": s.ID, "tenant": tenant})
 }
 
 func (sv *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
-	s, ok := sv.table.get(r.PathValue("id"))
+	s, ok := sv.sessionFor(w, r)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown session")
 		return
 	}
 	s.mu.Lock()
@@ -384,59 +557,98 @@ func (sv *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 }
 
 func (sv *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
-	if !sv.table.remove(r.PathValue("id")) {
-		writeError(w, http.StatusNotFound, "unknown session")
+	if _, ok := sv.sessionFor(w, r); !ok {
 		return
 	}
+	sv.table.remove(r.PathValue("id"))
 	w.WriteHeader(http.StatusNoContent)
 }
 
 func (sv *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	s, ok := sv.sessionFor(w, r)
+	if !ok {
+		return
+	}
 	var body struct {
 		Program string `json:"program"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
 		return
 	}
-	sv.execute(w, r, body.Program)
+	sv.execute(w, r, s, body.Program)
 }
 
 func (sv *Server) handleOp(w http.ResponseWriter, r *http.Request) {
+	s, ok := sv.sessionFor(w, r)
+	if !ok {
+		return
+	}
 	var op OpRequest
 	if err := json.NewDecoder(r.Body).Decode(&op); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
 		return
 	}
 	prog, err := op.Program()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
-	sv.execute(w, r, prog)
+	sv.execute(w, r, s, prog)
 }
 
-// execute runs one program through the batcher for the session in the URL
-// and writes the response, applying the shed ladder: unknown session,
-// oversized program, tenant in-flight quota, drain, accept-queue bound.
-func (sv *Server) execute(w http.ResponseWriter, r *http.Request, program string) {
-	s, ok := sv.table.get(r.PathValue("id"))
-	if !ok {
-		writeError(w, http.StatusNotFound, "unknown session")
-		return
-	}
+// admit applies the pre-eval shed ladder shared by batched and streaming
+// eval: program size, static byte budgets (the FlashR premise that shapes
+// are known before any data moves makes this a pre-evaluation check — a
+// refused program has run zero materialization passes), and the tenant
+// in-flight quota. Returns false once a refusal has been written.
+func (sv *Server) admit(w http.ResponseWriter, s *Session, program string, v2 bool) bool {
 	tn := s.tenant
 	if len(program) > sv.cfg.MaxProgramBytes {
 		tn.shed["program_too_large"].Inc()
-		writeError(w, http.StatusRequestEntityTooLarge, "program exceeds %d bytes", sv.cfg.MaxProgramBytes)
-		return
+		writeError(w, http.StatusRequestEntityTooLarge, CodeProgramTooLarge,
+			"program exceeds %d bytes", sv.cfg.MaxProgramBytes)
+		return false
+	}
+	if sv.cfg.MaxEstimatedBytes > 0 || (v2 && sv.cfg.MaxPinnedBytesPerTenant > 0) {
+		s.mu.Lock()
+		est, ok := s.env.EstimateProgram(splitProgram(program))
+		s.mu.Unlock()
+		if ok {
+			if max := sv.cfg.MaxEstimatedBytes; max > 0 && est.WorkBytes > max {
+				tn.shed["budget_exceeded"].Inc()
+				writeError(w, http.StatusRequestEntityTooLarge, CodeBudgetExceeded,
+					"estimated working set %d bytes exceeds budget %d", est.WorkBytes, max)
+				return false
+			}
+			if q := sv.cfg.MaxPinnedBytesPerTenant; v2 && q > 0 && tn.pinned.Load()+est.ResultBytes > q {
+				tn.shed["quota_exceeded"].Inc()
+				writeError(w, http.StatusRequestEntityTooLarge, CodeQuotaExceeded,
+					"estimated result bytes %d exceed tenant pinned quota %d (%d pinned)",
+					est.ResultBytes, q, tn.pinned.Load())
+				return false
+			}
+		}
 	}
 	if max := sv.cfg.MaxInflightPerTenant; max > 0 && tn.inflight.Load() >= int64(max) {
 		tn.shed["inflight_limit"].Inc()
-		writeError(w, http.StatusTooManyRequests, "tenant %q at its in-flight limit", tn.name)
+		writeError(w, http.StatusTooManyRequests, CodeInflightLimit,
+			"tenant %q at its in-flight limit", tn.name)
+		return false
+	}
+	return true
+}
+
+// execute runs one program through the batcher for the session and writes
+// the response, applying the shed ladder: oversized program, byte budgets,
+// tenant in-flight quota, drain, accept-queue bound.
+func (sv *Server) execute(w http.ResponseWriter, r *http.Request, s *Session, program string) {
+	v2 := isV2(r)
+	tn := s.tenant
+	if !sv.admit(w, s, program, v2) {
 		return
 	}
-	req := &Request{Sess: s, Program: program, Ctx: r.Context()}
+	req := &Request{Sess: s, Program: program, Ctx: r.Context(), V2: v2}
 	// Claim the session's in-flight slot before Submit: once the request is
 	// queued the idle janitor must already see the session as busy, or a
 	// sweep between Submit and the batch finishing could expire it under us.
@@ -448,16 +660,17 @@ func (sv *Server) execute(w http.ResponseWriter, r *http.Request, program string
 	switch {
 	case errors.Is(err, ErrDraining):
 		tn.shed["draining"].Inc()
-		writeError(w, http.StatusServiceUnavailable, "server draining")
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "server draining")
 		return
 	case errors.Is(err, ErrQueueFull):
 		tn.shed["queue_full"].Inc()
-		writeError(w, http.StatusTooManyRequests, "accept queue full")
+		writeError(w, http.StatusTooManyRequests, CodeQueueFull, "accept queue full")
 		return
 	case err != nil:
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
 		return
 	}
+	sv.rates.observe(tn.name, time.Now())
 	tn.inflight.Add(1)
 	tn.requests.Inc()
 	sv.accepted.Add(1)
@@ -469,20 +682,337 @@ func (sv *Server) execute(w http.ResponseWriter, r *http.Request, program string
 	tn.latency.Observe(time.Since(req.enqueued).Seconds())
 	if resp.Err != nil {
 		tn.errors.Inc()
-		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
-			"error":      resp.Err.Error(),
-			"batch":      resp.BatchID,
-			"batch_size": resp.BatchSize,
+		writeJSON(w, http.StatusUnprocessableEntity, evalEnvelope(resp.Err, resp.BatchID, resp.BatchSize))
+		return
+	}
+	if !v2 {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"results":       resp.Results,
+			"batch":         resp.BatchID,
+			"batch_size":    resp.BatchSize,
+			"queue_wait_ms": float64(resp.QueueWait) / float64(time.Millisecond),
+			"exec_ms":       float64(resp.Exec) / float64(time.Millisecond),
 		})
 		return
 	}
+	results, errEnv := sv.renderItems(r.Context(), tn, resp.Items)
+	if errEnv != nil {
+		if errEnv.Code == CodeQuotaExceeded {
+			tn.shed["quota_exceeded"].Inc()
+			writeJSON(w, http.StatusRequestEntityTooLarge, *errEnv)
+		} else {
+			writeJSON(w, http.StatusInternalServerError, *errEnv)
+		}
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"results":       resp.Results,
+		"results":       results,
 		"batch":         resp.BatchID,
 		"batch_size":    resp.BatchSize,
 		"queue_wait_ms": float64(resp.QueueWait) / float64(time.Millisecond),
 		"exec_ms":       float64(resp.Exec) / float64(time.Millisecond),
 	})
+}
+
+// renderItems turns v2 result items into response entries, pinning matrix
+// results behind handles. On failure every handle already created for this
+// response is released again — a response either hands out all its
+// references or none.
+func (sv *Server) renderItems(ctx context.Context, tn *tenant, items []ResultItem) ([]any, *errorEnvelope) {
+	results := make([]any, 0, len(items))
+	var created []*handle
+	undo := func() {
+		for _, h := range created {
+			h.release(CodeResultReleased)
+		}
+	}
+	for _, it := range items {
+		switch {
+		case !it.Show:
+			results = append(results, nil)
+		case it.Mat == nil:
+			results = append(results, map[string]any{"type": "value", "text": it.Text})
+		default:
+			pr, err := it.Mat.PinCtx(ctx)
+			if err != nil {
+				undo()
+				env := evalEnvelope(err, "", 0)
+				env.Code = CodeInternal
+				return nil, &env
+			}
+			h, err := sv.results.put(tn, pr, sv.cfg.MaxPinnedBytesPerTenant)
+			if errors.Is(err, errPinnedQuota) {
+				undo()
+				return nil, &errorEnvelope{
+					Error: fmt.Sprintf("pinning result would exceed tenant pinned quota %d bytes", sv.cfg.MaxPinnedBytesPerTenant),
+					Code:  CodeQuotaExceeded,
+				}
+			}
+			if err != nil {
+				undo()
+				return nil, &errorEnvelope{Error: err.Error(), Code: CodeInternal}
+			}
+			created = append(created, h)
+			results = append(results, map[string]any{
+				"type":   "matrix",
+				"handle": h.id,
+				"nrow":   h.nrow,
+				"ncol":   h.ncol,
+				"bytes":  h.bytes,
+			})
+		}
+	}
+	return results, nil
+}
+
+// ---- streaming eval ----
+
+// claimStream registers a streaming request with the drain accounting. The
+// same lock that Drain takes to flip draining guards the WaitGroup add, so
+// a stream is either refused or waited for — never dropped mid-flight.
+func (sv *Server) claimStream() bool {
+	sv.streamMu.Lock()
+	defer sv.streamMu.Unlock()
+	if sv.draining.Load() {
+		return false
+	}
+	sv.streamWG.Add(1)
+	return true
+}
+
+// handleEvalStream evaluates a program statement by statement, emitting
+// NDJSON events as each statement's results materialize: per-statement
+// "progress" events carry the pass and byte deltas from MaterializeStats,
+// "stmt" events carry the rendered value or result handle, and the stream
+// ends with "done" (or a terminal "error" event). Statements flush
+// individually — a long program streams results as they compute instead of
+// answering all at once — at the price of not coalescing with batchmates.
+func (sv *Server) handleEvalStream(w http.ResponseWriter, r *http.Request) {
+	s, ok := sv.sessionFor(w, r)
+	if !ok {
+		return
+	}
+	var body struct {
+		Program string `json:"program"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeError(w, http.StatusInternalServerError, CodeStreamUnsupported, "response writer cannot stream")
+		return
+	}
+	if !sv.admit(w, s, body.Program, true) {
+		return
+	}
+	tn := s.tenant
+	if !sv.claimStream() {
+		tn.shed["draining"].Inc()
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "server draining")
+		return
+	}
+	defer sv.streamWG.Done()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	tn.inflight.Add(1)
+	defer tn.inflight.Add(-1)
+	tn.requests.Inc()
+	sv.accepted.Add(1)
+	defer sv.answered.Add(1)
+	start := time.Now()
+	defer func() { tn.latency.Observe(time.Since(start).Seconds()) }()
+	sv.rates.observe(tn.name, start)
+
+	batch := "s" + strconv.FormatInt(sv.streamSeq.Add(1), 10)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	emit := func(v any) {
+		_ = enc.Encode(v)
+		fl.Flush()
+	}
+	fail := func(i int, err error) {
+		tn.errors.Inc()
+		env := evalEnvelope(err, batch, 1)
+		emit(map[string]any{
+			"event": "error", "index": i, "error": env.Error, "code": env.Code,
+			"op": env.Op, "shapes": env.Shapes, "reason": env.Reason,
+		})
+	}
+	stmts := splitProgram(body.Program)
+	for i, stmt := range stmts {
+		before := tn.fs.TotalMaterializeStats()
+		s.mu.Lock()
+		v, show, err := s.env.EvalStmt(stmt)
+		s.mu.Unlock()
+		if err != nil {
+			fail(i, fmt.Errorf("statement %q: %w", stmt, err))
+			return
+		}
+		var talls []*flashr.FM
+		isMat := show && v.Mat != nil && v.Mat.Length() > 1
+		if isMat {
+			talls = append(talls, v.Mat)
+		}
+		if err := tn.fs.FlushBatchCtx(r.Context(), batch, talls...); err != nil {
+			fail(i, fmt.Errorf("statement %q: %w", stmt, err))
+			return
+		}
+		after := tn.fs.TotalMaterializeStats()
+		emit(map[string]any{
+			"event": "progress", "index": i,
+			"passes":        after.Passes - before.Passes,
+			"bytes_read":    after.BytesRead - before.BytesRead,
+			"bytes_written": after.BytesWritten - before.BytesWritten,
+		})
+		var result any
+		switch {
+		case !show:
+			result = nil
+		case isMat:
+			items := []ResultItem{{Show: true, Mat: v.Mat}}
+			rendered, errEnv := sv.renderItems(r.Context(), tn, items)
+			if errEnv != nil {
+				tn.errors.Inc()
+				emit(map[string]any{"event": "error", "index": i, "error": errEnv.Error, "code": errEnv.Code})
+				return
+			}
+			result = rendered[0]
+		default:
+			s.mu.Lock()
+			out, ferr := s.env.Format(v)
+			s.mu.Unlock()
+			if ferr != nil {
+				fail(i, fmt.Errorf("statement %q: %w", stmt, ferr))
+				return
+			}
+			result = map[string]any{"type": "value", "text": out}
+		}
+		emit(map[string]any{"event": "stmt", "index": i, "result": result})
+	}
+	s.touch()
+	emit(map[string]any{"event": "done", "stmts": len(stmts), "batch": batch,
+		"exec_ms": float64(time.Since(start)) / float64(time.Millisecond)})
+}
+
+// ---- result handles ----
+
+// resultFor authenticates the request and resolves its handle; like
+// sessionFor, other tenants' handles are indistinguishable from unknown ones.
+func (sv *Server) resultFor(w http.ResponseWriter, r *http.Request) (*handle, bool) {
+	tenant, ok := sv.authTenant(w, r)
+	if !ok {
+		return nil, false
+	}
+	h, found := sv.results.get(r.PathValue("h"))
+	if !found || (tenant != "" && h.tenant.name != tenant) {
+		writeError(w, http.StatusNotFound, CodeUnknownResult, "unknown result handle")
+		return nil, false
+	}
+	return h, true
+}
+
+// fetchChunkRows bounds how many rows one read against the pinned store
+// pulls at a time while streaming a fetch response.
+const fetchChunkRows = 1024
+
+func (sv *Server) handleFetchResult(w http.ResponseWriter, r *http.Request) {
+	h, ok := sv.resultFor(w, r)
+	if !ok {
+		return
+	}
+	lo, hi := int64(0), h.nrow
+	if q := r.URL.Query().Get("rows"); q != "" {
+		a, b, err := parseRowRange(q, h.nrow)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+			return
+		}
+		lo, hi = a, b
+	}
+	format := r.URL.Query().Get("format")
+	if format != "" && format != "ndjson" && format != "bin" {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "unknown format %q (want ndjson or bin)", format)
+		return
+	}
+	// acquire/finish bracket the reads: a concurrent release (client DELETE
+	// or the idle janitor) marks the handle released but the pin itself only
+	// drops after finish — a fetch never reads freed memory.
+	if code, live := h.acquire(); !live {
+		writeError(w, http.StatusGone, code, "result handle %s", strings.ReplaceAll(code, "_", " "))
+		return
+	}
+	defer h.finish()
+	if format == "bin" {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Flashr-Rows", strconv.FormatInt(hi-lo, 10))
+		w.Header().Set("X-Flashr-Cols", strconv.FormatInt(h.ncol, 10))
+		w.WriteHeader(http.StatusOK)
+		for at := lo; at < hi; at += fetchChunkRows {
+			end := at + fetchChunkRows
+			if end > hi {
+				end = hi
+			}
+			d, err := h.pr.Rows(at, end)
+			if err != nil {
+				return // headers are gone; the truncated body fails checks client-side
+			}
+			if err := binary.Write(w, binary.LittleEndian, d.Data); err != nil {
+				return
+			}
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for at := lo; at < hi; at += fetchChunkRows {
+		end := at + fetchChunkRows
+		if end > hi {
+			end = hi
+		}
+		d, err := h.pr.Rows(at, end)
+		if err != nil {
+			return
+		}
+		for i := int64(0); i < end-at; i++ {
+			row := d.Data[i*h.ncol : (i+1)*h.ncol]
+			if err := enc.Encode(map[string]any{"row": at + i, "values": row}); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (sv *Server) handleReleaseResult(w http.ResponseWriter, r *http.Request) {
+	h, ok := sv.resultFor(w, r)
+	if !ok {
+		return
+	}
+	h.release(CodeResultReleased) // idempotent: releasing twice is a no-op
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// parseRowRange parses "a:b" as the half-open row range [a, b).
+func parseRowRange(s string, nrow int64) (int64, int64, error) {
+	a, b, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("rows must be a:b, got %q", s)
+	}
+	lo, err := strconv.ParseInt(a, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("rows lower bound %q: %v", a, err)
+	}
+	hi, err := strconv.ParseInt(b, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("rows upper bound %q: %v", b, err)
+	}
+	if lo < 0 || hi > nrow || lo > hi {
+		return 0, 0, fmt.Errorf("rows [%d:%d) out of range for %d rows", lo, hi, nrow)
+	}
+	return lo, hi, nil
 }
 
 // validTenant restricts tenant names to a metrics- and filesystem-safe set.

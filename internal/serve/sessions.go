@@ -25,6 +25,8 @@ type tenant struct {
 
 	inflight atomic.Int64 // requests accepted and not yet answered
 	sessions atomic.Int64 // live serving sessions
+	pinned   atomic.Int64 // bytes held by live result handles
+	handles  atomic.Int64 // live result handles
 
 	requests *trace.Counter
 	errors   *trace.Counter
@@ -114,6 +116,10 @@ func (t *sessionTable) tenantFor(name string) (*tenant, error) {
 		func() float64 { return float64(tn.inflight.Load()) }, lbl)
 	tr.GaugeFunc("flashr_serve_sessions", "Live serving sessions.",
 		func() float64 { return float64(tn.sessions.Load()) }, lbl)
+	tr.GaugeFunc("flashr_serve_pinned_bytes", "Bytes held by live result handles.",
+		func() float64 { return float64(tn.pinned.Load()) }, lbl)
+	tr.GaugeFunc("flashr_serve_result_handles", "Live result handles.",
+		func() float64 { return float64(tn.handles.Load()) }, lbl)
 	// The tenant's engine-pass totals, labeled owner=<tenant>: the series
 	// the smoke test compares against requests to prove coalescing.
 	core.RegisterStatsMetrics(tr, name, tn.fs.TotalMaterializeStats)
@@ -124,7 +130,10 @@ func (t *sessionTable) tenantFor(name string) (*tenant, error) {
 
 // shedReasons enumerates the shed counter's reason label values so every
 // series exists from the tenant's first scrape.
-var shedReasons = []string{"queue_full", "inflight_limit", "session_limit", "draining", "program_too_large"}
+var shedReasons = []string{
+	"queue_full", "inflight_limit", "session_limit", "draining",
+	"program_too_large", "budget_exceeded", "quota_exceeded",
+}
 
 // create builds a serving session for the tenant, enforcing the per-tenant
 // session quota.

@@ -1007,7 +1007,7 @@ func GetRows(x *FM, idx []int64) (*dense.Dense, error) {
 		}
 		return out, nil
 	}
-	if err := x.Materialize(); err != nil {
+	if err := x.MaterializeCtx(context.Background()); err != nil {
 		return nil, err
 	}
 	st := x.big.Store()

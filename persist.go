@@ -287,7 +287,7 @@ func (s *Session) SetNamed(x *FM, name string) error {
 		}
 		s.fs.Remove(metaName(name))
 	}
-	if err := s.SaveNamed(x, name); err != nil {
+	if err := s.SaveNamedCtx(context.Background(), x, name); err != nil {
 		return err
 	}
 	for _, m := range old {

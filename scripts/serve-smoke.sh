@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # serve-smoke: end-to-end check of the flashr-serve batching service.
 #
-# Boots flashr-serve on a throttled tiny SSD array, drives it with concurrent
-# clients across two tenants, then asserts from the server's own metrics that
-# (1) request batching coalesced work — materialization passes < requests per
-# tenant, (2) tenants progressed fairly — max/min tenant throughput ≤ 3×, and
-# (3) a SIGTERM drain answers every accepted request and exits 0.
+# Boots flashr-serve on a throttled tiny SSD array with bearer-token auth and
+# an admission byte budget, drives it with concurrent clients across two
+# tenants, then asserts (1) request batching coalesced work — materialization
+# passes < requests per tenant, (2) tenants progressed fairly — max/min tenant
+# throughput ≤ 3×, (3) tokenless requests are refused with 401, (4) a v2
+# result handle round-trips: eval → handle → row fetch → release → 410,
+# (5) an over-budget program is rejected 413 before evaluation, (6) streaming
+# eval emits NDJSON progress/stmt/done events, and (7) a SIGTERM drain answers
+# every accepted request and exits 0.
 set -euo pipefail
 
 CLIENTS=${CLIENTS:-8}
@@ -19,9 +23,11 @@ cd "$(dirname "$0")/.."
 go build -o "$WORK/flashr-serve" ./cmd/flashr-serve
 go build -o "$WORK/flashr-loadgen" ./cmd/flashr-loadgen
 
+TOKENS="tenant-0=tok0,tenant-1=tok1"
 "$WORK/flashr-serve" -addr "127.0.0.1:$PORT" \
   -ssd-root "$WORK/array" -drives 2 -read-mbps 300 -write-mbps 300 \
-  -batch-wait 25ms -session-idle 5m > "$WORK/serve.log" 2>&1 &
+  -batch-wait 25ms -session-idle 5m \
+  -auth-tokens "$TOKENS" -max-est-mb 1 > "$WORK/serve.log" 2>&1 &
 SRV=$!
 trap 'kill -9 $SRV 2>/dev/null || true' EXIT
 
@@ -31,7 +37,7 @@ for _ in $(seq 1 100); do
 done
 curl -sf "$ADDR/healthz" > /dev/null
 
-"$WORK/flashr-loadgen" -addr "$ADDR" \
+"$WORK/flashr-loadgen" -addr "$ADDR" -auth "$TOKENS" \
   -tenants "$TENANTS" -clients "$CLIENTS" -requests "$REQUESTS" \
   | tee "$WORK/loadgen.out"
 
@@ -69,7 +75,72 @@ awk -v r="$ratio" 'BEGIN { exit !(r <= 3.0) }' || {
 }
 echo "smoke: fairness ratio $ratio within 3x"
 
-# (3) Graceful drain: SIGTERM must flush in-flight work, answer everything
+# (3) Auth: a tokenless request must be refused with 401 and code "auth".
+code=$(curl -s -o "$WORK/noauth.out" -w '%{http_code}' -X POST "$ADDR/v2/sessions" -d '{}')
+if [ "$code" != "401" ] || ! grep -q '"code":"auth"' "$WORK/noauth.out"; then
+  echo "smoke: FAIL: tokenless session create got HTTP $code ($(cat "$WORK/noauth.out"))" >&2
+  exit 1
+fi
+echo "smoke: tokenless request refused with 401 auth"
+
+AUTH="Authorization: Bearer tok0"
+
+# (4) v2 result-handle round-trip: eval returns {handle, nrow, ncol, bytes}
+# instead of inline values; row-range fetches stream the pinned rows; release
+# frees the handle and further fetches answer 410 result_released.
+sid=$(curl -sf -H "$AUTH" -X POST "$ADDR/v2/sessions" -d '{}' \
+  | sed -n 's/.*"session":"\([^"]*\)".*/\1/p')
+if [ -z "$sid" ]; then
+  echo "smoke: FAIL: v2 session create returned no id" >&2
+  exit 1
+fi
+curl -sf -H "$AUTH" -X POST "$ADDR/v2/sessions/$sid/eval" \
+  -d '{"program":"m <- runif.matrix(300, 3, 1, 1, 7)\nm"}' > "$WORK/v2eval.out"
+h=$(sed -n 's/.*"handle":"\([^"]*\)".*/\1/p' "$WORK/v2eval.out")
+if [ -z "$h" ] || ! grep -q '"nrow":300' "$WORK/v2eval.out"; then
+  echo "smoke: FAIL: v2 eval returned no 300-row handle: $(cat "$WORK/v2eval.out")" >&2
+  exit 1
+fi
+rows=$(curl -sf -H "$AUTH" "$ADDR/v2/results/$h?rows=0:5" | wc -l)
+if [ "$rows" -ne 5 ]; then
+  echo "smoke: FAIL: row fetch returned $rows NDJSON rows, want 5" >&2
+  exit 1
+fi
+curl -sf -H "$AUTH" -X DELETE "$ADDR/v2/results/$h"
+code=$(curl -s -o "$WORK/gone.out" -w '%{http_code}' -H "$AUTH" "$ADDR/v2/results/$h")
+if [ "$code" != "410" ] || ! grep -q '"code":"result_released"' "$WORK/gone.out"; then
+  echo "smoke: FAIL: fetch after release got HTTP $code ($(cat "$WORK/gone.out"))" >&2
+  exit 1
+fi
+echo "smoke: v2 handle round-trip (eval -> fetch -> release -> 410) OK"
+
+# (5) Admission budget: a program whose statically estimated working set
+# exceeds -max-est-mb is refused 413 before any evaluation.
+code=$(curl -s -o "$WORK/budget.out" -w '%{http_code}' -H "$AUTH" \
+  -X POST "$ADDR/v2/sessions/$sid/eval" \
+  -d '{"program":"big <- runif.matrix(1000000, 10, 0, 1, 7)\nsum(big)"}')
+if [ "$code" != "413" ] || ! grep -q '"code":"budget_exceeded"' "$WORK/budget.out"; then
+  echo "smoke: FAIL: over-budget program got HTTP $code ($(cat "$WORK/budget.out"))" >&2
+  exit 1
+fi
+echo "smoke: over-budget program refused with 413 budget_exceeded"
+
+# (6) Streaming eval: NDJSON events arrive in progress/stmt/done order.
+curl -sfN -H "$AUTH" -X POST "$ADDR/v2/sessions/$sid/eval/stream" \
+  -d '{"program":"sum(m)"}' > "$WORK/stream.out"
+for ev in progress stmt done; do
+  grep -q "\"event\":\"$ev\"" "$WORK/stream.out" || {
+    echo "smoke: FAIL: stream missing $ev event: $(cat "$WORK/stream.out")" >&2
+    exit 1
+  }
+done
+grep -q '\[1\] 900' "$WORK/stream.out" || {
+  echo "smoke: FAIL: streamed sum(m) did not render [1] 900: $(cat "$WORK/stream.out")" >&2
+  exit 1
+}
+echo "smoke: streaming eval emitted progress/stmt/done with the right value"
+
+# (7) Graceful drain: SIGTERM must flush in-flight work, answer everything
 # accepted, and exit 0. The server prints the accepted/answered accounting
 # and exits nonzero itself if they disagree.
 kill -TERM "$SRV"

@@ -502,8 +502,10 @@ func (s *Session) deferSink(k *core.Sink) {
 }
 
 // Flush materializes every pending sink now. It is FlushCtx with
-// context.Background(); prefer FlushCtx in code that must honor
-// cancellation.
+// context.Background().
+//
+// Deprecated: prefer FlushCtx, which honors cancellation; Flush is kept for
+// source compatibility.
 func (s *Session) Flush() error { return s.FlushCtx(context.Background()) }
 
 // FlushCtx materializes every pending sink under ctx: the session's batch
@@ -516,8 +518,20 @@ func (s *Session) FlushCtx(ctx context.Context) error { return s.flushCtx(ctx) }
 // MaterializeStats and trace metadata name the coalesced request batch it
 // materialized for. Serving front-ends use this to prove (and debug) that
 // N client requests became fewer than N engine passes.
-func (s *Session) FlushBatchCtx(ctx context.Context, batch string) error {
-	return s.flushBatchCtx(ctx, batch)
+//
+// Tall matrix results the batch intends to hand out (result handles) may be
+// passed as extra targets: still-virtual tall matrices among them
+// materialize in the same shared passes as the batch's sinks, so returning a
+// reference to a matrix-valued result costs no pass of its own. Transposed
+// views, small matrices, and already-materialized talls are skipped.
+func (s *Session) FlushBatchCtx(ctx context.Context, batch string, results ...*FM) error {
+	var talls []*core.Mat
+	for _, x := range results {
+		if x != nil && x.big != nil && !x.trans {
+			talls = append(talls, x.big)
+		}
+	}
+	return s.flushBatchCtx(ctx, batch, talls...)
 }
 
 // materializeNow submits one pass to the engine under this session's owner
