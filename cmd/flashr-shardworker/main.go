@@ -37,8 +37,9 @@ func main() {
 		drives    = flag.Int("drives", 4, "simulated SSD count")
 		readMBps  = flag.Float64("read-mbps", 0, "SSD read throttle (0 = unthrottled)")
 		writeMBps = flag.Float64("write-mbps", 0, "SSD write throttle")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this extra address")
-		drainWait = flag.Duration("drain-wait", 30*time.Second, "graceful shutdown budget before forced exit")
+		debugAddr  = flag.String("debug-addr", "", "serve /metrics and /debug/pprof/ on this extra address")
+		drainWait  = flag.Duration("drain-wait", 30*time.Second, "graceful shutdown budget before forced exit")
+		rebindWait = flag.Duration("rebind-wait", 5*time.Second, "keep retrying the listen bind for this long (a restarted worker may race its predecessor's port)")
 	)
 	flag.Parse()
 
@@ -75,11 +76,15 @@ func main() {
 	}
 
 	srv, err := shard.NewServer(*listen, w)
+	for deadline := time.Now().Add(*rebindWait); err != nil && time.Now().Before(deadline); {
+		time.Sleep(100 * time.Millisecond)
+		srv, err = shard.NewServer(*listen, w)
+	}
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("flashr-shardworker: %s — listening on %s (part-rows=%d)\n",
-		mode, srv.Addr(), w.Engine().PartRows())
+	fmt.Printf("flashr-shardworker: %s — listening on %s (part-rows=%d boot=%x)\n",
+		mode, srv.Addr(), w.Engine().PartRows(), w.Boot())
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
@@ -95,7 +100,8 @@ func main() {
 	srv.Drain()
 	watchdog.Stop()
 	acc, ans := srv.Accepted(), srv.Answered()
-	fmt.Printf("flashr-shardworker: drained accepted=%d answered=%d\n", acc, ans)
+	fmt.Printf("flashr-shardworker: drained accepted=%d answered=%d fenced=%d adoptions=%d\n",
+		acc, ans, w.FenceRejects(), w.Adoptions())
 	if acc != ans {
 		fmt.Fprintf(os.Stderr, "flashr-shardworker: drain lost %d accepted requests\n", acc-ans)
 		os.Exit(1)

@@ -6,6 +6,10 @@ import (
 	"math/rand"
 	"path/filepath"
 	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shard"
 )
 
 // Differential equivalence harness for the hash-consed engine: a seeded
@@ -44,6 +48,17 @@ type equivConfig struct {
 	// (carry-seeded cumulative folds included), with only the float
 	// aggregation fold in the tolerance channel.
 	shards int
+	// Crash schedule: kill -9 + restart worker crashWorker before/after the
+	// Nth exec it receives (1-based). The coordinator must fence, replay
+	// lineage, and still fingerprint bit-identically — the recovery path is
+	// held to the same equivalence gate as the happy path.
+	crashWorker int
+	crashBefore []int64
+	crashAfter  []int64
+}
+
+func (c equivConfig) hasCrash() bool {
+	return len(c.crashBefore)+len(c.crashAfter) > 0
 }
 
 func equivGrid(em bool) []equivConfig {
@@ -95,6 +110,17 @@ func shardGrid() []equivConfig {
 		{name: "shard=4/cache", fuse: FuseCache, shards: 4},
 		{name: "shard=2/cse-off", fuse: FuseCache, disableCSE: true, shards: 2},
 		{name: "shard=2/fuse=none", fuse: FuseNone, shards: 2},
+		// Crash-schedule axis: a seeded worker kill/restart at exec
+		// boundaries must not perturb a single bit of the fingerprint.
+		// Crashing workers are limited to 0 and 1 — with the minimum program
+		// size (n ≥ 300, part-rows 256) only the first two workers are
+		// guaranteed rows, and a schedule that never fires is asserted fatal.
+		{name: "shard=2/crash-w1-before-exec1", fuse: FuseCache, shards: 2,
+			crashWorker: 1, crashBefore: []int64{1}},
+		{name: "shard=2/crash-w0-after-exec1", fuse: FuseCache, shards: 2,
+			crashWorker: 0, crashAfter: []int64{1}},
+		{name: "shard=4/crash-w1-before-exec2", fuse: FuseCache, shards: 4,
+			crashWorker: 1, crashBefore: []int64{2}},
 	}
 }
 
@@ -281,8 +307,29 @@ func checkEquivalenceGrid(t testing.TB, seed int64, grid []equivConfig) {
 			DisableRewriteAggFold:   cfg.noFold,
 			DisableRewriteDCE:       cfg.noDCE,
 		}
+		var chaos []*shard.ChaosTransport
 		if cfg.shards > 0 {
-			opts.Sharding = &ShardConfig{Shards: cfg.shards}
+			sc := ShardConfig{Shards: cfg.shards}
+			if cfg.hasCrash() {
+				sc.Retries = 8
+				sc.RetryBackoff = time.Millisecond
+				sc.WrapTransport = func(wi int, tr shard.Transport) shard.Transport {
+					if wi != cfg.crashWorker {
+						return tr
+					}
+					ct, err := shard.NewChaosTransport(tr, shard.ChaosConfig{
+						Worker:          core.Config{Workers: opts.Workers, PartRows: opts.PartRows},
+						CrashBeforeExec: cfg.crashBefore,
+						CrashAfterExec:  cfg.crashAfter,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					chaos = append(chaos, ct)
+					return ct
+				}
+			}
+			opts.Sharding = &sc
 		}
 		if cfg.em {
 			dir := t.(interface{ TempDir() string }).TempDir()
@@ -359,6 +406,24 @@ func checkEquivalenceGrid(t testing.TB, seed int64, grid []equivConfig) {
 		}
 		if cfg.shards == 0 && ms.ShardPasses != 0 {
 			t.Fatalf("seed %d [%s]: local session recorded %d shard passes", seed, cfg.name, ms.ShardPasses)
+		}
+		// A crash schedule that never fires tests nothing: every chaos
+		// transport must have crashed at least once, and the coordinator must
+		// have recovered (fenced, re-helloed, replayed) at least as often.
+		if cfg.hasCrash() {
+			if len(chaos) == 0 {
+				t.Fatalf("seed %d [%s]: crash schedule configured but no chaos transport installed", seed, cfg.name)
+			}
+			var crashes int64
+			for _, ct := range chaos {
+				crashes += ct.Crashes()
+			}
+			if crashes == 0 {
+				t.Fatalf("seed %d [%s]: crash schedule never fired", seed, cfg.name)
+			}
+			if rec := s.Coordinator().Recoveries(); rec < crashes {
+				t.Fatalf("seed %d [%s]: %d crashes but only %d recoveries", seed, cfg.name, crashes, rec)
+			}
 		}
 		if ref == nil {
 			refName, ref, refTol = cfg.name, fp1, tol1

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
+	"time"
 
 	flashr "repro"
 	"repro/internal/dense"
@@ -61,6 +63,13 @@ func Shard(cfg Config) ([]Row, error) {
 			sc := flashr.ShardConfig{}
 			if len(cfg.ShardAddrs) > 0 {
 				sc.Addrs = cfg.ShardAddrs
+				// Real worker processes can be killed and restarted under the
+				// bench (the chaos smoke does exactly that): spread a generous
+				// retry budget over the restart window instead of exhausting
+				// it in milliseconds.
+				sc.Retries = 12
+				sc.RetryBackoff = 50 * time.Millisecond
+				sc.RetryBackoffMax = 2 * time.Second
 			} else {
 				sc.Shards = shards
 			}
@@ -94,6 +103,18 @@ func Shard(cfg Config) ([]Row, error) {
 		}
 		defer y.Free()
 		before := s.TotalMaterializeStats()
+		if sharded {
+			// Marker for external chaos drivers (scripts/shard-smoke.sh): the
+			// leaves are pushed, the iterative passes start now — killing a
+			// worker after this line exercises mid-iteration recovery.
+			fmt.Fprintln(os.Stderr, "flashr-bench: distributed workload starting")
+			// The workloads run in milliseconds, far too fast for an external
+			// kill -9 to land mid-run; FLASHR_SHARD_CHAOS_PAUSE opens a
+			// deterministic window between the leaf push and the first pass.
+			if d, err := time.ParseDuration(os.Getenv("FLASHR_SHARD_CHAOS_PAUSE")); err == nil && d > 0 {
+				time.Sleep(d)
+			}
+		}
 		res.kmSec, err = timeIt(func() error {
 			km, kerr := ml.KMeans(s, x, k, ml.KMeansOptions{MaxIter: cfg.Iters, InitCenters: initCenters})
 			res.km = km
@@ -117,8 +138,9 @@ func Shard(cfg Config) ([]Row, error) {
 					res.stats.ShardPasses, res.stats.ShardAggRounds)
 			}
 			sent, recv, retries := s.Coordinator().Totals()
-			res.wire = fmt.Sprintf("wire-sent=%.1fMB wire-recv=%.1fMB retries=%d rounds=%d ",
-				float64(sent)/(1<<20), float64(recv)/(1<<20), retries, s.Coordinator().AggRounds())
+			res.wire = fmt.Sprintf("wire-sent=%.1fMB wire-recv=%.1fMB retries=%d rounds=%d recoveries=%d ",
+				float64(sent)/(1<<20), float64(recv)/(1<<20), retries, s.Coordinator().AggRounds(),
+				s.Coordinator().Recoveries())
 		} else if res.stats.ShardPasses != 0 {
 			return res, fmt.Errorf("local run reported %d shard passes", res.stats.ShardPasses)
 		}

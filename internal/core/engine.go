@@ -603,6 +603,13 @@ func (e *Engine) materialize(ctx context.Context, mt []*Mat, sk []*Sink, ms *Mat
 			shSp.Bytes = ms.ShardBytesSent + ms.ShardBytesRecv
 			shSp.N = ms.ShardAggRounds
 			pr.pt.rootBuf().End(shSp)
+			if err == nil && ms.ShardRecoveries > 0 {
+				// Worker recoveries the pass absorbed surface as their own
+				// root span so chaos runs are visible in traces.
+				rcSp := pr.pt.rootBuf().Begin(trace.KindRecover, pr.id)
+				rcSp.N = ms.ShardRecoveries
+				pr.pt.rootBuf().End(rcSp)
+			}
 		} else {
 			// The pass identity ties the execution phase's SAFS traffic to
 			// this materialization for fair queueing and exact attribution.

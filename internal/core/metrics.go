@@ -55,6 +55,8 @@ func RegisterStatsMetrics(reg *trace.Registry, owner string, snap func() Materia
 		{"flashr_materialize_shard_retries_total", "Transport retries after transient shard faults.", func() float64 { return float64(cur.ShardRetries) }},
 		{"flashr_materialize_shard_worker_read_bytes_total", "Partition bytes read by shard workers.", func() float64 { return float64(cur.ShardWorkerRead) }},
 		{"flashr_materialize_shard_worker_written_bytes_total", "Partition bytes written by shard workers.", func() float64 { return float64(cur.ShardWorkerWritten) }},
+		{"flashr_materialize_shard_recoveries_total", "Worker recoveries (re-hello, re-push, lineage replay) after epoch-fence rejections.", func() float64 { return float64(cur.ShardRecoveries) }},
+		{"flashr_materialize_shard_replayed_keeps_total", "Kept talls reconstructed by lineage replay during worker recovery.", func() float64 { return float64(cur.ShardReplayedKeeps) }},
 		{"flashr_materialize_wall_seconds_total", "End-to-end Materialize wall time.", func() float64 { return cur.Wall.Seconds() }},
 		{"flashr_materialize_read_wait_seconds_total", "Worker time blocked on in-flight prefetch reads.", func() float64 { return cur.ReadWait.Seconds() }},
 		{"flashr_materialize_write_stall_seconds_total", "Compute time blocked handing partitions to the write queue.", func() float64 { return cur.WriteStall.Seconds() }},

@@ -125,6 +125,11 @@ type MaterializeStats struct {
 	ShardRetries       int64
 	ShardWorkerRead    int64
 	ShardWorkerWritten int64
+	// ShardRecoveries counts worker recoveries (re-hello + re-push + lineage
+	// replay after an epoch-fence rejection); ShardReplayedKeeps counts kept
+	// talls reconstructed by those replays.
+	ShardRecoveries    int64
+	ShardReplayedKeeps int64
 }
 
 // Add accumulates o into s (numeric fields sum; Fuse and SyncWrites take
@@ -176,6 +181,8 @@ func (s *MaterializeStats) Add(o MaterializeStats) {
 	s.ShardRetries += o.ShardRetries
 	s.ShardWorkerRead += o.ShardWorkerRead
 	s.ShardWorkerWritten += o.ShardWorkerWritten
+	s.ShardRecoveries += o.ShardRecoveries
+	s.ShardReplayedKeeps += o.ShardReplayedKeeps
 }
 
 // Sub returns s minus o field-by-field — the delta between two snapshots of
@@ -220,6 +227,8 @@ func (s MaterializeStats) Sub(o MaterializeStats) MaterializeStats {
 	d.ShardRetries -= o.ShardRetries
 	d.ShardWorkerRead -= o.ShardWorkerRead
 	d.ShardWorkerWritten -= o.ShardWorkerWritten
+	d.ShardRecoveries -= o.ShardRecoveries
+	d.ShardReplayedKeeps -= o.ShardReplayedKeeps
 	return d
 }
 
@@ -260,6 +269,9 @@ func (s MaterializeStats) String() string {
 		fmt.Fprintf(&b, " shard(passes=%d rounds=%d sent=%s recv=%s wread=%s wwritten=%s retries=%d)",
 			s.ShardPasses, s.ShardAggRounds, mib(s.ShardBytesSent), mib(s.ShardBytesRecv),
 			mib(s.ShardWorkerRead), mib(s.ShardWorkerWritten), s.ShardRetries)
+	}
+	if s.ShardRecoveries != 0 {
+		fmt.Fprintf(&b, " recoveries=%d replayed=%d", s.ShardRecoveries, s.ShardReplayedKeeps)
 	}
 	return b.String()
 }

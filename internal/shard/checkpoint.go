@@ -1,0 +1,164 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The checkpoint sidecar persists the coordinator's session identity (epoch),
+// its pushed-leaf registry, and the keep-lineage table, so a coordinator
+// process restart can resume against live workers: same epoch → workers keep
+// their resident matrices, restored lineage → kept talls stay replayable
+// after a later worker restart. Registry entries are only re-bindable to
+// local matrices inside the process that wrote them (matrix IDs and content
+// versions are process-local), so a cross-process load keeps their handles
+// only as an "inherited" set: usable as lineage inputs while the workers
+// holding them stay up, not re-pushable.
+
+const checkpointMagic = "FRCP"
+const checkpointVersion = 1
+
+// checkpointEntry is one pushed-leaf registry row.
+type checkpointEntry struct {
+	id     uint64
+	ver    uint64
+	handle string
+}
+
+type checkpoint struct {
+	procNonce uint64
+	epoch     uint64
+	shards    int
+	partRows  int
+	passSeq   int64
+	registry  []checkpointEntry
+	linSeq    int64
+	recs      []*lineageRec
+}
+
+func encodeCheckpoint(ck *checkpoint) []byte {
+	var w wbuf
+	w.b = append(w.b, checkpointMagic...)
+	w.uvarint(checkpointVersion)
+	w.uvarint(ck.procNonce)
+	w.uvarint(ck.epoch)
+	w.varint(int64(ck.shards))
+	w.varint(int64(ck.partRows))
+	w.varint(ck.passSeq)
+	w.uvarint(uint64(len(ck.registry)))
+	for _, e := range ck.registry {
+		w.uvarint(e.id)
+		w.uvarint(e.ver)
+		w.str(e.handle)
+	}
+	w.varint(ck.linSeq)
+	w.uvarint(uint64(len(ck.recs)))
+	for _, r := range ck.recs {
+		w.varint(r.seq)
+		w.varint(r.nrow)
+		encodeProgram(&w, r.prog)
+		w.uvarint(uint64(len(r.keeps)))
+		for _, k := range r.keeps {
+			w.str(k)
+		}
+		w.uvarint(uint64(len(r.done)))
+		for wi := range r.done {
+			w.bool(r.done[wi])
+			m := r.carriesIn[wi]
+			order := make([]int32, 0, len(m))
+			for idx := range m {
+				order = append(order, idx)
+			}
+			sortInt32s(order)
+			encodeCarryMap(&w, m, order)
+		}
+		w.uvarint(uint64(len(r.live)))
+		for _, v := range r.live {
+			w.bool(v)
+		}
+		w.bool(r.final)
+	}
+	return w.b
+}
+
+func decodeCheckpoint(b []byte) (*checkpoint, error) {
+	if len(b) < len(checkpointMagic) || string(b[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, fmt.Errorf("shard: checkpoint: bad magic")
+	}
+	r := rbuf{b: b, off: len(checkpointMagic)}
+	if v := r.uvarint(); v != checkpointVersion {
+		return nil, fmt.Errorf("shard: checkpoint: version %d, want %d", v, checkpointVersion)
+	}
+	ck := &checkpoint{
+		procNonce: r.uvarint(),
+		epoch:     r.uvarint(),
+		shards:    int(r.varint()),
+		partRows:  int(r.varint()),
+		passSeq:   r.varint(),
+	}
+	nreg := r.sliceLen("checkpoint registry")
+	for i := 0; i < nreg && r.err == nil; i++ {
+		ck.registry = append(ck.registry, checkpointEntry{
+			id: r.uvarint(), ver: r.uvarint(), handle: r.str(),
+		})
+	}
+	ck.linSeq = r.varint()
+	nrec := r.sliceLen("checkpoint lineage")
+	for i := 0; i < nrec && r.err == nil; i++ {
+		rec := &lineageRec{seq: r.varint(), nrow: r.varint(), prog: decodeProgram(&r)}
+		nk := r.sliceLen("checkpoint keeps")
+		for j := 0; j < nk && r.err == nil; j++ {
+			rec.keeps = append(rec.keeps, r.str())
+		}
+		nw := r.sliceLen("checkpoint workers")
+		for wi := 0; wi < nw && r.err == nil; wi++ {
+			rec.done = append(rec.done, r.bool())
+			rec.carriesIn = append(rec.carriesIn, decodeCarryMap(&r))
+		}
+		nl := r.sliceLen("checkpoint live")
+		for j := 0; j < nl && r.err == nil; j++ {
+			rec.live = append(rec.live, r.bool())
+		}
+		rec.final = r.bool()
+		if rec.prog != nil {
+			rec.leafRefs = leafRefsOf(rec.prog)
+		}
+		ck.recs = append(ck.recs, rec)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("shard: checkpoint: %w", r.err)
+	}
+	return ck, nil
+}
+
+// writeCheckpoint persists atomically (temp file + rename in the sidecar's
+// directory).
+func writeCheckpoint(path string, ck *checkpoint) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".ck-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(encodeCheckpoint(ck)); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// readCheckpoint loads the sidecar; a missing file is (nil, nil).
+func readCheckpoint(path string) (*checkpoint, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return decodeCheckpoint(b)
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,14 @@ type Config struct {
 	// RetryBackoff is the first retry's delay, doubling per attempt
 	// (0 = 20ms).
 	RetryBackoff time.Duration
+	// RetryBackoffMax caps the doubling backoff (0 = 2s) — a restarting
+	// worker process needs the retry budget spread over wall-clock time, not
+	// exhausted in milliseconds.
+	RetryBackoffMax time.Duration
+	// CheckpointPath, when set, persists the pushed-leaf registry and the
+	// keep-lineage table to this sidecar file after every pass, and resumes
+	// from it (same session epoch, same pass sequence) at construction.
+	CheckpointPath string
 	// WrapTransport, when set, wraps each worker transport after
 	// construction — the fault-injection seam for tests.
 	WrapTransport func(worker int, t Transport) Transport
@@ -51,8 +60,16 @@ func (c Config) withDefaults() Config {
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 20 * time.Millisecond
 	}
+	if c.RetryBackoffMax <= 0 {
+		c.RetryBackoffMax = 2 * time.Second
+	}
 	return c
 }
+
+// procNonce identifies this coordinator process in checkpoints: matrix IDs
+// and content versions are process-local, so registry entries written by a
+// different process cannot be re-bound to local matrices.
+var procNonce = rand.Uint64() | 1
 
 // shardRange is one worker's contiguous slice of the partition dimension.
 type shardRange struct {
@@ -89,6 +106,10 @@ func splitParts(nrow int64, partRows, n int) []shardRange {
 type pushedLeaf struct {
 	ver    uint64
 	handle string
+	// m is the local matrix behind the handle — the recovery path re-pushes
+	// from it after a worker restart. Nil right after a checkpoint resume
+	// until the first pass re-binds it by (id, version).
+	m *core.Mat
 }
 
 // workerTotals accumulates one worker's lifetime pass stats on the
@@ -117,6 +138,7 @@ func (t *workerTotals) add(s workerPassStats) {
 // atomics because the fan-out phase calls from per-shard goroutines.
 type passIO struct {
 	sent, recv, retries atomic.Int64
+	recoveries, replays atomic.Int64
 }
 
 // Coordinator is the RemoteExecutor that row-partitions every pass across
@@ -130,18 +152,37 @@ type Coordinator struct {
 	trs      []Transport
 	workers  []*Worker // in-proc mode only (owned, closed with the coordinator)
 
+	// epoch is the session identity every fenced RPC carries; boots holds
+	// each worker's last-seen boot id (updated by the recovery re-hello).
+	// recMu serializes recovery per worker so concurrent fenced RPCs repair
+	// it once.
+	epoch uint64
+	boots []atomic.Uint64
+	recMu []sync.Mutex
+
 	passSeq atomic.Int64
 	closed  atomic.Bool
 
 	// pushMu serializes the encode-and-push phase across concurrent passes
 	// so the pushed-leaf registry and the worker-resident data stay
-	// coherent; execution fan-out overlaps freely.
-	pushMu sync.Mutex
-	pushed map[uint64]pushedLeaf
+	// coherent; execution fan-out overlaps freely. pushedMu guards only the
+	// registry map itself — the recovery path snapshots it without blocking
+	// on (or deadlocking against) an in-progress push phase.
+	pushMu   sync.Mutex
+	pushedMu sync.Mutex
+	pushed   map[uint64]pushedLeaf
+	// inherited are worker-resident handles restored from another process's
+	// checkpoint: valid lineage inputs while their workers stay up, but not
+	// re-pushable here.
+	inherited map[string]bool
+
+	lin lineage
 
 	sent, recv, retries atomic.Int64
 	aggRounds           atomic.Int64
 	workerPasses        atomic.Int64
+	recoveries          atomic.Int64
+	replayedKeeps       atomic.Int64
 
 	wmu    sync.Mutex
 	wstats []workerTotals
@@ -158,10 +199,40 @@ func NewCoordinator(cfg Config, base core.Config) (*Coordinator, error) {
 		partRows = core.DefaultPartRows
 	}
 	c := &Coordinator{
-		cfg:      cfg,
-		partRows: partRows,
-		pushed:   make(map[uint64]pushedLeaf),
-		wstats:   make([]workerTotals, cfg.Shards),
+		cfg:       cfg,
+		partRows:  partRows,
+		pushed:    make(map[uint64]pushedLeaf),
+		inherited: make(map[string]bool),
+		boots:     make([]atomic.Uint64, cfg.Shards),
+		recMu:     make([]sync.Mutex, cfg.Shards),
+		wstats:    make([]workerTotals, cfg.Shards),
+	}
+	if cfg.CheckpointPath != "" {
+		ck, err := readCheckpoint(cfg.CheckpointPath)
+		if err != nil {
+			return nil, err
+		}
+		if ck != nil && ck.shards == cfg.Shards && ck.partRows == partRows {
+			c.epoch = ck.epoch
+			c.passSeq.Store(ck.passSeq)
+			if ck.procNonce == procNonce {
+				// Same process: registry entries re-bind to local matrices
+				// lazily, by (id, version), at the next encode.
+				for _, e := range ck.registry {
+					c.pushed[e.id] = pushedLeaf{ver: e.ver, handle: e.handle}
+				}
+			} else {
+				// Another process's matrices: the handles stay usable as
+				// worker-resident lineage inputs, nothing more.
+				for _, e := range ck.registry {
+					c.inherited[e.handle] = true
+				}
+			}
+			c.lin.restore(ck.linSeq, ck.recs)
+		}
+	}
+	if c.epoch == 0 {
+		c.epoch = rand.Uint64() | 1
 	}
 	if len(cfg.Addrs) > 0 {
 		for _, a := range cfg.Addrs {
@@ -187,7 +258,7 @@ func NewCoordinator(cfg Config, base core.Config) (*Coordinator, error) {
 			c.trs[i] = cfg.WrapTransport(i, t)
 		}
 	}
-	hello := encodeHelloReq(helloReq{Version: protocolVersion, PartRows: partRows})
+	hello := encodeHelloReq(helloReq{Version: protocolVersion, PartRows: partRows, Epoch: c.epoch})
 	for i := range c.trs {
 		resp, err := c.call(context.Background(), i, opHello, hello, nil)
 		if err != nil {
@@ -204,9 +275,21 @@ func NewCoordinator(cfg Config, base core.Config) (*Coordinator, error) {
 			return nil, fmt.Errorf("shard: worker %d hello mismatch: version %d part-rows %d, want %d/%d",
 				i, h.Version, h.PartRows, protocolVersion, partRows)
 		}
+		c.boots[i].Store(h.Boot)
 	}
 	return c, nil
 }
+
+// Epoch returns the session epoch (tests, logs).
+func (c *Coordinator) Epoch() uint64 { return c.epoch }
+
+// Recoveries returns the lifetime count of worker recoveries (re-hello +
+// re-push + lineage replay after a fencing rejection).
+func (c *Coordinator) Recoveries() int64 { return c.recoveries.Load() }
+
+// ReplayedKeeps returns the lifetime count of kept talls reconstructed by
+// lineage replay.
+func (c *Coordinator) ReplayedKeeps() int64 { return c.replayedKeeps.Load() }
 
 // Shards returns the worker count.
 func (c *Coordinator) Shards() int { return len(c.trs) }
@@ -236,17 +319,29 @@ func (c *Coordinator) WorkerStats() []map[string]int64 {
 	return out
 }
 
-// call is the retry/backoff RPC wrapper: Retries+1 attempts against
-// transient failures (doubling backoff, context-aware), typed wrap on final
-// failure. Wire bytes are attributed to io (per-pass) and the lifetime
-// totals; request bytes count once per attempt — retransmits are real
-// traffic.
+// call is the retry/backoff RPC wrapper with recovery enabled: a fencing
+// rejection triggers the worker recovery path, then the attempt repeats.
 func (c *Coordinator) call(ctx context.Context, worker int, op uint8, body []byte, io *passIO) ([]byte, error) {
+	return c.callRetry(ctx, worker, op, body, io, true)
+}
+
+// callRetry makes Retries+1 attempts against transient failures (doubling
+// backoff capped at RetryBackoffMax, context-aware), with a typed wrap on
+// final failure. Every non-hello request is prefixed per attempt with the
+// current (epoch, boot) fence, so a request built before a recovery still
+// lands with the post-recovery fence. An EpochError — the worker restarted,
+// or adopted state lapsed — runs recoverWorker (when allowRecover; the
+// recovery path's own RPCs must not recurse) and repeats the attempt without
+// consuming retry budget. Wire bytes are attributed to io (per-pass) and the
+// lifetime totals; request bytes count once per attempt — retransmits are
+// real traffic.
+func (c *Coordinator) callRetry(ctx context.Context, worker int, op uint8, body []byte, io *passIO, allowRecover bool) ([]byte, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	var last error
 	backoff := c.cfg.RetryBackoff
+	recovered := 0
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
 			c.retries.Add(1)
@@ -259,14 +354,21 @@ func (c *Coordinator) call(ctx context.Context, worker int, op uint8, body []byt
 				return nil, &ShardError{Worker: worker, Op: op, Err: ctx.Err()}
 			}
 			backoff *= 2
+			if backoff > c.cfg.RetryBackoffMax {
+				backoff = c.cfg.RetryBackoffMax
+			}
 		}
-		sent := int64(len(body) + 5)
+		wire := body
+		if op != opHello {
+			wire = fenceBody(c.epoch, c.boots[worker].Load(), body)
+		}
+		sent := int64(len(wire) + 5)
 		c.sent.Add(sent)
 		if io != nil {
 			io.sent.Add(sent)
 		}
 		actx, cancel := context.WithTimeout(ctx, c.cfg.RPCTimeout)
-		resp, err := c.trs[worker].Call(actx, op, body)
+		resp, err := c.trs[worker].Call(actx, op, wire)
 		cancel()
 		if err == nil {
 			recv := int64(len(resp) + 5)
@@ -277,6 +379,19 @@ func (c *Coordinator) call(ctx context.Context, worker int, op uint8, body []byt
 			return resp, nil
 		}
 		last = err
+		var ee *EpochError
+		if errors.As(err, &ee) {
+			if !allowRecover || recovered >= 2 {
+				break
+			}
+			recovered++
+			if rerr := c.recoverWorker(ctx, worker, io); rerr != nil {
+				last = fmt.Errorf("%v (recovery: %w)", err, rerr)
+				break
+			}
+			attempt-- // the recovered attempt is free
+			continue
+		}
 		if !isTransient(err) {
 			break
 		}
@@ -285,7 +400,122 @@ func (c *Coordinator) call(ctx context.Context, worker int, op uint8, body []byt
 			break
 		}
 	}
-	return nil, &ShardError{Worker: worker, Op: op, Err: last}
+	se := &ShardError{Worker: worker, Op: op, Err: last}
+	var ee *EpochError
+	if errors.As(last, &ee) {
+		se.Reason = "epoch"
+	}
+	return nil, se
+}
+
+// recoverWorker repairs one worker after a fencing rejection: re-hello with
+// the session epoch, and — if the worker restarted (new boot id) or lost its
+// state — re-push its slice of every registry leaf and replay the lineage
+// chain in pass order, threading the recorded entry carries, so its kept
+// talls are reconstructed before the fenced request retries. Keeps replayed
+// only as chain inputs (their stores are gone) are freed again at the end.
+// Per-worker serialization via recMu means concurrent fenced RPCs repair the
+// worker once; the loser of the race re-hellos, sees the already-updated
+// boot with state present, and returns.
+func (c *Coordinator) recoverWorker(ctx context.Context, wi int, io *passIO) error {
+	c.recMu[wi].Lock()
+	defer c.recMu[wi].Unlock()
+	rctx := withRecovery(ctx)
+	hello := encodeHelloReq(helloReq{Version: protocolVersion, PartRows: c.partRows, Epoch: c.epoch})
+	resp, err := c.callRetry(rctx, wi, opHello, hello, io, false)
+	if err != nil {
+		return err
+	}
+	h, derr := decodeHelloResp(resp)
+	if derr != nil {
+		return derr
+	}
+	if h.Version != protocolVersion || h.PartRows != c.partRows {
+		return fmt.Errorf("shard: worker %d recovery hello mismatch: version %d part-rows %d, want %d/%d",
+			wi, h.Version, h.PartRows, protocolVersion, c.partRows)
+	}
+	if h.Boot == c.boots[wi].Load() && h.Kept > 0 {
+		// Already repaired by a concurrent recovery — the fenced request just
+		// raced it.
+		return nil
+	}
+	c.boots[wi].Store(h.Boot)
+
+	// Re-push this worker's slice of every re-bindable registry leaf.
+	c.pushedMu.Lock()
+	leaves := make([]pushedLeaf, 0, len(c.pushed))
+	for _, pl := range c.pushed {
+		if pl.m != nil {
+			leaves = append(leaves, pl)
+		}
+	}
+	avail := make(map[string]bool, len(c.pushed)+len(c.inherited))
+	for _, pl := range c.pushed {
+		avail[pl.handle] = true
+	}
+	for hdl := range c.inherited {
+		avail[hdl] = true
+	}
+	c.pushedMu.Unlock()
+	for _, pl := range leaves {
+		sh := splitParts(pl.m.NRow(), c.partRows, len(c.trs))
+		if err := c.pushLeafTo(rctx, pl.m, pl.handle, sh, wi, io); err != nil {
+			return err
+		}
+	}
+
+	// Replay the lineage chain. Inherited handles count as available while
+	// planning, but a restarted worker no longer holds them — the replay exec
+	// then fails with a typed lookup error, which is the honest outcome.
+	plan, err := c.lin.replayPlan(wi, avail)
+	if err != nil {
+		return err
+	}
+	var replayed int64
+	for _, step := range plan {
+		sh := splitParts(step.nrow, c.partRows, len(c.trs))
+		if sh[wi].rows == 0 {
+			continue
+		}
+		req := execRequest{Owner: "shard-recover", Rows: sh[wi].rows, Prog: step.prog,
+			Carries: step.carries, Keeps: step.keeps}
+		rb, cerr := c.callRetry(rctx, wi, opExec, encodeExecReq(req), io, false)
+		if cerr != nil {
+			return cerr
+		}
+		if _, derr := decodeExecResp(rb); derr != nil {
+			return derr
+		}
+		for _, k := range step.keeps {
+			if k != "" {
+				replayed++
+			}
+		}
+	}
+	// Free keeps that exist only as intermediate chain inputs: finalized
+	// records whose stores are gone. In-flight records keep theirs — their
+	// pass will attach stores or clean up.
+	for _, step := range plan {
+		if !step.final {
+			continue
+		}
+		sh := splitParts(step.nrow, c.partRows, len(c.trs))
+		if sh[wi].rows == 0 {
+			continue
+		}
+		for j, k := range step.keeps {
+			if k != "" && !step.live[j] {
+				c.freeHandleOn(rctx, wi, k)
+			}
+		}
+	}
+	c.recoveries.Add(1)
+	c.replayedKeeps.Add(replayed)
+	if io != nil {
+		io.recoveries.Add(1)
+		io.replays.Add(replayed)
+	}
+	return nil
 }
 
 type pushJob struct {
@@ -336,24 +566,42 @@ func (c *Coordinator) RunDAG(ctx context.Context, d *core.RemoteDAG, ms *core.Ma
 		}
 	}
 
+	// Register the pass in the lineage table (sink-only passes produce no
+	// worker-resident state, so there is nothing to replay for them), and
+	// checkpoint whatever state the pass left behind on the way out.
+	var rec *lineageRec
+	if len(prog.Talls) > 0 {
+		rec = c.lin.begin(len(c.trs), d.NRow, prog, keeps)
+	}
+	if c.cfg.CheckpointPath != "" {
+		defer c.saveCheckpoint()
+	}
+
 	resps := make([]*execResponse, len(sh))
 	if len(prog.Cums) > 0 && len(active) > 1 {
 		// Sequential carry chain: shard s+1's cum.col folds continue from
-		// shard s's exit accumulator.
+		// shard s's exit accumulator. A mid-chain fault resumes at the failed
+		// shard: earlier shards' execs are done, their entry carries recorded,
+		// and the per-call retry resends the same request — with the same
+		// carries — rather than restarting the chain.
 		carries := map[int32][]float64(nil)
 		for _, si := range active {
+			c.lin.setCarry(rec, si, carries)
 			req := execRequest{Owner: d.Owner, Rows: sh[si].rows, Prog: prog,
 				Carries: carries, Keeps: keeps, CarryOut: prog.Cums}
 			rb, cerr := c.call(ctx, si, opExec, encodeExecReq(req), &io)
 			if cerr != nil {
+				c.lin.abort(rec)
 				c.cleanupKeeps(keeps, active)
 				return cerr
 			}
 			r, derr := decodeExecResp(rb)
 			if derr != nil {
+				c.lin.abort(rec)
 				c.cleanupKeeps(keeps, active)
 				return derr
 			}
+			c.lin.markDone(rec, si)
 			resps[si] = &r
 			carries = r.Carries
 		}
@@ -376,12 +624,14 @@ func (c *Coordinator) RunDAG(ctx context.Context, d *core.RemoteDAG, ms *core.Ma
 					errs[si] = derr
 					return
 				}
+				c.lin.markDone(rec, si)
 				resps[si] = &r
 			}()
 		}
 		wg.Wait()
 		for _, si := range active {
 			if errs[si] != nil {
+				c.lin.abort(rec)
 				c.cleanupKeeps(keeps, active)
 				return errs[si]
 			}
@@ -394,6 +644,7 @@ func (c *Coordinator) RunDAG(ctx context.Context, d *core.RemoteDAG, ms *core.Ma
 		parts := make([]*core.SinkPartial, 0, len(active))
 		for _, s := range active {
 			if si >= len(resps[s].Partials) {
+				c.lin.abort(rec)
 				c.cleanupKeeps(keeps, active)
 				return fmt.Errorf("shard: worker %d returned %d partials, want %d", s, len(resps[s].Partials), len(d.Sinks))
 			}
@@ -401,6 +652,7 @@ func (c *Coordinator) RunDAG(ctx context.Context, d *core.RemoteDAG, ms *core.Ma
 		}
 		comb, cerr := d.Sinks[si].CombinePartials(parts)
 		if cerr != nil {
+			c.lin.abort(rec)
 			c.cleanupKeeps(keeps, active)
 			return cerr
 		}
@@ -409,15 +661,19 @@ func (c *Coordinator) RunDAG(ctx context.Context, d *core.RemoteDAG, ms *core.Ma
 	for si, s := range d.Sinks {
 		s.PublishRaw(combined[si])
 	}
+	live := make([]bool, len(prog.Talls))
 	for i := range prog.Talls {
 		rs := &RemoteStore{c: c, handle: keeps[i], nrow: d.NRow,
 			ncol: d.Talls[i].NCol(), partRows: c.partRows, sh: sh}
-		if !d.AttachTall(i, rs) {
+		if d.AttachTall(i, rs) {
+			live[i] = true
+		} else {
 			// Lost the materialization race to a concurrent pass; drop the
 			// worker-side copies.
 			c.freeHandle(keeps[i], active)
 		}
 	}
+	c.lin.finish(rec, live)
 
 	var wpasses int64
 	for _, s := range active {
@@ -440,6 +696,8 @@ func (c *Coordinator) RunDAG(ctx context.Context, d *core.RemoteDAG, ms *core.Ma
 	ms.ShardBytesSent += io.sent.Load()
 	ms.ShardBytesRecv += io.recv.Load()
 	ms.ShardRetries += io.retries.Load()
+	ms.ShardRecoveries += io.recoveries.Load()
+	ms.ShardReplayedKeeps += io.replays.Load()
 	return nil
 }
 
@@ -459,7 +717,15 @@ func (c *Coordinator) encodeAndPush(ctx context.Context, d *core.RemoteDAG, sh [
 			return rs.handle, nil
 		}
 		id, ver := m.ID(), m.ContentVersion()
+		c.pushedMu.Lock()
+		defer c.pushedMu.Unlock()
 		if pl, ok := c.pushed[id]; ok && pl.ver == ver {
+			if pl.m == nil {
+				// Checkpoint-resumed entry meeting its matrix again: re-bind
+				// so the recovery path can re-push it.
+				pl.m = m
+				c.pushed[id] = pl
+			}
 			return pl.handle, nil
 		}
 		h := fmt.Sprintf("m%d-v%d", id, ver)
@@ -468,7 +734,7 @@ func (c *Coordinator) encodeAndPush(ctx context.Context, d *core.RemoteDAG, sh [
 			job.old = pl.handle
 		}
 		jobs = append(jobs, job)
-		c.pushed[id] = pushedLeaf{ver: ver, handle: h}
+		c.pushed[id] = pushedLeaf{ver: ver, handle: h, m: m}
 		return h, nil
 	})
 	if err != nil {
@@ -491,8 +757,12 @@ func (c *Coordinator) encodeAndPush(ctx context.Context, d *core.RemoteDAG, sh [
 // pass re-pushes from scratch; already-shipped partitions are freed
 // best-effort.
 func (c *Coordinator) unpush(jobs []pushJob) {
+	c.pushedMu.Lock()
 	for _, j := range jobs {
 		delete(c.pushed, j.m.ID())
+	}
+	c.pushedMu.Unlock()
+	for _, j := range jobs {
 		c.freeAll(j.handle)
 	}
 }
@@ -500,23 +770,33 @@ func (c *Coordinator) unpush(jobs []pushJob) {
 // pushLeaf ships one matrix's partitions to their owning shards, renumbering
 // global partition indexes to shard-local ones.
 func (c *Coordinator) pushLeaf(ctx context.Context, m *core.Mat, handle string, sh []shardRange, io *passIO) error {
+	for wi := range sh {
+		if err := c.pushLeafTo(ctx, m, handle, sh, wi, io); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pushLeafTo ships one worker's slice of a leaf (the recovery path's unit of
+// work). Recovery contexts disable nested recovery in the calls beneath.
+func (c *Coordinator) pushLeafTo(ctx context.Context, m *core.Mat, handle string, sh []shardRange, wi int, io *passIO) error {
 	st := m.Store()
 	if st == nil {
 		return fmt.Errorf("shard: leaf %d is not materialized", m.ID())
 	}
 	buf := make([]float64, st.PartRows()*m.NCol())
-	for wi := range sh {
-		for p := 0; p < sh[wi].nparts; p++ {
-			g := sh[wi].part0 + p
-			rows := matrix.PartRowsOf(m.NRow(), c.partRows, g)
-			if err := st.ReadPart(g, buf[:rows*m.NCol()]); err != nil {
-				return err
-			}
-			req := partReq{Handle: handle, NRow: sh[wi].rows, NCol: m.NCol(),
-				DT: uint8(m.DType()), Part: p, Data: buf[:rows*m.NCol()]}
-			if _, err := c.call(ctx, wi, opPushPart, encodePartReq(req), io); err != nil {
-				return err
-			}
+	allowRecover := !isRecoveryCtx(ctx)
+	for p := 0; p < sh[wi].nparts; p++ {
+		g := sh[wi].part0 + p
+		rows := matrix.PartRowsOf(m.NRow(), c.partRows, g)
+		if err := st.ReadPart(g, buf[:rows*m.NCol()]); err != nil {
+			return err
+		}
+		req := partReq{Handle: handle, NRow: sh[wi].rows, NCol: m.NCol(),
+			DT: uint8(m.DType()), Part: p, Data: buf[:rows*m.NCol()]}
+		if _, err := c.callRetry(ctx, wi, opPushPart, encodePartReq(req), io, allowRecover); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -532,11 +812,18 @@ func (c *Coordinator) cleanupKeeps(keeps []string, active []int) {
 }
 
 func (c *Coordinator) freeHandle(handle string, workers []int) {
+	for _, wi := range workers {
+		c.freeHandleOn(context.Background(), wi, handle)
+	}
+}
+
+// freeHandleOn frees one handle on one worker, best-effort. A fencing
+// rejection is NOT recovered here: recovery would pointlessly rebuild state
+// on a worker that, having restarted, already forgot the handle.
+func (c *Coordinator) freeHandleOn(ctx context.Context, wi int, handle string) {
 	var w wbuf
 	w.str(handle)
-	for _, wi := range workers {
-		c.call(context.Background(), wi, opFreeMat, w.b, nil)
-	}
+	c.callRetry(ctx, wi, opFreeMat, w.b, nil, false)
 }
 
 func (c *Coordinator) freeAll(handle string) {
@@ -547,6 +834,92 @@ func (c *Coordinator) freeAll(handle string) {
 	c.freeHandle(handle, all)
 }
 
+// saveCheckpoint persists the session sidecar, best-effort: a failed write
+// costs resumability, never the running pass.
+func (c *Coordinator) saveCheckpoint() {
+	if c.cfg.CheckpointPath == "" {
+		return
+	}
+	ck := &checkpoint{
+		procNonce: procNonce,
+		epoch:     c.epoch,
+		shards:    len(c.trs),
+		partRows:  c.partRows,
+		passSeq:   c.passSeq.Load(),
+	}
+	c.pushedMu.Lock()
+	for id, pl := range c.pushed {
+		ck.registry = append(ck.registry, checkpointEntry{id: id, ver: pl.ver, handle: pl.handle})
+	}
+	c.pushedMu.Unlock()
+	ck.linSeq, ck.recs = c.lin.snapshot()
+	writeCheckpoint(c.cfg.CheckpointPath, ck)
+}
+
+// CheckHandleBalance asserts (in-proc mode only) that every worker's resident
+// handle set is exactly what the registry and the live lineage predict: the
+// leak detector the chaos tests run after a workload. Only meaningful with no
+// pass in flight.
+func (c *Coordinator) CheckHandleBalance() error {
+	n := len(c.trs)
+	expected := make([]map[string]bool, n)
+	for wi := range expected {
+		expected[wi] = make(map[string]bool)
+	}
+	c.pushedMu.Lock()
+	for _, pl := range c.pushed {
+		if pl.m == nil {
+			c.pushedMu.Unlock()
+			return fmt.Errorf("shard: handle balance: registry entry %q has no local matrix", pl.handle)
+		}
+		sh := splitParts(pl.m.NRow(), c.partRows, n)
+		for wi := range sh {
+			if sh[wi].nparts > 0 {
+				expected[wi][pl.handle] = true
+			}
+		}
+	}
+	c.pushedMu.Unlock()
+	c.lin.mu.Lock()
+	for _, r := range c.lin.recs {
+		if !r.final {
+			c.lin.mu.Unlock()
+			return fmt.Errorf("shard: handle balance: pass %d still in flight", r.seq)
+		}
+		for j, h := range r.keeps {
+			if h == "" || !r.live[j] {
+				continue
+			}
+			for wi := range r.done {
+				if r.done[wi] {
+					expected[wi][h] = true
+				}
+			}
+		}
+	}
+	c.lin.mu.Unlock()
+	for wi, tr := range c.trs {
+		lb := loopbackOf(tr)
+		if lb == nil {
+			return fmt.Errorf("shard: handle balance check needs in-process workers")
+		}
+		got := lb.worker().Handles()
+		gotSet := make(map[string]bool, len(got))
+		for _, h := range got {
+			gotSet[h] = true
+			if !expected[wi][h] {
+				return fmt.Errorf("shard: worker %d holds unexpected handle %q (leak)", wi, h)
+			}
+		}
+		for h := range expected[wi] {
+			if !gotSet[h] {
+				return fmt.Errorf("shard: worker %d is missing expected handle %q", wi, h)
+			}
+		}
+	}
+	return nil
+}
+
 // Close releases transports and (in-proc mode) the owned workers. RemoteStore
 // reads fail afterwards, so sessions must flush result caches that hold
 // shard-backed matrices before closing the coordinator.
@@ -554,6 +927,7 @@ func (c *Coordinator) Close() error {
 	if c.closed.Swap(true) {
 		return nil
 	}
+	c.saveCheckpoint()
 	for _, t := range c.trs {
 		t.Close()
 	}
@@ -650,6 +1024,7 @@ func (rs *RemoteStore) Free() error {
 	if rs.freed.Swap(true) || rs.c.closed.Load() {
 		return nil
 	}
+	rs.c.lin.markDead(rs.handle)
 	var active []int
 	for wi := range rs.sh {
 		if rs.sh[wi].nparts > 0 {

@@ -530,8 +530,13 @@ func TestWorkerAliasedHandles(t *testing.T) {
 	for i := range data {
 		data[i] = float64(i%13) - 6
 	}
+	// Direct Handle calls must open a session and fence like any transport.
+	hello := encodeHelloReq(helloReq{Version: protocolVersion, PartRows: testPartRows, Epoch: 7})
+	if _, err := w.Handle(context.Background(), opHello, hello); err != nil {
+		t.Fatal(err)
+	}
 	req := partReq{Handle: "m1", NRow: rows, NCol: testNCol, DT: uint8(matrix.F64), Part: 0, Data: data}
-	if _, err := w.Handle(context.Background(), opPushPart, encodePartReq(req)); err != nil {
+	if _, err := w.Handle(context.Background(), opPushPart, fenceBody(7, w.Boot(), encodePartReq(req))); err != nil {
 		t.Fatal(err)
 	}
 	m, err := w.lookup("m1")

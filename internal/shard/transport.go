@@ -32,15 +32,36 @@ func (e *WireError) Error() string {
 	return fmt.Sprintf("shard: remote %s error: %s", opName(e.Op), e.Msg)
 }
 
+// EpochError is the fencing rejection: the request's (epoch, boot) fence did
+// not match the worker's current session epoch and boot id. It is returned by
+// a restarted worker that has not re-done the hello handshake, or to a stale
+// coordinator whose session the worker no longer serves. It is not transient
+// — blind retries cannot help — but the coordinator's recovery path (re-hello,
+// re-push, lineage replay) converts it into a retryable condition.
+type EpochError struct {
+	Op  uint8
+	Msg string
+}
+
+func (e *EpochError) Error() string {
+	return fmt.Sprintf("shard: %s fenced: %s", opName(e.Op), e.Msg)
+}
+
 // ShardError wraps any failure of one worker's RPC with its identity — the
 // typed error the coordinator surfaces after the retry budget is exhausted.
+// Reason is "epoch" when the final failure was a fencing rejection the
+// recovery path could not clear.
 type ShardError struct {
 	Worker int
 	Op     uint8
+	Reason string
 	Err    error
 }
 
 func (e *ShardError) Error() string {
+	if e.Reason != "" {
+		return fmt.Sprintf("shard: worker %d %s (%s): %v", e.Worker, opName(e.Op), e.Reason, e.Err)
+	}
 	return fmt.Sprintf("shard: worker %d %s: %v", e.Worker, opName(e.Op), e.Err)
 }
 
@@ -56,6 +77,10 @@ func isTransient(err error) bool {
 	}
 	var we *WireError
 	if errors.As(err, &we) {
+		return false
+	}
+	var ee *EpochError
+	if errors.As(err, &ee) {
 		return false
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -77,26 +102,68 @@ func isTransient(err error) bool {
 
 // loopback is the in-process transport: request bytes go straight into the
 // worker's Handle dispatch, so tests exercise the full wire codec with
-// deterministic delivery.
+// deterministic delivery. The worker behind it is swappable — that is the
+// chaos harness's crash/restart seam.
 type loopback struct {
-	w *Worker
+	mu sync.Mutex
+	w  *Worker
+}
+
+func (l *loopback) worker() *Worker {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w
+}
+
+// swap installs a replacement worker (a simulated process restart) and
+// returns the previous one.
+func (l *loopback) swap(w *Worker) *Worker {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	old := l.w
+	l.w = w
+	return old
 }
 
 func (l *loopback) Call(ctx context.Context, op uint8, body []byte) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return l.w.Handle(ctx, op, body)
+	return l.worker().Handle(ctx, op, body)
 }
 
 func (l *loopback) Close() error { return nil }
 
+// unwrapper is implemented by transport wrappers (fault injection, chaos) so
+// the chaos harness and the handle-balance checker can reach the terminal
+// loopback.
+type unwrapper interface{ Unwrap() Transport }
+
+// loopbackOf walks a wrapper chain down to the in-process loopback, or nil
+// for TCP transports.
+func loopbackOf(t Transport) *loopback {
+	for t != nil {
+		if lb, ok := t.(*loopback); ok {
+			return lb
+		}
+		u, ok := t.(unwrapper)
+		if !ok {
+			return nil
+		}
+		t = u.Unwrap()
+	}
+	return nil
+}
+
 // TCP framing: a request is [u32 BE frame length][u8 op][body], a response is
 // [u32 BE frame length][u8 status][payload] with status 0 = ok (payload is
-// the response body) and 1 = application error (payload is the message).
+// the response body), 1 = application error (payload is the message), and
+// 2 = fencing rejection (payload is the message; decoded as *EpochError so
+// the coordinator's recovery path can distinguish it from plain rejections).
 const (
-	statusOK  uint8 = 0
-	statusErr uint8 = 1
+	statusOK    uint8 = 0
+	statusErr   uint8 = 1
+	statusEpoch uint8 = 2
 
 	// maxFrame bounds one frame; larger means a corrupt stream.
 	maxFrame = 1<<28 + 64
@@ -106,10 +173,15 @@ const (
 // request per connection (the coordinator's per-worker RPCs are sequential
 // within a pass phase); any I/O error tears the connection down so the next
 // attempt redials — together with idempotent ops this makes mid-stream
-// resets retryable.
+// resets retryable. A failure on a reused connection before any response
+// byte arrived (the idle-reset / ECONNRESET case) redials and resends once
+// within the same Call, so a worker restart between passes costs one redial
+// instead of one retry-budget attempt.
 type tcpTransport struct {
 	addr    string
 	timeout time.Duration
+
+	redials atomic.Int64
 
 	mu   sync.Mutex
 	conn net.Conn
@@ -119,6 +191,10 @@ func newTCPTransport(addr string, timeout time.Duration) *tcpTransport {
 	return &tcpTransport{addr: addr, timeout: timeout}
 }
 
+// Redials returns how many same-call redial-and-resend recoveries this
+// transport performed (tests, observability).
+func (t *tcpTransport) Redials() int64 { return t.redials.Load() }
+
 func (t *tcpTransport) Call(ctx context.Context, op uint8, body []byte) ([]byte, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -126,18 +202,34 @@ func (t *tcpTransport) Call(ctx context.Context, op uint8, body []byte) ([]byte,
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
+	reused := t.conn != nil
+	resp, sawResp, err := t.attempt(ctx, op, body, deadline)
+	if err != nil && reused && !sawResp && ctx.Err() == nil {
+		// The stale-connection case: the peer closed the idle conn (or
+		// restarted) and nothing of the response arrived, so resending on a
+		// fresh dial is safe exactly once per call.
+		t.redials.Add(1)
+		resp, _, err = t.attempt(ctx, op, body, deadline)
+	}
+	return resp, err
+}
+
+// attempt sends one framed request on the current (or freshly dialed)
+// connection. sawResp reports whether any response bytes arrived — if so the
+// request was processed and the caller must not silently resend it.
+func (t *tcpTransport) attempt(ctx context.Context, op uint8, body []byte, deadline time.Time) (payload []byte, sawResp bool, err error) {
 	if t.conn == nil {
 		d := net.Dialer{Deadline: deadline}
-		conn, err := d.DialContext(ctx, "tcp", t.addr)
-		if err != nil {
-			return nil, err
+		conn, derr := d.DialContext(ctx, "tcp", t.addr)
+		if derr != nil {
+			return nil, false, derr
 		}
 		t.conn = conn
 	}
 	conn := t.conn
 	if err := conn.SetDeadline(deadline); err != nil {
 		t.drop()
-		return nil, err
+		return nil, false, err
 	}
 	frame := make([]byte, 5+len(body))
 	binary.BigEndian.PutUint32(frame, uint32(1+len(body)))
@@ -145,31 +237,33 @@ func (t *tcpTransport) Call(ctx context.Context, op uint8, body []byte) ([]byte,
 	copy(frame[5:], body)
 	if _, err := conn.Write(frame); err != nil {
 		t.drop()
-		return nil, err
+		return nil, false, err
 	}
 	var hdr [4]byte
-	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+	if n, err := io.ReadFull(conn, hdr[:]); err != nil {
 		t.drop()
-		return nil, err
+		return nil, n > 0, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n < 1 || n > maxFrame {
 		t.drop()
-		return nil, fmt.Errorf("shard: response frame length %d out of range", n)
+		return nil, true, fmt.Errorf("shard: response frame length %d out of range", n)
 	}
 	resp := make([]byte, n)
 	if _, err := io.ReadFull(conn, resp); err != nil {
 		t.drop()
-		return nil, err
+		return nil, true, err
 	}
 	switch resp[0] {
 	case statusOK:
-		return resp[1:], nil
+		return resp[1:], true, nil
 	case statusErr:
-		return nil, &WireError{Op: op, Msg: string(resp[1:])}
+		return nil, true, &WireError{Op: op, Msg: string(resp[1:])}
+	case statusEpoch:
+		return nil, true, &EpochError{Op: op, Msg: string(resp[1:])}
 	default:
 		t.drop()
-		return nil, fmt.Errorf("shard: response status %d unknown", resp[0])
+		return nil, true, fmt.Errorf("shard: response status %d unknown", resp[0])
 	}
 }
 
@@ -274,7 +368,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		status := statusOK
 		if herr != nil {
 			status = statusErr
-			payload = []byte(herr.Error())
+			var ee *EpochError
+			if errors.As(herr, &ee) {
+				status = statusEpoch
+				payload = []byte(ee.Msg)
+			} else {
+				payload = []byte(herr.Error())
+			}
 		} else {
 			payload = resp
 		}

@@ -19,8 +19,10 @@ import (
 
 // protocolVersion gates coordinator/worker compatibility in the hello
 // handshake; the wire format has no cross-version compatibility story beyond
-// refusing to talk.
-const protocolVersion = 2
+// refusing to talk. Version 3 added session-epoch fencing: hello carries the
+// coordinator's epoch, the response carries the worker's boot id, and every
+// other request is prefixed with the (epoch, boot) fence.
+const protocolVersion = 3
 
 // RPC opcodes. Every op is idempotent: pushes and writes overwrite the same
 // partition bytes, exec recomputes and re-registers the same handles, frees
@@ -224,26 +226,37 @@ func (r *rbuf) i32s() []int32 {
 
 // --- message types ---
 
+// helloReq opens (or re-opens) a session with a worker. Epoch is the
+// coordinator's session epoch: a worker holding a different epoch frees all
+// resident matrices and adopts the new one; a worker already holding it keeps
+// its state (the recovery re-hello and the checkpoint-resume path).
 type helloReq struct {
 	Version  int
 	PartRows int
+	Epoch    uint64
 }
 
+// helloResp returns the worker's identity: Boot is the per-process random
+// boot id (a restarted worker answers with a fresh one), Kept is how many
+// matrices survived the epoch install (nonzero only when the epochs matched).
 type helloResp struct {
 	Version  int
 	PartRows int
+	Boot     uint64
+	Kept     int64
 }
 
 func encodeHelloReq(h helloReq) []byte {
 	var w wbuf
 	w.varint(int64(h.Version))
 	w.varint(int64(h.PartRows))
+	w.uvarint(h.Epoch)
 	return w.b
 }
 
 func decodeHelloReq(b []byte) (helloReq, error) {
 	r := rbuf{b: b}
-	h := helloReq{Version: int(r.varint()), PartRows: int(r.varint())}
+	h := helloReq{Version: int(r.varint()), PartRows: int(r.varint()), Epoch: r.uvarint()}
 	return h, r.err
 }
 
@@ -251,13 +264,39 @@ func encodeHelloResp(h helloResp) []byte {
 	var w wbuf
 	w.varint(int64(h.Version))
 	w.varint(int64(h.PartRows))
+	w.uvarint(h.Boot)
+	w.varint(h.Kept)
 	return w.b
 }
 
 func decodeHelloResp(b []byte) (helloResp, error) {
 	r := rbuf{b: b}
-	h := helloResp{Version: int(r.varint()), PartRows: int(r.varint())}
+	h := helloResp{Version: int(r.varint()), PartRows: int(r.varint()),
+		Boot: r.uvarint(), Kept: r.varint()}
 	return h, r.err
+}
+
+// fenceBody prefixes a non-hello request body with the (epoch, boot) fence.
+// The worker rejects any request whose fence does not name its current epoch
+// and its own boot id, so a restarted worker (fresh boot, no epoch) and a
+// stale coordinator (old epoch) both fail typed instead of touching state.
+func fenceBody(epoch, boot uint64, body []byte) []byte {
+	var w wbuf
+	w.uvarint(epoch)
+	w.uvarint(boot)
+	w.b = append(w.b, body...)
+	return w.b
+}
+
+// splitFence strips and returns the fence prefix of a request body.
+func splitFence(body []byte) (epoch, boot uint64, rest []byte, err error) {
+	r := rbuf{b: body}
+	epoch = r.uvarint()
+	boot = r.uvarint()
+	if r.err != nil {
+		return 0, 0, nil, r.err
+	}
+	return epoch, boot, body[r.off:], nil
 }
 
 // partReq carries one partition of matrix data (opPushPart creates the
@@ -463,7 +502,14 @@ func encodeExecReq(q execRequest) []byte {
 	w.str(q.Owner)
 	w.varint(q.Rows)
 	encodeProgram(&w, q.Prog)
-	encodeCarryMap(&w, q.Carries, q.CarryOut)
+	// Order by the map's own keys, not CarryOut: replay requests carry entry
+	// carries without requesting any carry-out.
+	order := make([]int32, 0, len(q.Carries))
+	for idx := range q.Carries {
+		order = append(order, idx)
+	}
+	sortInt32s(order)
+	encodeCarryMap(&w, q.Carries, order)
 	w.uvarint(uint64(len(q.Keeps)))
 	for _, h := range q.Keeps {
 		w.str(h)

@@ -3,7 +3,10 @@ package shard
 import (
 	"context"
 	"fmt"
+	"math/rand"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/matrix"
@@ -22,8 +25,17 @@ import (
 type Worker struct {
 	eng *core.Engine
 
-	mu   sync.Mutex
-	mats map[string]*core.Mat
+	// boot is a random nonzero id minted once per Worker. A restarted
+	// process mints a new one, so fenced requests carrying the old boot are
+	// rejected with EpochError instead of executing against empty state.
+	boot uint64
+
+	fenced    atomic.Int64
+	adoptions atomic.Int64
+
+	mu    sync.Mutex
+	epoch uint64 // session epoch adopted at hello; 0 = no session yet
+	mats  map[string]*core.Mat
 }
 
 // NewWorker builds a worker around a fresh engine with the given
@@ -34,11 +46,113 @@ func NewWorker(cfg core.Config) (*Worker, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Worker{eng: eng, mats: make(map[string]*core.Mat)}, nil
+	return &Worker{eng: eng, boot: rand.Uint64() | 1, mats: make(map[string]*core.Mat)}, nil
 }
 
 // Engine exposes the worker's engine (metrics registration, tests).
 func (w *Worker) Engine() *core.Engine { return w.eng }
+
+// Boot returns the worker's boot id (log lines, tests).
+func (w *Worker) Boot() uint64 { return w.boot }
+
+// FenceRejects returns how many requests this worker rejected on the
+// (epoch, boot) fence.
+func (w *Worker) FenceRejects() int64 { return w.fenced.Load() }
+
+// Adoptions returns how many times a hello installed a new session epoch
+// (wiping any prior session's resident matrices).
+func (w *Worker) Adoptions() int64 { return w.adoptions.Load() }
+
+// Resident returns the number of distinct resident matrices (aliased handles
+// count once) — the handle-balance tests' probe.
+func (w *Worker) Resident() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	seen := make(map[*core.Mat]bool, len(w.mats))
+	for _, m := range w.mats {
+		seen[m] = true
+	}
+	return len(seen)
+}
+
+// Handles returns the sorted registered handle names (diagnostics, tests).
+func (w *Worker) Handles() []string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	hs := make([]string, 0, len(w.mats))
+	for h := range w.mats {
+		hs = append(hs, h)
+	}
+	sort.Strings(hs)
+	return hs
+}
+
+// hello installs the coordinator's session epoch. A different epoch than the
+// current one means a new (or resumed-elsewhere) session: any prior session's
+// resident matrices are freed and the new epoch adopted. The same epoch means
+// the coordinator is reconnecting to a live worker — state is kept, and the
+// reported Kept count lets it skip replay entirely.
+func (w *Worker) hello(q helloReq) ([]byte, error) {
+	if q.Version != protocolVersion {
+		return nil, fmt.Errorf("shard: protocol version %d, worker speaks %d", q.Version, protocolVersion)
+	}
+	if q.PartRows != w.eng.PartRows() {
+		return nil, fmt.Errorf("shard: coordinator part-rows %d != worker part-rows %d", q.PartRows, w.eng.PartRows())
+	}
+	if q.Epoch == 0 {
+		return nil, fmt.Errorf("shard: hello with zero epoch")
+	}
+	w.mu.Lock()
+	var orphans map[string]*core.Mat
+	if q.Epoch != w.epoch {
+		orphans = w.mats
+		w.mats = make(map[string]*core.Mat)
+		w.epoch = q.Epoch
+		w.adoptions.Add(1)
+	}
+	kept := make(map[*core.Mat]bool, len(w.mats))
+	for _, m := range w.mats {
+		kept[m] = true
+	}
+	w.mu.Unlock()
+	seen := make(map[*core.Mat]bool, len(orphans))
+	for _, m := range orphans {
+		if seen[m] {
+			continue
+		}
+		seen[m] = true
+		if st := m.Store(); st != nil {
+			st.Free()
+		}
+	}
+	return encodeHelloResp(helloResp{
+		Version:  protocolVersion,
+		PartRows: w.eng.PartRows(),
+		Boot:     w.boot,
+		Kept:     int64(len(kept)),
+	}), nil
+}
+
+// checkFence validates a non-hello request's (epoch, boot) prefix against the
+// worker's session state and returns the request body proper.
+func (w *Worker) checkFence(op uint8, body []byte) ([]byte, error) {
+	epoch, boot, rest, err := splitFence(body)
+	if err != nil {
+		return nil, err
+	}
+	if boot != w.boot {
+		w.fenced.Add(1)
+		return nil, &EpochError{Op: op, Msg: fmt.Sprintf("request for boot %x, worker boot is %x (worker restarted)", boot, w.boot)}
+	}
+	w.mu.Lock()
+	cur := w.epoch
+	w.mu.Unlock()
+	if epoch == 0 || epoch != cur {
+		w.fenced.Add(1)
+		return nil, &EpochError{Op: op, Msg: fmt.Sprintf("request epoch %x, worker session epoch is %x", epoch, cur)}
+	}
+	return rest, nil
+}
 
 // Handle dispatches one RPC: decode, execute, encode. Both transports call
 // it — the loopback directly, the TCP server per frame — so every code path
@@ -46,19 +160,18 @@ func (w *Worker) Engine() *core.Engine { return w.eng }
 // frames), never panics: Instantiate converts malformed-program panics to
 // errors before they reach here.
 func (w *Worker) Handle(ctx context.Context, op uint8, body []byte) ([]byte, error) {
-	switch op {
-	case opHello:
+	if op == opHello {
 		q, err := decodeHelloReq(body)
 		if err != nil {
 			return nil, err
 		}
-		if q.Version != protocolVersion {
-			return nil, fmt.Errorf("shard: protocol version %d, worker speaks %d", q.Version, protocolVersion)
-		}
-		if q.PartRows != w.eng.PartRows() {
-			return nil, fmt.Errorf("shard: coordinator part-rows %d != worker part-rows %d", q.PartRows, w.eng.PartRows())
-		}
-		return encodeHelloResp(helloResp{Version: protocolVersion, PartRows: w.eng.PartRows()}), nil
+		return w.hello(q)
+	}
+	body, ferr := w.checkFence(op, body)
+	if ferr != nil {
+		return nil, ferr
+	}
+	switch op {
 	case opPushPart:
 		q, err := decodePartReq(body)
 		if err != nil {

@@ -60,6 +60,10 @@ const (
 	// program encoding, leaf pushes, worker fan-out, and partial combining.
 	// Bytes carries the wire bytes exchanged, N the aggregation rounds.
 	KindShard
+	// KindRecover covers worker recovery during a sharded pass: re-hello,
+	// registry re-push, and lineage replay after an epoch-fence rejection.
+	// N carries the number of recoveries the pass absorbed.
+	KindRecover
 	kindCount
 )
 
@@ -76,6 +80,7 @@ var kindNames = [...]string{
 	KindDrain:       "drain",
 	KindRewrite:     "rewrite",
 	KindShard:       "shard-exec",
+	KindRecover:     "shard-recover",
 }
 
 func (k Kind) String() string {

@@ -76,7 +76,7 @@ func verifyPass(pass int64, evs []Event) error {
 				pass, ev.Kind, ev.Start, ev.End, root.Start, root.End)
 		}
 		switch ev.Kind {
-		case KindAdmit, KindCacheLookup, KindPublish, KindDrain, KindRewrite, KindShard:
+		case KindAdmit, KindCacheLookup, KindPublish, KindDrain, KindRewrite, KindShard, KindRecover:
 			if ev.Track != TrackRoot {
 				return fmt.Errorf("trace: pass %d: %v span on track %d, want root track", pass, ev.Kind, ev.Track)
 			}

@@ -7,7 +7,10 @@
 # experiment exits nonzero unless integer channels are bit-identical and
 # float folds are within tolerance), then asserts that (1) both workers
 # actually executed materialization passes and expose them over /metrics,
-# and (2) a SIGTERM drain answers every accepted RPC and exits 0.
+# (2) a kill -9 of one worker mid-iteration, followed by a restart on the
+# same port, recovers (fence + lineage replay) without perturbing the
+# equivalence gates, and (3) a SIGTERM drain answers every accepted RPC and
+# exits 0.
 set -euo pipefail
 
 PORT0=${PORT0:-17071}
@@ -63,21 +66,63 @@ for dbg in "$DBG0" "$DBG1"; do
   }
 done
 
-# (2) Graceful drain: SIGTERM must finish in-flight RPCs, prove the
+# (2) Chaos: kill -9 one worker mid-iteration and restart it on the same
+# port. The coordinator must fence the restarted worker, replay the lineage
+# of its resident talls, and the self-gating benchmark must still pass its
+# equivalence gates — with at least one recovery on the wire ledger.
+FLASHR_SHARD_CHAOS_PAUSE=${CHAOS_PAUSE:-2s} "$WORK/flashr-bench" -experiment shard -n "$N" -iters "$ITERS" \
+  -shard-part-rows "$PART_ROWS" -shard-addrs "127.0.0.1:$PORT0,127.0.0.1:$PORT1" \
+  > "$WORK/chaos.out" 2>&1 &
+BENCH=$!
+for _ in $(seq 1 300); do
+  grep -q 'distributed workload starting' "$WORK/chaos.out" 2>/dev/null && break
+  sleep 0.05
+done
+grep -q 'distributed workload starting' "$WORK/chaos.out" || {
+  cat "$WORK/chaos.out"
+  echo "smoke: FAIL: bench never reached the distributed workload" >&2
+  exit 1
+}
+kill -9 "$W0"
+wait "$W0" 2>/dev/null || true
+sleep 0.3
+"$WORK/flashr-shardworker" -listen "127.0.0.1:$PORT0" -part-rows "$PART_ROWS" \
+  -debug-addr "127.0.0.1:$DBG0" > "$WORK/worker0-restart.log" 2>&1 &
+W0=$!
+trap 'kill -9 $W0 $W1 2>/dev/null || true' EXIT
+rcb=0
+wait "$BENCH" || rcb=$?
+cat "$WORK/chaos.out"
+if [ "$rcb" -ne 0 ]; then
+  echo "smoke: FAIL: chaos bench exited $rcb (equivalence gate or recovery failed)" >&2
+  exit 1
+fi
+recoveries=$(grep -o 'recoveries=[0-9]*' "$WORK/chaos.out" | head -1 | cut -d= -f2)
+echo "smoke: chaos recoveries=$recoveries"
+if [ -z "$recoveries" ] || [ "$recoveries" -lt 1 ]; then
+  echo "smoke: FAIL: worker was killed but the coordinator recorded no recovery" >&2
+  exit 1
+fi
+grep -q 'listening on' "$WORK/worker0-restart.log" || {
+  echo "smoke: FAIL: restarted worker never came up" >&2
+  exit 1
+}
+
+# (3) Graceful drain: SIGTERM must finish in-flight RPCs, prove the
 # accepted==answered accounting, and exit 0 (the worker exits nonzero
-# itself if the ledger disagrees).
+# itself if the ledger disagrees). Worker 0 is the post-chaos restart.
 kill -TERM "$W0" "$W1"
 rc0=0; rc1=0
 wait "$W0" || rc0=$?
 wait "$W1" || rc1=$?
 trap - EXIT
-cat "$WORK/worker0.log" "$WORK/worker1.log"
+cat "$WORK/worker0-restart.log" "$WORK/worker1.log"
 if [ "$rc0" -ne 0 ] || [ "$rc1" -ne 0 ]; then
   echo "smoke: FAIL: workers exited $rc0/$rc1 after SIGTERM" >&2
   exit 1
 fi
-grep -q 'drained accepted=' "$WORK/worker0.log" || {
-  echo "smoke: FAIL: no drain accounting line in worker0 log" >&2
+grep -q 'drained accepted=' "$WORK/worker0-restart.log" || {
+  echo "smoke: FAIL: no drain accounting line in restarted worker0 log" >&2
   exit 1
 }
 grep -q 'drained accepted=' "$WORK/worker1.log" || {

@@ -1,0 +1,290 @@
+// Chaos differential sweep for shard fault recovery: the paper's k-means and
+// logistic-regression workloads run under seeded worker kill/restart
+// schedules, and every faulted run is held to the same answer as the
+// unfaulted one. The gates are deliberately asymmetric:
+//
+//   - faulted-sharded vs unfaulted-sharded: BIT-identical on every channel.
+//     Recovery replays lineage with the recorded carries over the same row
+//     partitioning, so a crash must not perturb a single bit.
+//   - sharded vs local: integer channels (sizes, moves, iteration counts)
+//     bit-identical, float folds tolerance-pinned — the shard combine
+//     regroups the reduction, nothing more.
+//
+// The coordinator is never restarted here (that path is covered by
+// TestShardCheckpointResume); every schedule must record at least one
+// recovery and leak no worker handles.
+//
+// This file is an external test package: it drives repro/ml, which imports
+// the root package.
+package flashr_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	flashr "repro"
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/shard"
+	"repro/internal/trace"
+	"repro/ml"
+)
+
+const (
+	chaosN     = 1100
+	chaosP     = 5
+	chaosK     = 3
+	chaosIters = 3
+)
+
+// chaosOutcome flattens both models into comparable channels.
+type chaosOutcome struct {
+	exact map[string][]float64 // bit-identical across every configuration
+	close map[string][]float64 // tolerance-pinned across local vs sharded
+}
+
+func chaosInitCenters() *dense.Dense {
+	c := dense.New(chaosK, chaosP)
+	rng := rand.New(rand.NewSource(41))
+	for i := range c.Data {
+		c.Data[i] = rng.NormFloat64()
+	}
+	return c
+}
+
+// runChaosML runs the two workloads in one session and returns the flattened
+// outcome. The caller owns opts; the session is closed before returning so
+// coordinator teardown is part of what the sweep exercises.
+func runChaosML(t *testing.T, opts flashr.Options, check func(s *flashr.Session)) chaosOutcome {
+	t.Helper()
+	s, err := flashr.NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	x, err := s.GenerateSeeded(chaosN, chaosP, 17, func(rng *rand.Rand, row []float64) {
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := s.GenerateSeeded(chaosN, 1, 18, func(rng *rand.Rand, row []float64) {
+		if rng.NormFloat64() > 0 {
+			row[0] = 1
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	km, err := ml.KMeans(s, x, chaosK, ml.KMeansOptions{MaxIter: chaosIters, InitCenters: chaosInitCenters()})
+	if err != nil {
+		t.Fatalf("kmeans: %v", err)
+	}
+	lg, err := ml.LogisticRegressionGD(s, x, y, ml.LogisticOptions{MaxIter: chaosIters})
+	if err != nil {
+		t.Fatalf("logistic: %v", err)
+	}
+	if check != nil {
+		check(s)
+	}
+	moves := make([]float64, len(km.Moves))
+	for i, v := range km.Moves {
+		moves[i] = float64(v)
+	}
+	return chaosOutcome{
+		exact: map[string][]float64{
+			"kmeans sizes": km.Sizes,
+			"kmeans moves": moves,
+			"iterations":   {float64(km.Iters), float64(lg.Iters)},
+		},
+		close: map[string][]float64{
+			"kmeans centers":   km.Centers.Data,
+			"kmeans objective": {km.Objective},
+			"logistic weights": lg.W,
+			"logistic logloss": {lg.LogLoss},
+		},
+	}
+}
+
+func chaosShardOptions() flashr.Options {
+	return flashr.Options{Workers: 4, PartRows: 256}
+}
+
+// compareChannels asserts a == b, bitwise on every channel when bitwise is
+// set, otherwise bitwise on exact channels and tolerance-pinned on close
+// ones.
+func compareChannels(t *testing.T, label string, a, b chaosOutcome, bitwise bool) {
+	t.Helper()
+	bit := func(what string, x, y []float64) {
+		if len(x) != len(y) {
+			t.Fatalf("%s: %s length %d vs %d", label, what, len(x), len(y))
+		}
+		for i := range x {
+			if math.Float64bits(x[i]) != math.Float64bits(y[i]) {
+				t.Fatalf("%s: %s[%d] = %v, want %v (bitwise)", label, what, i, y[i], x[i])
+			}
+		}
+	}
+	tol := func(what string, x, y []float64) {
+		if len(x) != len(y) {
+			t.Fatalf("%s: %s length %d vs %d", label, what, len(x), len(y))
+		}
+		for i := range x {
+			if d := math.Abs(x[i] - y[i]); d > 1e-9*math.Abs(x[i])+1e-12 {
+				t.Fatalf("%s: %s[%d] = %v, want %v±tol", label, what, i, y[i], x[i])
+			}
+		}
+	}
+	for what, x := range a.exact {
+		bit(what, x, b.exact[what])
+	}
+	for what, x := range a.close {
+		if bitwise {
+			bit(what, x, b.close[what])
+		} else {
+			tol(what, x, b.close[what])
+		}
+	}
+}
+
+// TestShardChaosDifferential is the acceptance sweep: kill/restart each of
+// two workers at each exec boundary of the iteration, and hold every faulted
+// run to the unfaulted answers.
+func TestShardChaosDifferential(t *testing.T) {
+	local := runChaosML(t, chaosShardOptions(), nil)
+
+	shardOpts := func(wrap func(wi int, tr shard.Transport) shard.Transport) flashr.Options {
+		opts := chaosShardOptions()
+		opts.Sharding = &flashr.ShardConfig{
+			Shards: 2, Retries: 8, RetryBackoff: time.Millisecond,
+			WrapTransport: wrap,
+		}
+		return opts
+	}
+	unfaulted := runChaosML(t, shardOpts(nil), func(s *flashr.Session) {
+		if err := s.Coordinator().CheckHandleBalance(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	compareChannels(t, "unfaulted-shard vs local", local, unfaulted, false)
+
+	type schedule struct {
+		worker int
+		before []int64
+		after  []int64
+	}
+	var sweeps []schedule
+	for w := 0; w < 2; w++ {
+		for _, n := range []int64{1, 2, 3} {
+			sweeps = append(sweeps, schedule{worker: w, before: []int64{n}})
+		}
+		for _, n := range []int64{1, 2} {
+			sweeps = append(sweeps, schedule{worker: w, after: []int64{n}})
+		}
+	}
+	for _, sc := range sweeps {
+		sc := sc
+		name := fmt.Sprintf("w%d-before%v-after%v", sc.worker, sc.before, sc.after)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var chaos *shard.ChaosTransport
+			opts := shardOpts(func(wi int, tr shard.Transport) shard.Transport {
+				if wi != sc.worker {
+					return tr
+				}
+				ct, err := shard.NewChaosTransport(tr, shard.ChaosConfig{
+					Worker:          core.Config{Workers: 4, PartRows: 256},
+					CrashBeforeExec: sc.before,
+					CrashAfterExec:  sc.after,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				chaos = ct
+				return ct
+			})
+			got := runChaosML(t, opts, func(s *flashr.Session) {
+				coord := s.Coordinator()
+				if chaos == nil || chaos.Crashes() == 0 {
+					t.Fatal("chaos schedule never fired")
+				}
+				if coord.Recoveries() == 0 {
+					t.Fatal("worker crashed but the coordinator recorded no recovery")
+				}
+				if err := coord.CheckHandleBalance(); err != nil {
+					t.Fatalf("handle leak after recovery: %v", err)
+				}
+			})
+			// The recovery path must reproduce the unfaulted sharded run
+			// bit-for-bit, and therefore also match local within tolerance.
+			compareChannels(t, "faulted vs unfaulted shard", unfaulted, got, true)
+			compareChannels(t, "faulted shard vs local", local, got, false)
+		})
+	}
+}
+
+// TestShardChaosTrace pins the observability half: a recovered pass must
+// still produce a well-formed trace, with a shard-recover span on the root
+// track counting the recoveries of that pass.
+func TestShardChaosTrace(t *testing.T) {
+	var chaos *shard.ChaosTransport
+	opts := chaosShardOptions()
+	opts.Sharding = &flashr.ShardConfig{
+		Shards: 2, Retries: 8, RetryBackoff: time.Millisecond,
+		WrapTransport: func(wi int, tr shard.Transport) shard.Transport {
+			if wi != 1 {
+				return tr
+			}
+			ct, err := shard.NewChaosTransport(tr, shard.ChaosConfig{
+				Worker:          core.Config{Workers: 4, PartRows: 256},
+				CrashBeforeExec: []int64{2},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			chaos = ct
+			return ct
+		},
+	}
+	s, err := flashr.NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Engine().StartTrace()
+	x, err := s.GenerateSeeded(chaosN, chaosP, 17, func(rng *rand.Rand, row []float64) {
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ml.KMeans(s, x, chaosK, ml.KMeansOptions{MaxIter: chaosIters, InitCenters: chaosInitCenters()}); err != nil {
+		t.Fatal(err)
+	}
+	data := s.Engine().StopTrace()
+	if chaos == nil || chaos.Crashes() == 0 {
+		t.Fatal("chaos schedule never fired")
+	}
+	if err := trace.Verify(data); err != nil {
+		t.Fatalf("recovered pass produced a malformed trace: %v", err)
+	}
+	var recovers int64
+	for _, ev := range data.Events {
+		if ev.Kind == trace.KindRecover {
+			if ev.Track != trace.TrackRoot {
+				t.Fatalf("shard-recover span on track %d, want root", ev.Track)
+			}
+			recovers += ev.N
+		}
+	}
+	if recovers == 0 {
+		t.Fatal("no shard-recover span in the trace of a recovered run")
+	}
+}
